@@ -1,0 +1,241 @@
+package hotspots
+
+// The benchmark harness: one benchmark per table and figure of the paper
+// (regenerating it at reduced scale per iteration), the ablation benches
+// called out in DESIGN.md, and micro-benchmarks of the hot substrates.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/sim"
+	"repro/internal/worm"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, uint64(i)+1, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 && len(res.Figures) == 0 {
+			b.Fatal("experiment produced nothing")
+		}
+	}
+}
+
+// Table benchmarks.
+
+func BenchmarkTable1BotCommands(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2FilteringLeakage(b *testing.B) { benchExperiment(b, "table2") }
+
+// Figure benchmarks.
+
+func BenchmarkFig1Blaster(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig2SlammerAggregate(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig3SlammerPerHost(b *testing.B)   { benchExperiment(b, "fig3") }
+
+func BenchmarkFig3cCycleCensus(b *testing.B) {
+	m := worm.SlammerMap(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.TotalCycles(); got != 64 {
+			b.Fatalf("census broke: %d cycles", got)
+		}
+	}
+}
+
+func BenchmarkFig4QuarantinedCRII(b *testing.B) { benchExperiment(b, "fig4") }
+
+func BenchmarkFig5aHitListInfection(b *testing.B) { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bHitListDetection(b *testing.B) { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cPlacement(b *testing.B)        { benchExperiment(b, "fig5c") }
+
+// Extension benchmarks.
+
+func BenchmarkExtThreshold(b *testing.B)   { benchExperiment(b, "ext-threshold") }
+func BenchmarkExtNATSweep(b *testing.B)    { benchExperiment(b, "ext-natsweep") }
+func BenchmarkExtPrevalence(b *testing.B)  { benchExperiment(b, "ext-prevalence") }
+func BenchmarkExtContainment(b *testing.B) { benchExperiment(b, "ext-containment") }
+func BenchmarkExtWitty(b *testing.B)       { benchExperiment(b, "ext-witty") }
+func BenchmarkExtIMS(b *testing.B)         { benchExperiment(b, "ext-ims") }
+
+// Ablation benchmarks: each isolates one root cause by removing it.
+
+// BenchmarkAblationSlammerIntendedB compares the cycle census of the
+// corrupted increments against a proper odd increment (single full-period
+// cycle — no trap states).
+func BenchmarkAblationSlammerIntendedB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corrupted := worm.SlammerMap(i % 3)
+		proper := SlammerIntendedMap()
+		if corrupted.TotalCycles() <= proper.TotalCycles() {
+			b.Fatal("ablation inverted")
+		}
+	}
+}
+
+// BenchmarkAblationBlasterSeed runs Figure 1 with a well-seeded PRNG: the
+// start-address clustering (and with it the hotspot spike) disappears.
+func BenchmarkAblationBlasterSeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig1(uint64(i) + 1)
+		cfg.Hosts = 800
+		cfg.MeanUptimeSeconds = 14400
+		cfg.Ticks = worm.UniformTickModel{}
+		if _, err := experiments.RunFig1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCRIIUniform runs the CRII quarantine path with local
+// preference disabled — the M-block hotspot vanishes.
+func BenchmarkAblationCRIIUniform(b *testing.B) {
+	own := ipv4.MustParseAddr("192.168.0.100")
+	fleet, err := NewSensorFleet(IMSBlocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.Reset()
+		gen := worm.NewCodeRedIIUniform(own, uint32(i)+1)
+		for p := 0; p < 200000; p++ {
+			dst := gen.Next()
+			if !dst.IsPrivate() {
+				fleet.Observe(own, dst)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFig2UniformSeeds runs the Slammer aggregate with
+// uniformly random seeds: the aggregate non-uniformity vanishes (orbits of
+// the affine map are arithmetic progressions).
+func BenchmarkAblationFig2UniformSeeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2(uint64(i) + 1)
+		cfg.Hosts = 8000
+		cfg.WindowProbes = 1 << 21
+		cfg.ClusteredSeedFraction = 0
+		if _, err := experiments.RunFig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the hot substrates.
+
+func BenchmarkUniformScanner(b *testing.B) {
+	g := worm.NewUniform(1)
+	b.ResetTimer()
+	var sink ipv4.Addr
+	for i := 0; i < b.N; i++ {
+		sink = g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkSlammerScanner(b *testing.B) {
+	g := worm.NewSlammer(1, 12345)
+	b.ResetTimer()
+	var sink ipv4.Addr
+	for i := 0; i < b.N; i++ {
+		sink = g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkCodeRedIIScanner(b *testing.B) {
+	g := worm.NewCodeRedII(ipv4.MustParseAddr("18.31.0.5"), 7)
+	b.ResetTimer()
+	var sink ipv4.Addr
+	for i := 0; i < b.N; i++ {
+		sink = g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkBlasterStart(b *testing.B) {
+	own := ipv4.MustParseAddr("141.212.10.5")
+	var sink ipv4.Addr
+	for i := 0; i < b.N; i++ {
+		sink = worm.BlasterStart(own, uint32(i))
+	}
+	_ = sink
+}
+
+func BenchmarkAddrSetSelect(b *testing.B) {
+	pop, err := population.Synthesize(population.Config{
+		Size: 10000, Slash8s: 20, Slash16s: 400, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefixes, _ := worm.BuildGreedySlash16HitList(pop.Addrs(false), 400)
+	set := ipv4.SetOfPrefixes(prefixes...)
+	size := set.Size()
+	b.ResetTimer()
+	var sink ipv4.Addr
+	for i := 0; i < b.N; i++ {
+		sink = set.Select(uint64(i) % size)
+	}
+	_ = sink
+}
+
+func BenchmarkFastDriverEpidemic(b *testing.B) {
+	pop, err := population.Synthesize(population.Config{
+		Size: 5000, Slash8s: 10, Slash16s: 100, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFast(sim.FastConfig{
+			Pop:         pop,
+			Model:       sim.NewCodeRedIIModel(),
+			ScanRate:    1000,
+			TickSeconds: 1,
+			MaxSeconds:  200,
+			SeedHosts:   10,
+			Seed:        uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkExactDriverProbes(b *testing.B) {
+	pop, err := population.Synthesize(population.Config{
+		Size: 1000, Slash8s: 5, Slash16s: 20, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunExact(sim.ExactConfig{
+			Pop:         pop,
+			Factory:     worm.UniformFactory{},
+			ScanRate:    1000,
+			TickSeconds: 1,
+			MaxSeconds:  20,
+			SeedHosts:   10,
+			Seed:        uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

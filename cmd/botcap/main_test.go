@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateThenParseRoundTrip(t *testing.T) {
+	var capture bytes.Buffer
+	if err := run([]string{"-generate", "-bots", "5", "-seed", "3"}, nil, &capture); err != nil {
+		t.Fatal(err)
+	}
+	if capture.Len() == 0 {
+		t.Fatal("generator produced nothing")
+	}
+	var report bytes.Buffer
+	if err := run(nil, strings.NewReader(capture.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	if !strings.Contains(out, "propagation commands") {
+		t.Errorf("report missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "aggregate hit-list space") {
+		t.Errorf("report missing aggregate:\n%s", out)
+	}
+}
+
+func TestParseEmptyCapture(t *testing.T) {
+	var report bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "0 propagation commands") {
+		t.Errorf("empty capture report wrong:\n%s", report.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command cycleanalysis prints the exact cycle structure of the Slammer
+// worm's target-generation LCG (or any affine map mod 2^32 given -a/-b),
+// the analysis behind Figures 2 and 3(c).
+//
+// Usage:
+//
+//	cycleanalysis                     # all three Slammer variants
+//	cycleanalysis -variant 1 -verify  # one variant + brute-force check at 2^16
+//	cycleanalysis -a 214013 -b 2531011
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cycle"
+	"repro/internal/textplot"
+	"repro/internal/worm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cycleanalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cycleanalysis", flag.ContinueOnError)
+	var (
+		variant = fs.Int("variant", -1, "Slammer sqlsort.dll variant (0-2), -1 = all")
+		aFlag   = fs.Uint("a", 0, "custom multiplier (with -b)")
+		bFlag   = fs.Uint("b", 0, "custom increment (with -a)")
+		verify  = fs.Bool("verify", false, "brute-force verify the census at modulus 2^16")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aFlag != 0 {
+		m, err := cycle.NewMap(uint32(*aFlag), uint32(*bFlag), 32)
+		if err != nil {
+			return err
+		}
+		printCensus(fmt.Sprintf("custom map a=%d b=%#x", *aFlag, *bFlag), m)
+		if *verify {
+			return verifyCensus(uint32(*aFlag), uint32(*bFlag))
+		}
+		return nil
+	}
+	variants := []int{0, 1, 2}
+	if *variant >= 0 {
+		if *variant > 2 {
+			return fmt.Errorf("variant %d out of range [0,2]", *variant)
+		}
+		variants = []int{*variant}
+	}
+	for _, v := range variants {
+		b := worm.SlammerIncrements()[v]
+		m := worm.SlammerMap(v)
+		printCensus(fmt.Sprintf("Slammer variant %d (IAT %#x → b=%#x)", v, worm.SqlsortIATs[v], b), m)
+		if *verify {
+			if err := verifyCensus(worm.SlammerMultiplier, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func printCensus(title string, m cycle.Map) {
+	fmt.Printf("%s\n", title)
+	census := m.Census()
+	var labels []string
+	var values []float64
+	var total uint64
+	for _, c := range census {
+		labels = append(labels, fmt.Sprintf("len 2^%2d ×%d", log2(c.Length), c.Cycles))
+		values = append(values, float64(c.States))
+		total += c.Cycles
+	}
+	fmt.Printf("  total cycles: %d (α=%d, β=%d)\n", total, m.Alpha(), m.Beta())
+	fmt.Println(textplot.Bars("  states per cycle-length class:", labels, values, 40))
+	fmt.Println()
+}
+
+func verifyCensus(a, b uint32) error {
+	m, err := cycle.NewMap(a, b, 16)
+	if err != nil {
+		return err
+	}
+	want := m.BruteForceCensus()
+	got := make(map[uint64]uint64)
+	for _, c := range m.Census() {
+		got[c.Length] += c.Cycles
+	}
+	lengths := make([]uint64, 0, len(want))
+	for l := range want {
+		lengths = append(lengths, l)
+	}
+	sort.Slice(lengths, func(i, j int) bool { return lengths[i] > lengths[j] })
+	fmt.Println("  brute-force verification at modulus 2^16:")
+	for _, l := range lengths {
+		status := "OK"
+		if got[l] != want[l] {
+			status = fmt.Sprintf("MISMATCH (closed-form %d)", got[l])
+		}
+		fmt.Printf("    length %8d: %4d cycles  %s\n", l, want[l], status)
+		if got[l] != want[l] {
+			return fmt.Errorf("census mismatch at length %d", l)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunAllVariants(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleVariantWithVerify(t *testing.T) {
+	if err := run([]string{"-variant", "1", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomMap(t *testing.T) {
+	if err := run([]string{"-a", "214013", "-b", "2531011"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-a", "214013", "-b", "2531011", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-variant", "9"}); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := run([]string{"-a", "6", "-b", "1"}); err == nil {
+		t.Error("invalid multiplier accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

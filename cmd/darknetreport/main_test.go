@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/sensor"
+)
+
+func TestRunWorms(t *testing.T) {
+	for _, args := range [][]string{
+		{"-worm", "codered2", "-own", "192.168.0.100", "-probes", "100000"},
+		{"-worm", "slammer", "-variant", "1", "-probes", "100000"},
+		{"-worm", "blaster", "-own", "141.212.10.5", "-tick", "140000", "-probes", "100000"},
+		{"-worm", "uniform", "-probes", "100000"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunWritesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/snap.json"
+	binPath := dir + "/snap.bin"
+	if err := run([]string{
+		"-worm", "uniform", "-probes", "50000",
+		"-json", jsonPath, "-snapshot", binPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := sensor.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON sensor.Snapshot
+	if err := json.Unmarshal(data, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromJSON.Blocks) != len(snap.Blocks) {
+		t.Error("JSON and binary snapshots disagree")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-worm", "nope", "-probes", "10"}); err == nil {
+		t.Error("unknown worm accepted")
+	}
+	if err := run([]string{"-own", "not-an-ip"}); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := run([]string{"-worm", "slammer", "-variant", "7", "-probes", "10"}); err == nil {
+		t.Error("bad variant accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # every table and figure, quick scale
+//	experiments -run fig5c -scale full -plot
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runID  = fs.String("run", "all", "experiment id (see -list) or 'all'")
+		seed   = fs.Uint64("seed", 1, "simulation seed")
+		scale  = fs.String("scale", "quick", "quick|full")
+		plot   = fs.Bool("plot", false, "render figures as ASCII charts")
+		width  = fs.Int("width", 72, "plot width")
+		height = fs.Int("height", 18, "plot height")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		md     = fs.String("md", "", "write a Markdown report to this file instead of stdout text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	sc := experiments.Quick
+	switch *scale {
+	case "quick":
+	case "full":
+		sc = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scale)
+	}
+	ids := experiments.Names()
+	if *runID != "all" {
+		ids = strings.Split(*runID, ",")
+	}
+	var report *os.File
+	if *md != "" {
+		var err error
+		report, err = os.Create(*md)
+		if err != nil {
+			return err
+		}
+		defer report.Close()
+		fmt.Fprintf(report, "# Hotspots experiment report (seed %d, scale %s)\n\n", *seed, *scale)
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		res, err := experiments.Run(id, *seed, sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if report != nil {
+			if err := experiments.WriteMarkdown(report, id, res); err != nil {
+				return err
+			}
+			continue
+		}
+		printResult(id, res, *plot, *width, *height)
+	}
+	return nil
+}
+
+func printResult(id string, res *experiments.Result, plot bool, width, height int) {
+	fmt.Printf("==== %s ====\n", id)
+	for _, t := range res.Tables {
+		fmt.Println(t.Render())
+	}
+	for _, f := range res.Figures {
+		fmt.Printf("%s — %s\n", f.ID, f.Title)
+		if !plot {
+			for _, s := range f.Series {
+				maxY, sumY := 0.0, 0.0
+				for _, y := range s.Y {
+					if y > maxY {
+						maxY = y
+					}
+					sumY += y
+				}
+				mean := 0.0
+				if len(s.Y) > 0 {
+					mean = sumY / float64(len(s.Y))
+				}
+				fmt.Printf("  series %-28s points=%-6d max=%-10.4g mean=%.4g\n",
+					s.Name, len(s.Y), maxY, mean)
+			}
+			continue
+		}
+		var ts []textplot.Series
+		for _, s := range f.Series {
+			d := experiments.Downsample(s, width)
+			ts = append(ts, textplot.Series{Name: d.Name, X: d.X, Y: d.Y})
+		}
+		fmt.Println(textplot.Render(
+			fmt.Sprintf("y: %s, x: %s", f.YLabel, f.XLabel),
+			ts, textplot.Options{Width: width, Height: height}))
+	}
+	for _, n := range res.Notes {
+		fmt.Println("note:", n)
+	}
+	fmt.Println()
+}

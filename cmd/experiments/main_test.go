@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunListAndSingleExperiment(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if err := run([]string{"-run", "table1"}); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	if err := run([]string{"-run", "table2", "-plot"}); err != nil {
+		t.Fatalf("table2 with plot: %v", err)
+	}
+	// A figure-producing experiment through the plot path.
+	if err := run([]string{"-run", "fig3", "-plot", "-width", "40", "-height", "10"}); err != nil {
+		t.Fatalf("fig3 with plot: %v", err)
+	}
+	if err := run([]string{"-run", "fig5a,table1"}); err != nil {
+		t.Fatalf("comma-separated ids: %v", err)
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	path := t.TempDir() + "/report.md"
+	if err := run([]string{"-run", "table1,fig3", "-md", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"# Hotspots experiment report", "## table1", "## fig3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "medium"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

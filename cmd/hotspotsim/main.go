@@ -1,0 +1,205 @@
+// Command hotspotsim runs configurable worm-outbreak simulations over the
+// synthetic CodeRedII-style vulnerable population with an optional detector
+// fleet, printing the infection and alert curves.
+//
+// Usage:
+//
+//	hotspotsim -worm uniform
+//	hotspotsim -worm hitlist -hitlist-size 100
+//	hotspotsim -worm codered2 -nat 0.15 -sensors 5000 -placement top20
+//	hotspotsim -worm codered2 -placement 192sweep -plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/detect"
+	"repro/internal/experiments"
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/worm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hotspotsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hotspotsim", flag.ContinueOnError)
+	var (
+		wormName    = fs.String("worm", "uniform", "uniform|hitlist|codered2")
+		hitListSize = fs.Int("hitlist-size", 100, "number of /16s in the hit-list")
+		popSize     = fs.Int("pop", 134586, "vulnerable population size")
+		nat         = fs.Float64("nat", 0, "fraction of hosts NAT'd into 192.168/16")
+		scanRate    = fs.Float64("rate", 10, "probes per second per infected host")
+		seeds       = fs.Int("seeds", 25, "initially infected hosts")
+		maxSeconds  = fs.Float64("t", 2000, "simulated seconds")
+		seed        = fs.Uint64("seed", 1, "simulation seed")
+		sensors     = fs.Int("sensors", 0, "detector fleet size (0 = none)")
+		placement   = fs.String("placement", "random", "random|top20|192sweep")
+		threshold   = fs.Uint64("threshold", 5, "alert threshold (probes per sensor)")
+		containAt   = fs.Float64("contain-at", 0, "engage containment once this fraction of sensors alert (0 = off)")
+		containDrop = fs.Float64("contain-drop", 0.95, "probe drop probability once containment engages")
+		plot        = fs.Bool("plot", false, "render ASCII chart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	popCfg := population.DefaultCodeRedII(*seed)
+	if *popSize != popCfg.Size {
+		popCfg = scaledPopulation(*popSize, *seed)
+	}
+	pop, err := population.Synthesize(popCfg)
+	if err != nil {
+		return err
+	}
+	if *nat > 0 {
+		if err := pop.AssignNAT(*nat, 0, *seed+1); err != nil {
+			return err
+		}
+	}
+
+	var model sim.RateModel
+	switch *wormName {
+	case "uniform":
+		model = sim.NewUniformModel()
+	case "hitlist":
+		prefixes, cover := worm.BuildGreedySlash16HitList(pop.Addrs(false), *hitListSize)
+		fmt.Printf("hit-list: %d /16s covering %.2f%% of the vulnerable population\n",
+			len(prefixes), 100*cover)
+		model = &sim.HitListModel{List: ipv4.SetOfPrefixes(prefixes...)}
+	case "codered2":
+		model = sim.NewCodeRedIIModel()
+	default:
+		return fmt.Errorf("unknown worm %q (uniform|hitlist|codered2)", *wormName)
+	}
+
+	cfg := sim.FastConfig{
+		Pop:         pop,
+		Model:       model,
+		ScanRate:    *scanRate,
+		TickSeconds: 1,
+		MaxSeconds:  *maxSeconds,
+		SeedHosts:   *seeds,
+		Seed:        *seed,
+	}
+
+	var fleet *detect.ThresholdFleet
+	if *sensors > 0 || *placement == "192sweep" {
+		prefixes, err := buildPlacement(*placement, *sensors, *seed, pop)
+		if err != nil {
+			return err
+		}
+		fleet, err = detect.NewThresholdFleet(prefixes, *threshold)
+		if err != nil {
+			return err
+		}
+		cfg.Sensors = fleet
+		cfg.SensorSet = fleet.Union()
+	}
+	var containment *sim.Containment
+	if *containAt > 0 {
+		if fleet == nil {
+			return fmt.Errorf("-contain-at requires a sensor fleet (-sensors or -placement 192sweep)")
+		}
+		trigger := *containAt
+		containment = &sim.Containment{
+			Trigger: func() bool { return fleet.AlertedFraction() >= trigger },
+			Drop:    *containDrop,
+		}
+		cfg.Containment = containment
+	}
+
+	infected := textplot.Series{Name: "% infected"}
+	alerted := textplot.Series{Name: "% sensors alerted"}
+	cfg.OnTick = func(ti sim.TickInfo) bool {
+		infected.X = append(infected.X, ti.Time)
+		infected.Y = append(infected.Y, 100*float64(ti.Infected)/float64(pop.Size()))
+		if fleet != nil {
+			alerted.X = append(alerted.X, ti.Time)
+			alerted.Y = append(alerted.Y, 100*fleet.AlertedFraction())
+		}
+		return true
+	}
+
+	result, err := sim.RunFast(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worm=%s pop=%d infected=%d (%.1f%%) after %.0fs\n",
+		model.Name(), pop.Size(), result.Final.Infected,
+		100*result.FractionInfected(), result.Final.Time)
+	if t50, ok := result.TimeToFraction(0.5); ok {
+		fmt.Printf("time to 50%% infected: %.0fs\n", t50)
+	}
+	if fleet != nil {
+		fmt.Printf("sensors: %d placed (%s), %d alerted (%.1f%%), quorum(50%%)=%v\n",
+			fleet.Size(), *placement, fleet.NumAlerted(), 100*fleet.AlertedFraction(),
+			detect.QuorumReached(fleet, 0.5))
+	}
+	if containment != nil {
+		if containment.Engaged() {
+			fmt.Printf("containment: engaged at t=%.0fs (drop %.0f%%)\n",
+				containment.EngagedAt, 100**containDrop)
+		} else {
+			fmt.Println("containment: never engaged — the fleet's visibility never reached the trigger")
+		}
+	}
+	if *plot {
+		series := []textplot.Series{downsample(infected, 72)}
+		if fleet != nil {
+			series = append(series, downsample(alerted, 72))
+		}
+		fmt.Println(textplot.Render("outbreak", series, textplot.Options{}))
+	}
+	return nil
+}
+
+func buildPlacement(name string, n int, seed uint64, pop *population.Population) ([]ipv4.Prefix, error) {
+	switch name {
+	case "random":
+		return detect.RandomSlash24s(n, seed+2, nil)
+	case "top20":
+		return detect.RandomSlash24sWithin(n, seed+2, pop.TopSlash8s(20), nil)
+	case "192sweep":
+		return detect.Slash16SweepOfSlash8(192, []uint32{168}, seed+2), nil
+	default:
+		return nil, fmt.Errorf("unknown placement %q (random|top20|192sweep)", name)
+	}
+}
+
+// scaledPopulation shrinks the default population shape to the given size.
+func scaledPopulation(size int, seed uint64) population.Config {
+	cfg := population.DefaultCodeRedII(seed)
+	scale := float64(size) / float64(cfg.Size)
+	cfg.Size = size
+	cfg.Slash16s = int(float64(cfg.Slash16s) * scale)
+	if cfg.Slash16s < cfg.Slash8s {
+		cfg.Slash8s = cfg.Slash16s
+	}
+	if cfg.Slash16s > size {
+		cfg.Slash16s = size
+	}
+	for i := range cfg.Anchors {
+		k := int(float64(cfg.Anchors[i].K) * scale)
+		if k < 1 {
+			k = 1
+		}
+		cfg.Anchors[i].K = k
+	}
+	cfg.Anchors[len(cfg.Anchors)-1].K = cfg.Slash16s
+	return cfg
+}
+
+func downsample(s textplot.Series, n int) textplot.Series {
+	d := experiments.Downsample(experiments.Series{Name: s.Name, X: s.X, Y: s.Y}, n)
+	return textplot.Series{Name: d.Name, X: d.X, Y: d.Y}
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunWorms(t *testing.T) {
+	common := []string{"-pop", "5000", "-t", "100", "-rate", "200", "-seed", "2"}
+	for _, wormName := range []string{"uniform", "hitlist", "codered2"} {
+		args := append([]string{"-worm", wormName}, common...)
+		if err := run(args); err != nil {
+			t.Fatalf("worm %s: %v", wormName, err)
+		}
+	}
+}
+
+func TestRunWithSensorsAndPlot(t *testing.T) {
+	if err := run([]string{
+		"-worm", "codered2", "-pop", "5000", "-t", "100", "-rate", "200",
+		"-nat", "0.2", "-sensors", "200", "-placement", "top20", "-plot",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-worm", "codered2", "-pop", "5000", "-t", "60", "-rate", "200",
+		"-nat", "0.2", "-placement", "192sweep",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithContainment(t *testing.T) {
+	if err := run([]string{
+		"-worm", "codered2", "-pop", "5000", "-t", "120", "-rate", "200",
+		"-nat", "0.2", "-placement", "192sweep", "-contain-at", "0.1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-worm", "uniform", "-pop", "2000", "-t", "20", "-contain-at", "0.1",
+	}); err == nil {
+		t.Error("containment without sensors accepted")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-worm", "nope"}); err == nil {
+		t.Error("unknown worm accepted")
+	}
+	if err := run([]string{"-worm", "codered2", "-sensors", "10", "-placement", "nowhere", "-pop", "2000", "-t", "10"}); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

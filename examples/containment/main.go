@@ -1,0 +1,98 @@
+// Containment: the paper's closing argument made concrete. Detection is
+// only useful if it triggers response in time — so wire two detector
+// fleets into Internet-quarantine-style filtering during a CodeRedII/NAT
+// outbreak and compare how much of the population each one saves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotspots "repro"
+	"repro/internal/detect"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pop, err := hotspots.SynthesizePopulation(hotspots.PopulationConfig{
+		Size:     30000,
+		Slash8s:  30,
+		Slash16s: 900,
+		Anchors: []hotspots.CoverageAnchor{
+			{K: 5, Share: 0.106}, {K: 40, Share: 0.505}, {K: 250, Share: 0.913}, {K: 900, Share: 1},
+		},
+		Include192Slash8: true,
+		Seed:             5,
+	})
+	if err != nil {
+		return err
+	}
+	// 15% of hosts NAT'd into one shared 192.168/16 (the paper's model).
+	if err := pop.AssignNAT(0.15, 0, 6); err != nil {
+		return err
+	}
+
+	fleets := []struct {
+		name  string
+		build func() ([]hotspots.Prefix, error)
+	}{
+		{name: "none (no response)", build: nil},
+		{name: "2000 random /24s", build: func() ([]hotspots.Prefix, error) {
+			return hotspots.RandomSlash24Placement(2000, 7, nil)
+		}},
+		{name: "255 sensors across 192/8", build: func() ([]hotspots.Prefix, error) {
+			return detect.Slash16SweepOfSlash8(192, []uint32{168}, 7), nil
+		}},
+	}
+
+	fmt.Printf("%-28s %-22s %s\n", "response fleet", "containment engaged", "final infected")
+	for _, f := range fleets {
+		cfg := hotspots.SimConfig{
+			Pop:         pop,
+			Model:       hotspots.CodeRedIIRateModel(),
+			ScanRate:    45,
+			TickSeconds: 1,
+			MaxSeconds:  900,
+			SeedHosts:   25,
+			Seed:        8, // identical outbreak for every fleet
+		}
+		var policy *sim.Containment
+		if f.build != nil {
+			prefixes, err := f.build()
+			if err != nil {
+				return err
+			}
+			fleet, err := hotspots.NewDetectorFleet(prefixes, 5)
+			if err != nil {
+				return err
+			}
+			cfg.Sensors = fleet
+			cfg.SensorSet = fleet.Union()
+			policy = &sim.Containment{
+				Trigger: func() bool { return fleet.AlertedFraction() >= 0.10 },
+				Drop:    0.95,
+			}
+			cfg.Containment = policy
+		}
+		res, err := hotspots.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		engaged := "—"
+		if policy != nil && policy.Engaged() {
+			engaged = fmt.Sprintf("t=%.0fs", policy.EngagedAt)
+		}
+		fmt.Printf("%-28s %-22s %.1f%%\n", f.name, engaged, 100*res.FractionInfected())
+	}
+
+	fmt.Println("\nThe 255-sensor fleet sitting in the NAT leak's hotspot detects")
+	fmt.Println("first, triggers filtering earliest, and strands the most hosts")
+	fmt.Println("uninfected — local, topology-aware detection pays for itself.")
+	return nil
+}

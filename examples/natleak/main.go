@@ -1,0 +1,68 @@
+// Natleak: the environmental-factor case study. A CodeRedII-infected host
+// behind a NAT at 192.168.0.100 applies its "same /8" local preference to
+// 192.0.0.0/8 — and since 192.168/16 is the only private /16 in that /8,
+// half of all its probes leak onto the public Internet's 192/8, flooding
+// any darknet there (the paper's M block).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotspots "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const probes = 2000000
+	fleet, err := hotspots.NewSensorFleet(hotspots.IMSBlocks())
+	if err != nil {
+		return err
+	}
+
+	hosts := []struct {
+		label string
+		own   string
+	}{
+		{label: "public host outside 192/8", own: "18.31.0.5"},
+		{label: "NAT'd host at 192.168.0.100", own: "192.168.0.100"},
+	}
+	for _, h := range hosts {
+		own, err := hotspots.ParseAddr(h.own)
+		if err != nil {
+			return err
+		}
+		gen := hotspots.CodeRedII.New(own, 7)
+		fleet.Reset()
+		var private int
+		for i := 0; i < probes; i++ {
+			dst := gen.Next()
+			if dst.IsPrivate() {
+				private++ // never leaves the NAT site
+				continue
+			}
+			fleet.Observe(own, dst)
+		}
+		fmt.Printf("%s — %d probes (%0.1f%% stayed in private space):\n",
+			h.label, probes, 100*float64(private)/probes)
+		for _, s := range fleet.Sensors() {
+			if s.TotalAttempts() == 0 {
+				continue
+			}
+			fmt.Printf("  block %-5s attempts=%-6d unique-source=%d\n",
+				s.Block(), s.TotalAttempts(), s.UniqueSources())
+		}
+		m := fleet.Sensor("M")
+		fmt.Printf("  → M block (192.52.92.0/22, inside public 192/8): %d attempts\n\n",
+			m.TotalAttempts())
+	}
+
+	fmt.Println("Same worm, same algorithm — only the topology (a NAT assigning a")
+	fmt.Println("private address) moved: an environmental factor made the hotspot.")
+	return nil
+}

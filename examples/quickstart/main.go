@@ -1,0 +1,75 @@
+// Quickstart: simulate a uniform-scanning worm and a hit-list worm over the
+// paper's CodeRedII-style vulnerable population and compare what a darknet
+// sensor fleet sees — the smallest end-to-end tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotspots "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A scaled-down vulnerable population with the paper's clustering
+	// shape: most hosts concentrated in a few /16s.
+	popCfg := hotspots.PopulationConfig{
+		Size:             20000,
+		Slash8s:          30,
+		Slash16s:         800,
+		Include192Slash8: true,
+		Seed:             1,
+	}
+	// Pin the clustering to the paper's measured coverage curve: the top
+	// 30 /16s hold half the population.
+	popCfg.Anchors = []hotspots.CoverageAnchor{
+		{K: 4, Share: 0.106}, {K: 30, Share: 0.505}, {K: 200, Share: 0.913}, {K: 800, Share: 1},
+	}
+	pop, err := hotspots.SynthesizePopulation(popCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population: %d vulnerable hosts across %d /8s\n",
+		pop.Size(), len(pop.Slash8Histogram()))
+
+	// A hit-list covering half the population with 30 /16s.
+	list, cover := hotspots.BuildHitList(pop.Addrs(false), 30)
+	fmt.Printf("hit-list: 30 /16s covering %.1f%% of the vulnerable population\n\n", 100*cover)
+
+	for _, tc := range []struct {
+		name  string
+		model hotspots.RateModel
+	}{
+		{name: "uniform scanner", model: hotspots.UniformRateModel()},
+		{name: "hit-list scanner", model: hotspots.HitListRateModel(list)},
+	} {
+		res, err := hotspots.Simulate(hotspots.SimConfig{
+			Pop:         pop,
+			Model:       tc.model,
+			ScanRate:    700, // scaled so the small population takes off
+			TickSeconds: 1,
+			MaxSeconds:  2500,
+			SeedHosts:   25,
+			Seed:        42,
+		})
+		if err != nil {
+			return err
+		}
+		t50 := "never"
+		if t, ok := res.TimeToFraction(0.5); ok {
+			t50 = fmt.Sprintf("%.0fs", t)
+		}
+		fmt.Printf("%-18s infected %5.1f%% of all hosts (50%% of population at %s)\n",
+			tc.name, 100*res.FractionInfected(), t50)
+	}
+
+	fmt.Println("\nThe hit-list worm saturates its covered half quickly and never")
+	fmt.Println("touches the rest — the algorithmic hotspot of Figure 5a.")
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package botcmd implements the bot command-and-control substrate behind
+// the paper's Table 1: the `advscan` / `ipscan` propagation-command grammar
+// of the Agobot/Phatbot, rbot/SDBot, and Ghost-Bot families, a parser that
+// extracts hit-lists from captured commands, and a generator that emits
+// realistic command streams for the live-capture simulation.
+//
+// Captured commands look like:
+//
+//	advscan dcass 150 3 0 211.x.x -r -b -s
+//	ipscan 194.s.s.s dcom2 -s
+//	advscan lsass_445 100 5 0 -r -b
+//
+// The address mask encodes the hit-list: a literal octet pins the scan to
+// that value, while a wildcard octet (x, s, r, i — different families use
+// different letters) is chosen by the bot. "194.s.s.s" therefore targets
+// 194.0.0.0/8, and "ipscan s.s.170.23" style masks pin low octets instead.
+package botcmd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ipv4"
+)
+
+// Family identifies the bot family a command belongs to.
+type Family int
+
+// Bot families observed in the paper's academic-network capture.
+const (
+	Agobot Family = iota + 1 // Agobot/Phatbot: "advscan"
+	SDBot                    // rbot/SDBot: "ipscan"
+	GhostBot
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case Agobot:
+		return "agobot"
+	case SDBot:
+		return "sdbot"
+	case GhostBot:
+		return "ghostbot"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Command is one parsed propagation command.
+type Command struct {
+	// Family is the issuing bot family.
+	Family Family
+	// Verb is the raw command verb ("advscan", "ipscan").
+	Verb string
+	// Exploit is the vulnerability module ("dcom2", "lsass", "mssql2000",
+	// "webdav3", "dcass", "wkssvceng", …).
+	Exploit string
+	// Mask is the dotted target mask as captured (e.g. "194.s.s.s").
+	Mask Mask
+	// Flags are trailing option switches (-r, -b, -s).
+	Flags []string
+	// Raw preserves the captured line.
+	Raw string
+}
+
+// HitList returns the address range the command restricts scanning to.
+func (c Command) HitList() ipv4.Prefix { return c.Mask.Prefix() }
+
+// Mask is a dotted four-octet target mask; each octet is either pinned to a
+// literal value or a wildcard.
+type Mask struct {
+	// Octets holds the literal values; Wild marks wildcard positions.
+	Octets [4]byte
+	Wild   [4]bool
+}
+
+// ParseMask parses a dotted mask such as "211.x.x.x" or "s.s" (short masks
+// pad with wildcards, as SDBot accepts).
+func ParseMask(s string) (Mask, error) {
+	var m Mask
+	if s == "" {
+		return m, fmt.Errorf("botcmd: empty mask")
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) > 4 {
+		return m, fmt.Errorf("botcmd: mask %q has %d octets", s, len(parts))
+	}
+	for i := 0; i < 4; i++ {
+		if i >= len(parts) {
+			m.Wild[i] = true
+			continue
+		}
+		p := parts[i]
+		if isWildcardOctet(p) {
+			m.Wild[i] = true
+			continue
+		}
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return m, fmt.Errorf("botcmd: mask %q octet %d: %v", s, i+1, err)
+		}
+		m.Octets[i] = byte(v)
+	}
+	// A literal octet after a wildcard (e.g. "s.s.170.23") is valid for
+	// some families but cannot be expressed as a single prefix; Prefix()
+	// widens it. Record as-is.
+	return m, nil
+}
+
+func isWildcardOctet(s string) bool {
+	switch s {
+	case "x", "s", "r", "i", "*", "%":
+		return true
+	}
+	return false
+}
+
+// IsMaskToken reports whether s looks like a target mask.
+func IsMaskToken(s string) bool {
+	_, err := ParseMask(s)
+	if err != nil {
+		return false
+	}
+	return strings.Contains(s, ".") || isWildcardOctet(s)
+}
+
+// Prefix returns the widest prefix consistent with the mask's leading
+// literal octets: "194.s.s.s" → 194.0.0.0/8, "211.22.x.x" → 211.22.0.0/16,
+// all-wild → 0.0.0.0/0.
+func (m Mask) Prefix() ipv4.Prefix {
+	bits := 0
+	var addr uint32
+	for i := 0; i < 4; i++ {
+		if m.Wild[i] {
+			break
+		}
+		addr |= uint32(m.Octets[i]) << (24 - 8*i)
+		bits += 8
+	}
+	p, err := ipv4.NewPrefix(ipv4.Addr(addr), bits)
+	if err != nil {
+		panic(err) // unreachable: bits ∈ {0,8,16,24,32}
+	}
+	return p
+}
+
+// String renders the mask in capture notation, using the family-neutral
+// wildcard "x".
+func (m Mask) String() string {
+	parts := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		if m.Wild[i] {
+			parts[i] = "x"
+		} else {
+			parts[i] = strconv.Itoa(int(m.Octets[i]))
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// verbFamilies maps command verbs to families.
+var verbFamilies = map[string]Family{
+	"advscan": Agobot,
+	"ipscan":  SDBot,
+	"gscan":   GhostBot,
+}
+
+// Parse parses one captured command line. Lines that are not propagation
+// commands return an error (callers scanning IRC traffic skip them).
+func Parse(line string) (Command, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 {
+		return Command{}, fmt.Errorf("botcmd: %q is not a propagation command", line)
+	}
+	verb := strings.ToLower(fields[0])
+	fam, ok := verbFamilies[verb]
+	if !ok {
+		return Command{}, fmt.Errorf("botcmd: unknown verb %q", verb)
+	}
+	cmd := Command{Family: fam, Verb: verb, Raw: line}
+	// Grammar (both families): verb [mask] [exploit] [numbers…] [mask] [flags…]
+	// Agobot: advscan <exploit> <threads> <delay> <minutes> [mask] [flags]
+	// SDBot:  ipscan <mask> <exploit> [flags]
+	sawMask := false
+	for _, tok := range fields[1:] {
+		switch {
+		case strings.HasPrefix(tok, "-"):
+			cmd.Flags = append(cmd.Flags, tok)
+		case !sawMask && IsMaskToken(tok):
+			m, err := ParseMask(tok)
+			if err != nil {
+				return Command{}, err
+			}
+			cmd.Mask = m
+			sawMask = true
+		case isNumber(tok):
+			// thread/delay/duration parameters — not needed for hit-lists.
+		case cmd.Exploit == "":
+			cmd.Exploit = strings.ToLower(tok)
+		}
+	}
+	if cmd.Exploit == "" {
+		return Command{}, fmt.Errorf("botcmd: %q has no exploit module", line)
+	}
+	if !sawMask {
+		// No mask ⇒ unrestricted scan.
+		cmd.Mask = Mask{Wild: [4]bool{true, true, true, true}}
+	}
+	return cmd, nil
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractCommands scans a capture (one line per message, e.g. IRC PRIVMSG
+// payloads) and returns every propagation command found.
+func ExtractCommands(capture []string) []Command {
+	var out []Command
+	for _, line := range capture {
+		if cmd, err := Parse(line); err == nil {
+			out = append(out, cmd)
+		}
+	}
+	return out
+}
+
+// AggregateHitLists merges the hit-lists of a command set into an address
+// set, ignoring unrestricted (all-wild) masks.
+func AggregateHitLists(cmds []Command) *ipv4.Set {
+	set := &ipv4.Set{}
+	for _, c := range cmds {
+		p := c.HitList()
+		if p.Bits() == 0 {
+			continue
+		}
+		set.AddPrefix(p)
+	}
+	return set
+}

@@ -1,0 +1,200 @@
+package botcmd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ipv4"
+)
+
+func TestParseTable1Commands(t *testing.T) {
+	// Commands lifted from the paper's Table 1 (wildcard letters as
+	// captured).
+	tests := []struct {
+		give        string
+		wantFamily  Family
+		wantExploit string
+		wantPrefix  string
+	}{
+		{give: "ipscan i.i.i.i dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "0.0.0.0/0"},
+		{give: "advscan wkssvceng 100 5 0 -r -b", wantFamily: Agobot, wantExploit: "wkssvceng", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan s.s.s.s dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan r.r.r.r dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "0.0.0.0/0"},
+		{give: "advscan dcass 150 3 0 211.x.x -r -b -s", wantFamily: Agobot, wantExploit: "dcass", wantPrefix: "211.0.0.0/8"},
+		{give: "advscan lsass 300 5 0 -r -s", wantFamily: Agobot, wantExploit: "lsass", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan s.s mssql2000 -s", wantFamily: SDBot, wantExploit: "mssql2000", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan s.s.s lsass -s", wantFamily: SDBot, wantExploit: "lsass", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan s.s webdav3 -s", wantFamily: SDBot, wantExploit: "webdav3", wantPrefix: "0.0.0.0/0"},
+		{give: "ipscan 194.s.s.s dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "194.0.0.0/8"},
+		{give: "ipscan 192.s.s.s dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "192.0.0.0/8"},
+		{give: "ipscan 128.s.s.s dcom2 -s", wantFamily: SDBot, wantExploit: "dcom2", wantPrefix: "128.0.0.0/8"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			cmd, err := Parse(tt.give)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if cmd.Family != tt.wantFamily {
+				t.Errorf("Family = %v, want %v", cmd.Family, tt.wantFamily)
+			}
+			if cmd.Exploit != tt.wantExploit {
+				t.Errorf("Exploit = %q, want %q", cmd.Exploit, tt.wantExploit)
+			}
+			if got := cmd.HitList().String(); got != tt.wantPrefix {
+				t.Errorf("HitList = %s, want %s", got, tt.wantPrefix)
+			}
+			if cmd.Raw != tt.give {
+				t.Errorf("Raw not preserved")
+			}
+		})
+	}
+}
+
+func TestParseRejectsNonCommands(t *testing.T) {
+	for _, give := range []string{
+		"",
+		"PING :12345",
+		"PRIVMSG #ch :.login bot7",
+		"advscan", // no exploit
+		"scanstop",
+		"ipscan 1.2.3.4", // mask only, no exploit
+	} {
+		if _, err := Parse(give); err == nil {
+			t.Errorf("Parse(%q) accepted", give)
+		}
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	tests := []struct {
+		give       string
+		wantPrefix string
+		wantErr    bool
+	}{
+		{give: "x.x.x.x", wantPrefix: "0.0.0.0/0"},
+		{give: "211.x.x.x", wantPrefix: "211.0.0.0/8"},
+		{give: "211.22.x.x", wantPrefix: "211.22.0.0/16"},
+		{give: "211.22.33.x", wantPrefix: "211.22.33.0/24"},
+		{give: "211.22.33.44", wantPrefix: "211.22.33.44/32"},
+		{give: "s.s", wantPrefix: "0.0.0.0/0"},
+		{give: "194.s.s.s", wantPrefix: "194.0.0.0/8"},
+		{give: "", wantErr: true},
+		{give: "300.x.x.x", wantErr: true},
+		{give: "1.2.3.4.5", wantErr: true},
+		{give: "a.b.c.d", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			m, err := ParseMask(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseMask(%q) accepted", tt.give)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseMask(%q): %v", tt.give, err)
+			}
+			if got := m.Prefix().String(); got != tt.wantPrefix {
+				t.Errorf("Prefix() = %s, want %s", got, tt.wantPrefix)
+			}
+		})
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	m, err := ParseMask("194.s.s.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "194.x.x.x" {
+		t.Errorf("String() = %q, want 194.x.x.x", got)
+	}
+}
+
+func TestExtractCommandsFromNoisyCapture(t *testing.T) {
+	capture := []string{
+		"PING :9999",
+		"ipscan 194.s.s.s dcom2 -s",
+		"PRIVMSG #ch :.sysinfo cpu=99",
+		"advscan dcass 150 3 0 211.x.x -r -b -s",
+		"NICK z1234",
+	}
+	cmds := ExtractCommands(capture)
+	if len(cmds) != 2 {
+		t.Fatalf("extracted %d commands, want 2", len(cmds))
+	}
+	if cmds[0].Family != SDBot || cmds[1].Family != Agobot {
+		t.Errorf("families = %v, %v", cmds[0].Family, cmds[1].Family)
+	}
+}
+
+func TestAggregateHitLists(t *testing.T) {
+	cmds := ExtractCommands([]string{
+		"ipscan 194.s.s.s dcom2 -s",
+		"ipscan 194.s.s.s lsass -s",        // duplicate range
+		"ipscan s.s.s.s dcom2 -s",          // unrestricted: ignored
+		"advscan dcass 150 3 0 128.x.x -r", // second /8
+	})
+	set := AggregateHitLists(cmds)
+	if got := set.Size(); got != 2<<24 {
+		t.Fatalf("aggregate size = %d, want 2·2^24", got)
+	}
+	if !set.Contains(ipv4.MustParseAddr("194.1.2.3")) || !set.Contains(ipv4.MustParseAddr("128.255.0.1")) {
+		t.Error("aggregate missing expected ranges")
+	}
+	if set.Contains(ipv4.MustParseAddr("129.0.0.0")) {
+		t.Error("aggregate contains unexpected range")
+	}
+}
+
+func TestGenerateRoundTrips(t *testing.T) {
+	cfg := DefaultGenerator(42)
+	capture := Generate(cfg)
+	if len(capture) <= cfg.NoiseLines {
+		t.Fatalf("capture too small: %d lines", len(capture))
+	}
+	cmds := ExtractCommands(capture)
+	if len(cmds) < cfg.Bots {
+		t.Fatalf("extracted %d commands from %d bots", len(cmds), cfg.Bots)
+	}
+	// Every generated propagation command must parse and carry an exploit.
+	for _, c := range cmds {
+		if c.Exploit == "" {
+			t.Fatalf("command %q parsed without exploit", c.Raw)
+		}
+	}
+	// Some commands should be targeted (non-/0 hit-lists): that is the
+	// Table 1 phenomenon.
+	targeted := 0
+	for _, c := range cmds {
+		if c.HitList().Bits() > 0 {
+			targeted++
+		}
+	}
+	if targeted == 0 {
+		t.Error("no targeted hit-lists generated")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(DefaultGenerator(7))
+	b := Generate(DefaultGenerator(7))
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Error("same-seed captures differ")
+	}
+	c := Generate(DefaultGenerator(8))
+	if strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Error("different-seed captures identical")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Agobot.String() != "agobot" || SDBot.String() != "sdbot" || GhostBot.String() != "ghostbot" {
+		t.Error("family names wrong")
+	}
+	if Family(99).String() != "Family(99)" {
+		t.Error("unknown family formatting wrong")
+	}
+}

@@ -1,0 +1,136 @@
+package botcmd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// GeneratorConfig shapes a synthetic capture resembling the paper's
+// month-long academic-network observation (≈11 bots issuing scan commands,
+// interleaved with ordinary C&C chatter).
+type GeneratorConfig struct {
+	// Bots is the number of distinct bots issuing commands.
+	Bots int
+	// CommandsPerBot is the mean number of propagation commands per bot.
+	CommandsPerBot float64
+	// NoiseLines is the number of non-propagation C&C lines interleaved.
+	NoiseLines int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultGenerator reproduces Table 1's scale.
+func DefaultGenerator(seed uint64) GeneratorConfig {
+	return GeneratorConfig{Bots: 11, CommandsPerBot: 2, NoiseLines: 40, Seed: seed}
+}
+
+// exploits observed in Table 1, per family.
+var (
+	agobotExploits = []string{"dcom2", "dcass", "lsass", "wkssvceng", "webdav3", "lsass_445"}
+	sdbotExploits  = []string{"dcom2", "lsass", "mssql2000", "webdav3", "netapi"}
+)
+
+// targetFirstOctets are the literal first octets seen in captured
+// hit-lists (academic and broadband ranges bots favour).
+var targetFirstOctets = []byte{128, 192, 194, 205, 211, 61, 82, 24}
+
+// Generate emits a synthetic capture: a line per C&C message, containing
+// propagation commands from cfg.Bots bots plus noise. The propagation
+// commands follow the Table 1 grammar, with hit-list masks pinned to one or
+// two leading octets (bots "target specific /24 and /16 networks").
+func Generate(cfg GeneratorConfig) []string {
+	r := rng.NewXoshiro(cfg.Seed)
+	var lines []string
+	for bot := 0; bot < cfg.Bots; bot++ {
+		n := int(r.Exponential(cfg.CommandsPerBot)) + 1
+		fam := Agobot
+		if r.Bernoulli(0.5) {
+			fam = SDBot
+		}
+		for i := 0; i < n; i++ {
+			lines = append(lines, generateCommand(fam, r))
+		}
+	}
+	for i := 0; i < cfg.NoiseLines; i++ {
+		lines = append(lines, generateNoise(r))
+	}
+	// Shuffle so the capture interleaves bots and noise.
+	perm := r.Shuffle(len(lines))
+	out := make([]string, len(lines))
+	for i, j := range perm {
+		out[i] = lines[j]
+	}
+	return out
+}
+
+func generateCommand(fam Family, r *rng.Xoshiro) string {
+	mask := generateMask(r, fam)
+	switch fam {
+	case SDBot:
+		exploit := sdbotExploits[r.Intn(len(sdbotExploits))]
+		flags := ""
+		if r.Bernoulli(0.8) {
+			flags = " -s"
+		}
+		return fmt.Sprintf("ipscan %s %s%s", mask, exploit, flags)
+	default:
+		exploit := agobotExploits[r.Intn(len(agobotExploits))]
+		threads := 50 + r.Intn(200)
+		delay := 1 + r.Intn(5)
+		minutes := r.Intn(10000)
+		var flags []string
+		for _, f := range []string{"-r", "-b", "-s"} {
+			if r.Bernoulli(0.6) {
+				flags = append(flags, f)
+			}
+		}
+		parts := fmt.Sprintf("advscan %s %d %d %d %s", exploit, threads, delay, minutes, mask)
+		if len(flags) > 0 {
+			parts += " " + strings.Join(flags, " ")
+		}
+		return parts
+	}
+}
+
+func generateMask(r *rng.Xoshiro, fam Family) string {
+	wild := "x"
+	if fam == SDBot {
+		switch r.Intn(3) {
+		case 0:
+			wild = "s"
+		case 1:
+			wild = "r"
+		default:
+			wild = "i"
+		}
+	}
+	switch r.Intn(4) {
+	case 0: // fully wild: unrestricted scan
+		return strings.Join([]string{wild, wild, wild, wild}, ".")
+	case 1: // /8 hit-list
+		o := targetFirstOctets[r.Intn(len(targetFirstOctets))]
+		return fmt.Sprintf("%d.%s.%s.%s", o, wild, wild, wild)
+	case 2: // /16 hit-list
+		o := targetFirstOctets[r.Intn(len(targetFirstOctets))]
+		return fmt.Sprintf("%d.%d.%s.%s", o, r.Intn(256), wild, wild)
+	default: // /24 hit-list
+		o := targetFirstOctets[r.Intn(len(targetFirstOctets))]
+		return fmt.Sprintf("%d.%d.%d.%s", o, r.Intn(256), r.Intn(256), wild)
+	}
+}
+
+var noiseTemplates = []string{
+	"PING :%d",
+	"PRIVMSG #ch :.login bot%d",
+	"MODE #ch +smntu",
+	"PRIVMSG #ch :.sysinfo cpu=%d",
+	"JOIN #exploit%d",
+	"PRIVMSG #ch :.download http://host/%d.exe",
+	"NICK z%d",
+}
+
+func generateNoise(r *rng.Xoshiro) string {
+	return fmt.Sprintf(noiseTemplates[r.Intn(len(noiseTemplates))], r.Intn(100000))
+}

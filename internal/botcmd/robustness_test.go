@@ -1,0 +1,67 @@
+package botcmd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser adversarial junk: a C&C monitor
+// processes attacker-controlled bytes, so the parser must reject garbage
+// gracefully, never crash.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		line := string(raw)
+		cmd, err := Parse(line)
+		if err != nil {
+			return true
+		}
+		// Anything accepted must be internally consistent.
+		return cmd.Exploit != "" && cmd.Raw == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHostileVariants(t *testing.T) {
+	hostile := []string{
+		"advscan " + strings.Repeat("A", 100000),
+		"ipscan " + strings.Repeat(".", 64) + " dcom2",
+		"advscan dcom2 999999999999999999999999 1 1",
+		"ipscan 1..2.3 dcom2",
+		"advscan\tdcom2\t1\t2\t3",
+		"ipscan 255.255.255.255 dcom2",
+		"ADVSCAN DCOM2 1 2 3", // case-insensitivity of the verb
+		strings.Repeat("ipscan s.s.s.s dcom2 -s ", 1000),
+	}
+	for _, line := range hostile {
+		// Must not panic; acceptance is fine when the grammar matches.
+		if cmd, err := Parse(line); err == nil && cmd.Exploit == "" {
+			t.Errorf("accepted %q without an exploit", truncate(line))
+		}
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "…"
+	}
+	return s
+}
+
+func TestMaskParseNeverPanics(t *testing.T) {
+	f := func(raw string) bool {
+		m, err := ParseMask(raw)
+		if err != nil {
+			return true
+		}
+		// A parsed mask must render and produce a valid prefix.
+		_ = m.String()
+		p := m.Prefix()
+		return p.Bits() >= 0 && p.Bits() <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

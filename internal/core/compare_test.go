@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare([]uint64{1}, []uint64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Compare(nil, nil); err == nil {
+		t.Error("empty distributions accepted")
+	}
+	if _, err := Compare([]uint64{1, 2}, []uint64{0, 0}); err == nil {
+		t.Error("empty ablation accepted")
+	}
+}
+
+func TestCompareDominatingFactor(t *testing.T) {
+	// A: strong hotspot; B (ablated): flat with the same volume shape.
+	a := make([]uint64, 100)
+	b := make([]uint64, 100)
+	for i := range a {
+		a[i] = 10
+		b[i] = 10
+	}
+	a[42] = 5000
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attribution != FactorDominates {
+		t.Errorf("attribution = %v, want dominates", d.Attribution)
+	}
+	if d.PeakShift != 42 {
+		t.Errorf("PeakShift = %d, want 42", d.PeakShift)
+	}
+	if d.ExcessShare < 0.5 {
+		t.Errorf("ExcessShare = %v, want most of the mass", d.ExcessShare)
+	}
+	if d.GiniReduction() < 0.5 {
+		t.Errorf("GiniReduction = %v, want > 0.5", d.GiniReduction())
+	}
+}
+
+func TestCompareInertFactor(t *testing.T) {
+	// Statistically identical distributions: the factor is inert.
+	r := rng.NewXoshiro(1)
+	a := make([]uint64, 200)
+	b := make([]uint64, 200)
+	for i := 0; i < 100000; i++ {
+		a[r.Intn(200)]++
+		b[r.Intn(200)]++
+	}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attribution != FactorInert {
+		t.Errorf("attribution = %v (GiniA=%.4f GiniB=%.4f), want inert",
+			d.Attribution, d.GiniA, d.GiniB)
+	}
+	if d.ExcessShare > 0.05 {
+		t.Errorf("ExcessShare = %v for identical distributions", d.ExcessShare)
+	}
+}
+
+func TestCompareScalesVolumes(t *testing.T) {
+	// B has 10x less total volume but the same shape: still inert.
+	a := []uint64{100, 200, 300}
+	b := []uint64{10, 20, 30}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attribution != FactorInert || d.ExcessShare != 0 {
+		t.Errorf("scaled comparison: %+v", d)
+	}
+	if d.PeakShift != -1 {
+		t.Errorf("PeakShift = %d for no-excess comparison", d.PeakShift)
+	}
+}
+
+func TestCompareAmplifyingFactor(t *testing.T) {
+	// A is moderately more concentrated than B — amplification without
+	// dominance.
+	a := []uint64{10, 10, 10, 10, 40} // Gini 0.3
+	b := []uint64{12, 12, 12, 12, 32} // Gini 0.2
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attribution != FactorAmplifies {
+		t.Errorf("attribution = %v (GiniA=%.3f GiniB=%.3f), want amplifies",
+			d.Attribution, d.GiniA, d.GiniB)
+	}
+}
+
+func TestAttributionString(t *testing.T) {
+	if FactorInert.String() != "inert" || FactorAmplifies.String() != "amplifies" ||
+		FactorDominates.String() != "dominates" {
+		t.Error("attribution names wrong")
+	}
+	if Attribution(9).String() != "Attribution(?)" {
+		t.Error("unknown attribution formatting wrong")
+	}
+}
+
+// TestCompareEndToEndAblation runs the comparison on real library output:
+// tick-seeded Blaster observations vs the well-seeded ablation.
+func TestCompareEndToEndAblation(t *testing.T) {
+	// Small synthetic stand-in for the Figure 1 pair: hotspots present vs
+	// absent, produced by the same generator family.
+	r := rng.NewXoshiro(7)
+	withFactor := make([]uint64, 500)
+	ablated := make([]uint64, 500)
+	for i := 0; i < 20000; i++ {
+		ablated[r.Intn(500)]++
+		// 40% of the factor-present mass concentrates on 5 buckets.
+		if r.Bernoulli(0.4) {
+			withFactor[r.Intn(5)]++
+		} else {
+			withFactor[r.Intn(500)]++
+		}
+	}
+	d, err := Compare(withFactor, ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attribution == FactorInert {
+		t.Errorf("hotspot factor classified inert: %+v", d)
+	}
+	if d.PeakShift >= 5 {
+		t.Errorf("peak at bucket %d, want within the hotspot buckets", d.PeakShift)
+	}
+}

@@ -1,0 +1,78 @@
+package cycle
+
+import "repro/internal/ipv4"
+
+// Orbit-structure API. For T(x) = A·x + B (mod 2^m) with A ≡ 1 (mod 4), the
+// orbit of x is T^t(x) = x + S_t·d(x) where S_t = 1 + A + … + A^(t−1). As t
+// runs over the period 2^(m−v) (v = v2(d(x))), S_t takes every residue
+// modulo 2^(m−v) exactly once, so S_t·d(x) takes every multiple of 2^v
+// exactly once. Hence
+//
+//	orbit(x) = { x + j·2^v  :  j = 0 … 2^(m−v)−1 }
+//
+// — every cycle is an arithmetic progression ("lattice") with power-of-two
+// stride. Two consequences the Slammer analysis leans on: a trapped host's
+// targets are exactly one residue class modulo its stride (one address per
+// /16 for a 2^16-state cycle), and with uniformly random seeds every
+// aggregate first moment is uniform across equal-size blocks, so the
+// aggregate non-uniformity observed in the wild requires clustered
+// (low-entropy) seeding.
+
+// OrbitStride returns the arithmetic-progression step 2^v2(d(x)) of x's
+// orbit (0 means the orbit is the single fixed point x).
+func (m Map) OrbitStride(x uint32) uint64 {
+	v := m.V2D(x)
+	if v >= m.Bits {
+		return 0 // fixed point
+	}
+	return 1 << v
+}
+
+// SameOrbit reports whether x and y lie on the same cycle, in O(1): they
+// must share v2(d) and the residue class of the orbit stride.
+func (m Map) SameOrbit(x, y uint32) bool {
+	x &= m.mask()
+	y &= m.mask()
+	stride := m.OrbitStride(x)
+	if stride == 0 {
+		return x == y
+	}
+	return (x-y)&uint32(stride-1) == 0 && m.V2D(y) == m.V2D(x)
+}
+
+// OrbitMin returns the canonical identifier of x's cycle — its minimum
+// element — in O(1) via the lattice structure: min {x + j·2^v} = x mod 2^v.
+func (m Map) OrbitMin(x uint32) uint32 {
+	x &= m.mask()
+	stride := m.OrbitStride(x)
+	if stride == 0 {
+		return x
+	}
+	return x & uint32(stride-1)
+}
+
+// OrbitCountInInterval returns |orbit(x) ∩ [lo, hi]| in O(1): the number of
+// members of x's residue class falling in the inclusive interval.
+func (m Map) OrbitCountInInterval(x uint32, iv ipv4.Interval) uint64 {
+	lo, hi := uint64(uint32(iv.Lo)&m.mask()), uint64(uint32(iv.Hi)&m.mask())
+	if lo > hi {
+		return 0
+	}
+	stride := m.OrbitStride(x)
+	if stride == 0 {
+		if p := uint64(x & m.mask()); p >= lo && p <= hi {
+			return 1
+		}
+		return 0
+	}
+	rem := uint64(x) & (stride - 1)
+	first := rem
+	if lo > rem {
+		k := (lo - rem + stride - 1) / stride
+		first = rem + k*stride
+	}
+	if first > hi {
+		return 0
+	}
+	return (hi-first)/stride + 1
+}

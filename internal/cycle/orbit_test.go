@@ -1,0 +1,162 @@
+package cycle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipv4"
+)
+
+func TestOrbitIsArithmeticProgression(t *testing.T) {
+	// The structural theorem, verified by brute force at a small modulus:
+	// walking the full cycle visits exactly {x + j·stride}.
+	m := MustNewMap(214013, 0x5000, 16)
+	for _, x := range []uint32{0, 1, 2, 0x1234, 0xffff, 0x8000} {
+		stride := m.OrbitStride(x)
+		period := m.Period(x)
+		want := make(map[uint32]bool, period)
+		if stride == 0 {
+			want[x&m.mask()] = true
+		} else {
+			for j := uint64(0); j < period; j++ {
+				want[(x+uint32(j*stride))&m.mask()] = true
+			}
+		}
+		got := make(map[uint32]bool, period)
+		cur := x & m.mask()
+		for i := uint64(0); i < period; i++ {
+			got[cur] = true
+			cur = m.Step(cur)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("x=%#x: orbit size %d, lattice size %d", x, len(got), len(want))
+		}
+		for v := range got {
+			if !want[v] {
+				t.Fatalf("x=%#x: orbit member %#x outside the lattice", x, v)
+			}
+		}
+	}
+}
+
+func TestOrbitMinMatchesIterativeCycleMin(t *testing.T) {
+	m := MustNewMap(214013, 0x5000, 16)
+	f := func(raw uint16) bool {
+		x := uint32(raw)
+		want, _, ok := m.CycleMin(x, 1<<16)
+		return ok && m.OrbitMin(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameOrbitAgreesWithWalk(t *testing.T) {
+	m := MustNewMap(214013, 0x5000, 14)
+	// Enumerate a short cycle and confirm SameOrbit holds exactly for its
+	// members.
+	prog, ok := m.StatesWithPeriodAtMost(1 << 6)
+	if !ok {
+		t.Fatal("no short cycles")
+	}
+	x := prog.Nth(0)
+	members := make(map[uint32]bool)
+	cur := x
+	for i := uint64(0); i < m.Period(x); i++ {
+		members[cur] = true
+		cur = m.Step(cur)
+	}
+	for y := uint32(0); y < 1<<14; y++ {
+		if got := m.SameOrbit(x, y); got != members[y] {
+			t.Fatalf("SameOrbit(%#x, %#x) = %v, membership %v", x, y, got, members[y])
+		}
+	}
+}
+
+func TestOrbitCountInInterval(t *testing.T) {
+	m := MustNewMap(214013, 0x5000, 16)
+	ivs := []ipv4.Interval{
+		{Lo: 0, Hi: 0xffff},
+		{Lo: 0x100, Hi: 0x1ff},
+		{Lo: 0x8000, Hi: 0x80ff},
+		{Lo: 5, Hi: 5},
+		{Lo: 10, Hi: 3}, // empty
+	}
+	for _, x := range []uint32{0x1234, 0x4, 0xffff} {
+		// Brute-force membership of the orbit.
+		members := make(map[uint32]bool)
+		cur := x
+		for i := uint64(0); i < m.Period(x); i++ {
+			members[cur] = true
+			cur = m.Step(cur)
+		}
+		for _, iv := range ivs {
+			var want uint64
+			for a := uint32(iv.Lo); ; a++ {
+				if uint32(iv.Lo) > uint32(iv.Hi) {
+					break
+				}
+				if a > uint32(iv.Hi) || a > 0xffff {
+					break
+				}
+				if members[a] {
+					want++
+				}
+			}
+			if got := m.OrbitCountInInterval(x, iv); got != want {
+				t.Errorf("x=%#x iv=%v: count %d, want %d (stride %d)",
+					x, iv, got, want, m.OrbitStride(x))
+			}
+		}
+	}
+}
+
+func TestOrbitFixedPoint(t *testing.T) {
+	m := MustNewMap(214013, 0x5000, 16)
+	prog, ok := m.StatesWithPeriodAtMost(1)
+	if !ok {
+		t.Skip("no fixed points at this modulus")
+	}
+	fp := prog.Nth(0)
+	if m.Period(fp) != 1 {
+		t.Skip("progression head is not a fixed point")
+	}
+	if m.OrbitStride(fp) != 0 {
+		t.Errorf("fixed-point stride = %d, want 0", m.OrbitStride(fp))
+	}
+	if m.OrbitMin(fp) != fp {
+		t.Errorf("fixed-point OrbitMin = %#x", m.OrbitMin(fp))
+	}
+	if !m.SameOrbit(fp, fp) {
+		t.Error("fixed point not on its own orbit")
+	}
+	if m.SameOrbit(fp, fp+1) && m.Period(fp+1) == 1 && fp+1 != fp {
+		t.Error("distinct fixed points merged")
+	}
+	if got := m.OrbitCountInInterval(fp, ipv4.Interval{Lo: ipv4.Addr(fp), Hi: ipv4.Addr(fp)}); got != 1 {
+		t.Errorf("fixed-point self-interval count = %d", got)
+	}
+}
+
+func TestOrbitStrideSlammerFullSize(t *testing.T) {
+	// At full size the two giant cycles have stride 4 (v2(d)=2): each
+	// covers one residue class mod 4 — a quarter of every /24.
+	m := MustNewMap(214013, 0x88215000, 32)
+	found := false
+	for x := uint32(0); x < 64 && !found; x++ {
+		if m.Period(x) == 1<<30 {
+			found = true
+			if got := m.OrbitStride(x); got != 4 {
+				t.Errorf("giant-cycle stride = %d, want 4", got)
+			}
+			// A /24 contains exactly 64 members of a stride-4 class.
+			iv := ipv4.Interval{Lo: 0x0a000000, Hi: 0x0a0000ff}
+			if got := m.OrbitCountInInterval(x, iv); got != 64 {
+				t.Errorf("giant-cycle members per /24 = %d, want 64", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no giant-cycle member among the first 64 states")
+	}
+}

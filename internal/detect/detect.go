@@ -1,0 +1,205 @@
+// Package detect implements the distributed detection systems whose
+// blindness to hotspots is the paper's Section 5 result: fleets of /24
+// darknet detectors with threshold alerting, quorum aggregation over fleet
+// alerts, placement strategies, and a content-prevalence baseline.
+//
+// The paper's detector: "each sensor was set to generate an alert after
+// observing n worm infection attempts … our detector had no false positives
+// and was set to generate an alert after observing 5 threat payloads."
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ipv4"
+)
+
+// ThresholdFleet is a set of non-overlapping detector prefixes (typically
+// /24s), each alerting once its probe count reaches a threshold. It
+// implements sim.HitRecorder. Not safe for concurrent use.
+type ThresholdFleet struct {
+	prefixes  []ipv4.Prefix // sorted by first address
+	counts    []uint64
+	alerted   []bool
+	nAlerted  int
+	threshold uint64
+	firstHit  []bool
+	union     *ipv4.Set
+}
+
+// NewThresholdFleet builds a fleet. Prefixes must not overlap; threshold
+// must be ≥ 1.
+func NewThresholdFleet(prefixes []ipv4.Prefix, threshold uint64) (*ThresholdFleet, error) {
+	if threshold == 0 {
+		return nil, errors.New("detect: zero alert threshold")
+	}
+	if len(prefixes) == 0 {
+		return nil, errors.New("detect: empty fleet")
+	}
+	sorted := make([]ipv4.Prefix, len(prefixes))
+	copy(sorted, prefixes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].First() < sorted[j].First() })
+	union := &ipv4.Set{}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Last() >= sorted[i].First() {
+			return nil, fmt.Errorf("detect: prefixes %v and %v overlap", sorted[i-1], sorted[i])
+		}
+	}
+	for _, p := range sorted {
+		union.AddPrefix(p)
+	}
+	return &ThresholdFleet{
+		prefixes:  sorted,
+		counts:    make([]uint64, len(sorted)),
+		alerted:   make([]bool, len(sorted)),
+		firstHit:  make([]bool, len(sorted)),
+		threshold: threshold,
+		union:     union,
+	}, nil
+}
+
+// MustNewThresholdFleet is like NewThresholdFleet but panics on error.
+func MustNewThresholdFleet(prefixes []ipv4.Prefix, threshold uint64) *ThresholdFleet {
+	f, err := NewThresholdFleet(prefixes, threshold)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// RecordHit registers a probe landing at dst; probes outside every detector
+// are ignored. Implements the sim.HitRecorder interface.
+func (f *ThresholdFleet) RecordHit(dst ipv4.Addr) {
+	i := f.lookup(dst)
+	if i < 0 {
+		return
+	}
+	f.counts[i]++
+	f.firstHit[i] = true
+	if !f.alerted[i] && f.counts[i] >= f.threshold {
+		f.alerted[i] = true
+		f.nAlerted++
+	}
+}
+
+func (f *ThresholdFleet) lookup(dst ipv4.Addr) int {
+	i := sort.Search(len(f.prefixes), func(i int) bool { return f.prefixes[i].Last() >= dst })
+	if i < len(f.prefixes) && f.prefixes[i].Contains(dst) {
+		return i
+	}
+	return -1
+}
+
+// Size returns the number of detectors.
+func (f *ThresholdFleet) Size() int { return len(f.prefixes) }
+
+// TotalHits returns the total probes recorded across all detectors.
+func (f *ThresholdFleet) TotalHits() uint64 {
+	var n uint64
+	for _, c := range f.counts {
+		n += c
+	}
+	return n
+}
+
+// Counts returns a copy of the per-detector hit counts, ordered by detector
+// first address.
+func (f *ThresholdFleet) Counts() []uint64 {
+	out := make([]uint64, len(f.counts))
+	copy(out, f.counts)
+	return out
+}
+
+// Prefixes returns the detector prefixes, ordered by first address.
+func (f *ThresholdFleet) Prefixes() []ipv4.Prefix {
+	out := make([]ipv4.Prefix, len(f.prefixes))
+	copy(out, f.prefixes)
+	return out
+}
+
+// NumAlerted returns how many detectors have alerted.
+func (f *ThresholdFleet) NumAlerted() int { return f.nAlerted }
+
+// AlertedFraction returns the alerted share of the fleet.
+func (f *ThresholdFleet) AlertedFraction() float64 {
+	return float64(f.nAlerted) / float64(len(f.prefixes))
+}
+
+// TouchedFraction returns the share of detectors that saw at least one
+// probe (alerted or not).
+func (f *ThresholdFleet) TouchedFraction() float64 {
+	n := 0
+	for _, t := range f.firstHit {
+		if t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(f.prefixes))
+}
+
+// Union returns the fleet's monitored address space.
+func (f *ThresholdFleet) Union() *ipv4.Set { return f.union }
+
+// Reset clears all counts and alerts.
+func (f *ThresholdFleet) Reset() {
+	for i := range f.counts {
+		f.counts[i] = 0
+		f.alerted[i] = false
+		f.firstHit[i] = false
+	}
+	f.nAlerted = 0
+}
+
+// QuorumReached reports whether at least fraction of the fleet has alerted —
+// the aggregation rule of quorum-based distributed detection. The paper's
+// point: under hotspots this quorum "would likely never alert" even with
+// zero false positives and instantaneous communication.
+func QuorumReached(f *ThresholdFleet, fraction float64) bool {
+	return f.AlertedFraction() >= fraction
+}
+
+// PrevalenceDetector is the content-prevalence baseline (Autograph /
+// EarlyBird style): it counts occurrences of each payload signature across
+// everything it observes and alerts once a signature's count reaches the
+// threshold. Hotspots break it the same way: a sensor outside the hotspot
+// never accumulates the count.
+type PrevalenceDetector struct {
+	threshold uint64
+	counts    map[string]uint64
+}
+
+// NewPrevalenceDetector returns a detector alerting at threshold
+// occurrences of any single signature.
+func NewPrevalenceDetector(threshold uint64) *PrevalenceDetector {
+	if threshold == 0 {
+		threshold = 1
+	}
+	return &PrevalenceDetector{threshold: threshold, counts: make(map[string]uint64)}
+}
+
+// Observe records one occurrence of signature.
+func (d *PrevalenceDetector) Observe(signature string) {
+	d.counts[signature]++
+}
+
+// Count returns the occurrences of signature.
+func (d *PrevalenceDetector) Count(signature string) uint64 { return d.counts[signature] }
+
+// Alerted reports whether signature crossed the prevalence threshold.
+func (d *PrevalenceDetector) Alerted(signature string) bool {
+	return d.counts[signature] >= d.threshold
+}
+
+// AlertedSignatures returns every signature over threshold, sorted.
+func (d *PrevalenceDetector) AlertedSignatures() []string {
+	var out []string
+	for sig, c := range d.counts {
+		if c >= d.threshold {
+			out = append(out, sig)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

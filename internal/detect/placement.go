@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// RandomSlash24s places n distinct /24 detectors uniformly across the
+// routable IPv4 space, avoiding reserved ranges, RFC 1918 private space,
+// and any /24 overlapping exclude. This is the paper's "placed 10,000 /24
+// sensors randomly throughout the IPv4 space" strategy.
+func RandomSlash24s(n int, seed uint64, exclude *ipv4.Set) ([]ipv4.Prefix, error) {
+	return randomSlash24s(n, seed, nil, exclude)
+}
+
+// RandomSlash24sWithin places n distinct /24 detectors uniformly inside the
+// given /8 networks — the paper's "10,000 sensors randomly inside the top
+// 20 /8 networks with vulnerable hosts" strategy.
+func RandomSlash24sWithin(n int, seed uint64, slash8s []uint32, exclude *ipv4.Set) ([]ipv4.Prefix, error) {
+	if len(slash8s) == 0 {
+		return nil, errors.New("detect: no /8s to place within")
+	}
+	return randomSlash24s(n, seed, slash8s, exclude)
+}
+
+func randomSlash24s(n int, seed uint64, slash8s []uint32, exclude *ipv4.Set) ([]ipv4.Prefix, error) {
+	if n <= 0 {
+		return nil, errors.New("detect: non-positive sensor count")
+	}
+	r := rng.NewXoshiro(seed)
+	chosen := make(map[uint32]bool, n)
+	out := make([]ipv4.Prefix, 0, n)
+	attempts := 0
+	maxAttempts := 1000*n + 1000
+	for len(out) < n {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("detect: could not place %d sensors (placed %d)", n, len(out))
+		}
+		var net24 uint32
+		if slash8s == nil {
+			net24 = uint32(r.Uint64n(1 << 24))
+		} else {
+			o := slash8s[r.Intn(len(slash8s))]
+			net24 = o<<16 | uint32(r.Uint64n(1<<16))
+		}
+		if chosen[net24] {
+			continue
+		}
+		base := ipv4.Addr(net24 << 8)
+		if base.IsReserved() || base.IsPrivate() {
+			continue
+		}
+		if exclude != nil && exclude.IntersectInterval(ipv4.Interval{Lo: base, Hi: base | 0xff}) > 0 {
+			continue
+		}
+		chosen[net24] = true
+		p, err := ipv4.NewPrefix(base, 24)
+		if err != nil {
+			panic(err) // unreachable: 24 is valid
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// OnePerSlash16 places one /24 detector inside each given /16 — the Fig 5b
+// strategy ("we randomly placed a /24 detector in each of the 4481 /16
+// networks with at least one vulnerable host"). The offset within each /16
+// is drawn from seed.
+func OnePerSlash16(slash16s []uint32, seed uint64) []ipv4.Prefix {
+	r := rng.NewXoshiro(seed)
+	out := make([]ipv4.Prefix, 0, len(slash16s))
+	for _, net := range slash16s {
+		third := uint32(r.Intn(256))
+		base := ipv4.Addr(net<<16 | third<<8)
+		p, err := ipv4.NewPrefix(base, 24)
+		if err != nil {
+			panic(err) // unreachable: 24 is valid
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Slash16SweepOfSlash8 places one /24 detector in every /16 of the given
+// /8, skipping the /16s listed in exclude — the Fig 5c strategy of
+// instrumenting all of 192/8 while "avoiding 192.168/16" (yielding 255
+// detectors).
+func Slash16SweepOfSlash8(octet uint32, excludeSecondOctets []uint32, seed uint64) []ipv4.Prefix {
+	excluded := make(map[uint32]bool, len(excludeSecondOctets))
+	for _, o := range excludeSecondOctets {
+		excluded[o] = true
+	}
+	r := rng.NewXoshiro(seed)
+	var out []ipv4.Prefix
+	for second := uint32(0); second < 256; second++ {
+		if excluded[second] {
+			continue
+		}
+		third := uint32(r.Intn(256))
+		base := ipv4.Addr(octet<<24 | second<<16 | third<<8)
+		p, err := ipv4.NewPrefix(base, 24)
+		if err != nil {
+			panic(err) // unreachable: 24 is valid
+		}
+		out = append(out, p)
+	}
+	return out
+}

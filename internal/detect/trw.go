@@ -1,0 +1,158 @@
+package detect
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/ipv4"
+)
+
+// TRW implements sequential hypothesis testing for scan detection (Jung,
+// Paxson, Berger & Balakrishnan, "Fast Portscan Detection Using Sequential
+// Hypothesis Testing" — the paper's reference [11] for detection systems
+// whose alerts hotspots can distort).
+//
+// Each remote source performs a random walk: every connection attempt to a
+// local address moves the source's likelihood ratio up (failure — typical
+// of scanners probing empty space) or down (success — typical of benign
+// clients). The source is flagged as a scanner when the ratio crosses the
+// upper threshold, or exonerated at the lower threshold.
+//
+// In the hotspots setting the "local addresses" are a monitored block:
+// darknet probes always fail, so the walk is a pure birth process and TRW
+// is extremely fast — but only for sources whose hotspots include the
+// monitored block. A TRW detector outside a worm's hotspot never observes
+// the walk at all, which is exactly the paper's visibility argument.
+type TRW struct {
+	// theta0/theta1 are the success probabilities under the benign and
+	// scanner hypotheses; eta0/eta1 the exoneration and detection
+	// thresholds (precomputed from the configured error rates).
+	lnSuccess float64 // log-likelihood increment for a success
+	lnFailure float64 // log-likelihood increment for a failure
+	lnEta0    float64
+	lnEta1    float64
+
+	state map[ipv4.Addr]*trwSource
+
+	scanners int
+	benign   int
+}
+
+// trwSource is one remote source's walk state.
+type trwSource struct {
+	llr     float64
+	decided trwDecision
+}
+
+type trwDecision int
+
+const (
+	trwPending trwDecision = iota
+	trwScanner
+	trwBenign
+)
+
+// TRWConfig configures the detector. The defaults (via NewTRW) follow the
+// original paper: θ0 = 0.8, θ1 = 0.2, α = 0.01, β = 0.99.
+type TRWConfig struct {
+	// Theta0 is P(success | benign); Theta1 is P(success | scanner).
+	Theta0, Theta1 float64
+	// Alpha is the false-positive target, Beta the detection target.
+	Alpha, Beta float64
+}
+
+// DefaultTRWConfig returns the original paper's operating point.
+func DefaultTRWConfig() TRWConfig {
+	return TRWConfig{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 0.99}
+}
+
+// NewTRW builds a TRW detector.
+func NewTRW(cfg TRWConfig) (*TRW, error) {
+	if cfg.Theta0 <= cfg.Theta1 || cfg.Theta0 >= 1 || cfg.Theta1 <= 0 {
+		return nil, errors.New("detect: TRW requires 0 < theta1 < theta0 < 1")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Beta <= cfg.Alpha || cfg.Beta >= 1 {
+		return nil, errors.New("detect: TRW requires 0 < alpha < beta < 1")
+	}
+	return &TRW{
+		lnSuccess: math.Log(cfg.Theta1 / cfg.Theta0),
+		lnFailure: math.Log((1 - cfg.Theta1) / (1 - cfg.Theta0)),
+		lnEta1:    math.Log(cfg.Beta / cfg.Alpha),
+		lnEta0:    math.Log((1 - cfg.Beta) / (1 - cfg.Alpha)),
+		state:     make(map[ipv4.Addr]*trwSource),
+	}, nil
+}
+
+// Outcome is the result of one observed connection attempt.
+type Outcome int
+
+// Connection outcomes.
+const (
+	// Failure: the target did not exist or did not respond — what darknet
+	// probes always produce.
+	Failure Outcome = iota + 1
+	// Success: the target completed the exchange.
+	Success
+)
+
+// Observe feeds one connection attempt from src and reports whether this
+// observation flagged src as a scanner (true exactly once per source).
+func (d *TRW) Observe(src ipv4.Addr, outcome Outcome) bool {
+	s, ok := d.state[src]
+	if !ok {
+		s = &trwSource{}
+		d.state[src] = s
+	}
+	if s.decided != trwPending {
+		return false
+	}
+	if outcome == Success {
+		s.llr += d.lnSuccess
+	} else {
+		s.llr += d.lnFailure
+	}
+	switch {
+	case s.llr >= d.lnEta1:
+		s.decided = trwScanner
+		d.scanners++
+		return true
+	case s.llr <= d.lnEta0:
+		s.decided = trwBenign
+		d.benign++
+	}
+	return false
+}
+
+// IsScanner reports whether src has been flagged.
+func (d *TRW) IsScanner(src ipv4.Addr) bool {
+	s, ok := d.state[src]
+	return ok && s.decided == trwScanner
+}
+
+// Decided reports whether src's hypothesis test has concluded either way.
+func (d *TRW) Decided(src ipv4.Addr) bool {
+	s, ok := d.state[src]
+	return ok && s.decided != trwPending
+}
+
+// Scanners returns the number of flagged sources.
+func (d *TRW) Scanners() int { return d.scanners }
+
+// Exonerated returns the number of sources decided benign.
+func (d *TRW) Exonerated() int { return d.benign }
+
+// Pending returns the number of sources still undecided.
+func (d *TRW) Pending() int { return len(d.state) - d.scanners - d.benign }
+
+// FailuresToFlag returns the number of consecutive failures needed to flag
+// a fresh source — the walk length of a pure darknet scanner.
+func (d *TRW) FailuresToFlag() int {
+	return int(math.Ceil(d.lnEta1 / d.lnFailure))
+}
+
+// Reset clears all per-source state.
+func (d *TRW) Reset() {
+	d.state = make(map[ipv4.Addr]*trwSource)
+	d.scanners = 0
+	d.benign = 0
+}

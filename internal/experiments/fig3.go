@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cycle"
+	"repro/internal/sensor"
+	"repro/internal/worm"
+)
+
+// Fig3Config parameterizes the per-host Slammer study and the cycle census.
+type Fig3Config struct {
+	// Variant selects the sqlsort.dll increment.
+	Variant int
+	// WindowProbes is the per-host probe budget (a month of scanning).
+	WindowProbes uint64
+	// Blocks are the monitored darknets.
+	Blocks []sensor.Block
+	// Seed drives host selection.
+	Seed uint64
+}
+
+// DefaultFig3 returns the Figure 3 configuration.
+func DefaultFig3(seed uint64) Fig3Config {
+	return Fig3Config{
+		Variant:      1,
+		WindowProbes: 26e6,
+		Blocks:       sensor.DefaultIMSBlocks(),
+		Seed:         seed,
+	}
+}
+
+// RunFig3 reproduces Figure 3: (a, b) the per-/24 infection attempts of two
+// individual Slammer hosts — one trapped in a short PRNG cycle that skips
+// entire sensor blocks, one on a medium cycle with high intra-block
+// variance — and (c) the period of every cycle of the Slammer LCG.
+func RunFig3(cfg Fig3Config) (*Result, error) {
+	if cfg.WindowProbes == 0 {
+		return nil, errors.New("experiments: fig3 needs a window")
+	}
+	if cfg.Variant < 0 || cfg.Variant > 2 {
+		return nil, errors.New("experiments: fig3 variant out of range")
+	}
+	bi, err := newBlockIndex(cfg.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	m := worm.SlammerMap(cfg.Variant)
+	res := &Result{}
+
+	// (c) The census first: it also guides host selection.
+	census := m.Census()
+	censusFig := Figure{
+		ID:     "Figure 3c",
+		Title:  "Period of all possible cycles in the Slammer LCG",
+		XLabel: "cycle (sorted by period)",
+		YLabel: "period (log scale)",
+	}
+	var periods []float64
+	var totalCycles uint64
+	for _, c := range census {
+		for i := uint64(0); i < c.Cycles; i++ {
+			periods = append(periods, float64(c.Length))
+		}
+		totalCycles += c.Cycles
+	}
+	sort.Float64s(periods)
+	s := Series{Name: fmt.Sprintf("b=%#x", worm.SlammerIncrements()[cfg.Variant])}
+	for i, p := range periods {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, p)
+	}
+	censusFig.Series = append(censusFig.Series, s)
+	res.Figures = append(res.Figures, censusFig)
+	var fixedPoints uint64
+	for _, c := range census {
+		if c.Length == 1 {
+			fixedPoints += c.Cycles
+		}
+	}
+	res.Notef("cycle census: %d cycles, periods %v … %v, %d of period one",
+		totalCycles, periods[0], periods[len(periods)-1], fixedPoints)
+
+	// (a) Host A: the largest enumerable cycle that misses at least one
+	// monitored block while hitting others — "block D observed no infection
+	// attempts from this particular source".
+	shortLimit := uint64(1) << uint(bits.Len64(cfg.WindowProbes)-1)
+	hostA, okA := findSkippingCycle(m, bi, shortLimit)
+	if okA {
+		fig, seen, missed := perHostFigure(m, bi, cfg, hostA, "Figure 3a",
+			"Slammer host A (short-cycle): infection attempts by destination /24")
+		res.Figures = append(res.Figures, fig)
+		res.Notef("host A seed %#x period %d: hits blocks %v, misses %v",
+			hostA, m.Period(hostA), seen, missed)
+	} else {
+		res.Notef("host A: no short cycle skips a block under this geometry")
+	}
+
+	// (b) Host B: a medium-cycle host — covers its whole cycle many times,
+	// so its per-/24 counts inside a block vary wildly.
+	hostB, okB := mediumCycleSeed(m, shortLimit)
+	if okB {
+		fig, seen, _ := perHostFigure(m, bi, cfg, hostB, "Figure 3b",
+			"Slammer host B (medium-cycle): infection attempts by destination /24")
+		res.Figures = append(res.Figures, fig)
+		res.Notef("host B seed %#x period %d: hits blocks %v with high intra-block variance",
+			hostB, m.Period(hostB), seen)
+	}
+	if !okA && !okB {
+		return res, errors.New("experiments: no illustrative Slammer hosts found")
+	}
+	return res, nil
+}
+
+// findSkippingCycle searches the enumerable cycles for the longest one
+// that hits at least two blocks but misses at least one /20-or-larger
+// block. Returns a member state.
+func findSkippingCycle(m cycle.Map, bi *blockIndex, limit uint64) (uint32, bool) {
+	type candidate struct {
+		start  uint32
+		length uint64
+	}
+	var best candidate
+	m.ForEachShortCycle(limit, func(start uint32, length uint64) {
+		if length <= best.length {
+			return
+		}
+		hit := make(map[int]bool)
+		state := start
+		for i := uint64(0); i < length; i++ {
+			if b, _, ok := bi.locate(state); ok {
+				hit[b] = true
+			}
+			state = m.Step(state)
+		}
+		missesBig := false
+		for b, blk := range bi.blocks {
+			if !hit[b] && blk.Prefix.Bits() <= 20 {
+				missesBig = true
+			}
+		}
+		if len(hit) >= 2 && missesBig {
+			best = candidate{start: start, length: length}
+		}
+	})
+	return best.start, best.length > 0
+}
+
+// mediumCycleSeed returns a state whose period is exactly the enumeration
+// limit — the largest cycle a host can fully wrap within the window.
+func mediumCycleSeed(m cycle.Map, limit uint64) (uint32, bool) {
+	prog, ok := m.StatesWithPeriodAtMost(limit)
+	if !ok {
+		return 0, false
+	}
+	for i := uint64(0); i < prog.Count; i++ {
+		if state := prog.Nth(i); m.Period(state) == limit {
+			return state, true
+		}
+	}
+	return prog.Start, true
+}
+
+// perHostFigure walks one host's month of probes and tabulates per-/24
+// attempts inside the monitored blocks.
+func perHostFigure(m cycle.Map, bi *blockIndex, cfg Fig3Config, seed uint32, id, title string) (Figure, []string, []string) {
+	period := m.Period(seed)
+	counts := make([][]uint64, len(bi.blocks))
+	for i := range counts {
+		counts[i] = make([]uint64, bi.slots[i])
+	}
+	steps := cfg.WindowProbes
+	wraps := 1.0
+	if period < steps {
+		wraps = float64(steps) / float64(period)
+		steps = period
+	}
+	state := seed
+	for i := uint64(0); i < steps; i++ {
+		state = m.Step(state)
+		if b, s, ok := bi.locate(state); ok {
+			counts[b][s]++
+		}
+	}
+	fig := Figure{ID: id, Title: title,
+		XLabel: "destination /24 (grouped by sensor block)",
+		YLabel: "infection attempts"}
+	var seen, missed []string
+	for b, blk := range bi.blocks {
+		s := Series{Name: blk.String()}
+		var total uint64
+		for slot, c := range counts[b] {
+			s.X = append(s.X, float64(bi.base[b])+float64(slot))
+			s.Y = append(s.Y, float64(c)*wraps)
+			total += c
+		}
+		fig.Series = append(fig.Series, s)
+		if total > 0 {
+			seen = append(seen, blk.String())
+		} else {
+			missed = append(missed, blk.String())
+		}
+	}
+	return fig, seen, missed
+}

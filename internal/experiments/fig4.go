@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+	"repro/internal/worm"
+)
+
+// Fig4Config parameterizes the CodeRedII environmental-factor study.
+type Fig4Config struct {
+	// Pop is the vulnerable/infected population configuration.
+	Pop population.Config
+	// NATFraction of hosts sit behind NATs in 192.168/16, grouped in sites
+	// of HostsPerSite.
+	NATFraction  float64
+	HostsPerSite int
+	// WindowProbes is the number of probes each infected host emits over
+	// the observation window (CRII probes far more slowly than Slammer).
+	WindowProbes float64
+	// QuarantineOutside / QuarantineNAT are the probe counts of the two
+	// honeypot runs (the paper recorded 7,567,093 and 7,567,361 attempts).
+	QuarantineOutside uint64
+	QuarantineNAT     uint64
+	// Blocks are the monitored darknets.
+	Blocks []sensor.Block
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultFig4 returns the Figure 4 configuration.
+func DefaultFig4(seed uint64) Fig4Config {
+	return Fig4Config{
+		Pop:               population.DefaultCodeRedII(seed),
+		NATFraction:       0.15,
+		HostsPerSite:      4,
+		WindowProbes:      2e6,
+		QuarantineOutside: 7567093,
+		QuarantineNAT:     7567361,
+		Blocks:            sensor.DefaultIMSBlocks(),
+		Seed:              seed,
+	}
+}
+
+// RunFig4 reproduces Figure 4: (a) unique CodeRedII sources per destination
+// /24 across the IMS blocks, with the M-block hotspot produced by NAT'd
+// hosts' local preference leaking into public 192/8; (b, c) the two
+// quarantined-honeypot runs, one infected host outside 192/8 and one at
+// 192.168.0.100.
+func RunFig4(cfg Fig4Config) (*Result, error) {
+	if cfg.WindowProbes <= 0 {
+		return nil, errors.New("experiments: fig4 needs a window")
+	}
+	if cfg.NATFraction < 0 || cfg.NATFraction > 1 {
+		return nil, errors.New("experiments: fig4 NAT fraction out of range")
+	}
+	pop, err := population.Synthesize(cfg.Pop)
+	if err != nil {
+		return nil, err
+	}
+	if err := pop.AssignNAT(cfg.NATFraction, cfg.HostsPerSite, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if err := fig4Aggregate(cfg, pop, res); err != nil {
+		return nil, err
+	}
+	fig4Quarantine(cfg, res)
+	return res, nil
+}
+
+// fig4Aggregate computes Figure 4(a) analytically per /24 with sampling
+// noise: every infected host's touch probability on a /24 decomposes over
+// CRII's three mixture branches, so unique-source counts are sums of
+// binomials over host categories (same /16, same /8, elsewhere, NAT'd).
+func fig4Aggregate(cfg Fig4Config, pop *population.Population, res *Result) error {
+	r := rng.NewXoshiro(cfg.Seed + 2)
+	// Host category histograms.
+	per16 := make(map[uint32]uint64)
+	per8 := make(map[uint32]uint64)
+	var nNAT, nPublic uint64
+	for _, h := range pop.Hosts() {
+		if h.IsNATed() {
+			nNAT++
+			continue
+		}
+		nPublic++
+		per16[h.Addr.Slash16()]++
+		per8[h.Addr.Slash8()]++
+	}
+
+	w := cfg.WindowProbes
+	full := float64(uint64(1) << 32)
+	leak8 := float64(uint64(1)<<24 - 1<<16) // public 192/8 addresses
+
+	fig := Figure{
+		ID:     "Figure 4a",
+		Title:  "Observed unique CodeRedII source IPs by destination /24",
+		XLabel: "destination /24 (grouped by sensor block)",
+		YLabel: "unique source IPs",
+	}
+	var concat []uint64
+	var mBlockMean, otherMean float64
+	var mSlots, otherSlots int
+	for _, blk := range cfg.Blocks {
+		s := Series{Name: blk.String()}
+		base := blk.Prefix.First().Slash24()
+		for slot := 0; slot < blk.Prefix.Slash24s(); slot++ {
+			addr24 := ipv4.Addr((base + uint32(slot)) << 8)
+			span := 256.0
+			if n := blk.Prefix.NumAddrs(); n < 256 {
+				span = float64(n)
+			}
+			o8, o16 := addr24.Slash8(), addr24.Slash16()
+
+			// Per-host touch rates by category.
+			lamRand := w * span * 0.125 / full
+			lam8 := w * span * 0.5 / float64(uint64(1)<<24)
+			lam16 := w * span * 0.375 / float64(uint64(1)<<16)
+			lamNAT := lamRand
+			if o8 == 192 {
+				lamNAT += w * span * 0.5 / leak8
+			}
+
+			n16 := per16[o16]
+			n8only := per8[o8] - n16
+			nElse := nPublic - per8[o8]
+
+			u := r.Binomial(n16, 1-math.Exp(-(lamRand+lam8+lam16)))
+			u += r.Binomial(n8only, 1-math.Exp(-(lamRand+lam8)))
+			u += r.Binomial(nElse, 1-math.Exp(-lamRand))
+			u += r.Binomial(nNAT, 1-math.Exp(-lamNAT))
+
+			s.X = append(s.X, float64(base)+float64(slot))
+			s.Y = append(s.Y, float64(u))
+			concat = append(concat, u)
+			if blk.Label == "M" {
+				mBlockMean += float64(u)
+				mSlots++
+			} else {
+				otherMean += float64(u)
+				otherSlots++
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	res.Figures = append(res.Figures, fig)
+
+	if mSlots == 0 || otherSlots == 0 {
+		return errors.New("experiments: fig4 geometry lacks M or comparison blocks")
+	}
+	mBlockMean /= float64(mSlots)
+	otherMean /= float64(otherSlots)
+	res.SetMetric("fig4a.m_mean", mBlockMean)
+	res.SetMetric("fig4a.other_mean", otherMean)
+	rep := core.Analyze(concat)
+	res.Notef("fig4a: M block mean uniq/24 = %.0f vs other blocks %.0f (%.1fx hotspot); NAT'd hosts = %d",
+		mBlockMean, otherMean, mBlockMean/math.Max(1, otherMean), nNAT)
+	res.Notef("fig4a hotspot analysis: chi2=%.0f (df=%d), Gini=%.3f, hotspots(≥5x)=%d",
+		rep.ChiSquare, rep.DF, rep.Gini, len(rep.Hotspots))
+	return nil
+}
+
+// fig4Quarantine runs the two honeypot experiments probe-exactly.
+func fig4Quarantine(cfg Fig4Config, res *Result) {
+	runs := []struct {
+		id, title string
+		own       ipv4.Addr
+		probes    uint64
+	}{
+		{id: "Figure 4b", title: "Quarantined CodeRedII host outside 192/8: attempts by /24",
+			own: ipv4.MustParseAddr("18.31.0.5"), probes: cfg.QuarantineOutside},
+		{id: "Figure 4c", title: "Quarantined CodeRedII host at 192.168.0.100: attempts by /24",
+			own: ipv4.MustParseAddr("192.168.0.100"), probes: cfg.QuarantineNAT},
+	}
+	for ri, run := range runs {
+		fleet := sensor.MustNewFleet(cfg.Blocks)
+		gen := worm.NewCodeRedII(run.own, uint32(rng.Mix64(cfg.Seed+uint64(ri)+7)))
+		var monitored uint64
+		for i := uint64(0); i < run.probes; i++ {
+			dst := gen.Next()
+			if dst.IsPrivate() {
+				continue // never leaves the NAT site
+			}
+			if fleet.Observe(run.own, dst) {
+				monitored++
+			}
+		}
+		fig := Figure{ID: run.id, Title: run.title,
+			XLabel: "destination /24 (grouped by sensor block)",
+			YLabel: "infection attempts"}
+		var mTotal uint64
+		for _, sn := range fleet.Sensors() {
+			s := Series{Name: sn.Block().String()}
+			base := sn.Block().Prefix.First().Slash24()
+			for slot, st := range sn.PerSlash24() {
+				s.X = append(s.X, float64(base)+float64(slot))
+				s.Y = append(s.Y, float64(st.Attempts))
+			}
+			fig.Series = append(fig.Series, s)
+			if sn.Block().Label == "M" {
+				mTotal = sn.TotalAttempts()
+			}
+		}
+		res.Figures = append(res.Figures, fig)
+		res.SetMetric(run.id+".m_attempts", float64(mTotal))
+		res.Notef("%s: %d probes, %d landed on darknets, %d on the M block",
+			run.id, run.probes, monitored, mTotal)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"quarantine contrast: the NAT'd host's /8 preference floods public 192/8 (M block), the outside host barely reaches it"))
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/sim"
+	"repro/internal/worm"
+)
+
+// Fig5Config parameterizes the Section 5 outbreak simulations, matching the
+// paper's platform: 10 probes/s per infected host, 25 random seed hosts,
+// the CodeRedII vulnerable population (134,586 hosts clustered in 47 /8s).
+type Fig5Config struct {
+	// Pop is the vulnerable population configuration.
+	Pop population.Config
+	// ScanRate and SeedHosts follow the paper (10 probes/s, 25 hosts).
+	ScanRate  float64
+	SeedHosts int
+	// HitListSizes are the /16 list lengths swept in Fig 5a/b.
+	HitListSizes []int
+	// AlertThreshold is the per-sensor alert threshold (5 payloads).
+	AlertThreshold uint64
+	// NATFraction and HostsPerSite configure Fig 5c's private-space hosts;
+	// HostsPerSite ≤ 0 models 192.168/16 as one shared private network
+	// (the paper's model — the worm spreads freely inside it).
+	NATFraction  float64
+	HostsPerSite int
+	// RandomSensors is the fleet size for Fig 5c's random placements.
+	RandomSensors int
+	// MaxSeconds bounds each simulation.
+	MaxSeconds float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultFig5 returns the paper's configuration.
+func DefaultFig5(seed uint64) Fig5Config {
+	return Fig5Config{
+		Pop:            population.DefaultCodeRedII(seed),
+		ScanRate:       10,
+		SeedHosts:      25,
+		HitListSizes:   []int{10, 100, 1000, 4481},
+		AlertThreshold: 5,
+		NATFraction:    0.15,
+		HostsPerSite:   0, // one shared private network, as in the paper
+
+		RandomSensors: 10000,
+		MaxSeconds:    2000,
+		Seed:          seed,
+	}
+}
+
+// RunFig5a reproduces Figure 5a: infection rate for hit-lists of different
+// lengths. Short lists infect their (small) covered population fastest;
+// long lists reach more hosts but more slowly — vulnerable density is what
+// sets the pace.
+func RunFig5a(cfg Fig5Config) (*Result, error) {
+	return runFig5HitLists(cfg, false)
+}
+
+// RunFig5b reproduces Figure 5b: the alert rate of 4,481 /24 detectors (one
+// per vulnerable /16, threshold 5) during the same outbreaks. The paper's
+// headline: with the 10-prefix list, >90% of its covered population is
+// infected while barely any sensors alert — a quorum never forms.
+func RunFig5b(cfg Fig5Config) (*Result, error) {
+	return runFig5HitLists(cfg, true)
+}
+
+func runFig5HitLists(cfg Fig5Config, withSensors bool) (*Result, error) {
+	if len(cfg.HitListSizes) == 0 {
+		return nil, errors.New("experiments: no hit-list sizes")
+	}
+	pop, err := population.Synthesize(cfg.Pop)
+	if err != nil {
+		return nil, err
+	}
+	addrs := pop.Addrs(false)
+
+	res := &Result{}
+	id, title, ylabel := "Figure 5a", "Infection rate with different hit-list sizes", "% of vulnerable hosts infected"
+	if withSensors {
+		id, title, ylabel = "Figure 5b", "Sensor detection rate with different hit-list sizes", "% of sensors alerting"
+	}
+	fig := Figure{ID: id, Title: title, XLabel: "time (seconds)", YLabel: ylabel}
+
+	// The Fig 5b fleet: one /24 detector in every vulnerable /16.
+	var fleet *detect.ThresholdFleet
+	if withSensors {
+		var slash16s []uint32
+		for _, sc := range pop.Slash16Histogram() {
+			slash16s = append(slash16s, sc.Network)
+		}
+		fleet, err = detect.NewThresholdFleet(detect.OnePerSlash16(slash16s, cfg.Seed+3), cfg.AlertThreshold)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, k := range cfg.HitListSizes {
+		prefixes, cover := worm.BuildGreedySlash16HitList(addrs, k)
+		set := ipv4.SetOfPrefixes(prefixes...)
+		var series Series
+		series.Name = fmt.Sprintf("%d-prefix hit-list", k)
+		simCfg := sim.FastConfig{
+			Pop:         pop,
+			Model:       &sim.HitListModel{List: set},
+			ScanRate:    cfg.ScanRate,
+			TickSeconds: 1,
+			MaxSeconds:  cfg.MaxSeconds,
+			SeedHosts:   cfg.SeedHosts,
+			Seed:        cfg.Seed + uint64(k),
+		}
+		if withSensors {
+			fleet.Reset()
+			simCfg.Sensors = fleet
+			simCfg.SensorSet = fleet.Union()
+			simCfg.OnTick = func(ti sim.TickInfo) bool {
+				series.X = append(series.X, ti.Time)
+				series.Y = append(series.Y, 100*fleet.AlertedFraction())
+				return true
+			}
+		} else {
+			simCfg.OnTick = func(ti sim.TickInfo) bool {
+				series.X = append(series.X, ti.Time)
+				series.Y = append(series.Y, 100*float64(ti.Infected)/float64(pop.Size()))
+				return true
+			}
+		}
+		result, err := sim.RunFast(simCfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, series)
+		if withSensors {
+			res.SetMetric(fmt.Sprintf("fig5b.%d.alerted", k), fleet.AlertedFraction())
+			res.SetMetric(fmt.Sprintf("fig5b.%d.infected", k), result.FractionInfected())
+			quorum := 0.0
+			if detect.QuorumReached(fleet, 0.5) {
+				quorum = 1
+			}
+			res.SetMetric(fmt.Sprintf("fig5b.%d.quorum", k), quorum)
+			res.Notef("%d-prefix list: covers %.2f%%; final infected %.1f%%, sensors alerted %.1f%% — quorum(50%%) reached: %v",
+				k, 100*cover, 100*result.FractionInfected(), 100*fleet.AlertedFraction(),
+				detect.QuorumReached(fleet, 0.5))
+		} else {
+			res.SetMetric(fmt.Sprintf("fig5a.%d.cover", k), cover)
+			res.SetMetric(fmt.Sprintf("fig5a.%d.infected", k), result.FractionInfected())
+			res.Notef("%d-prefix list: covers %.2f%% of the vulnerable population; infected %.1f%% by t=%.0fs",
+				k, 100*cover, 100*result.FractionInfected(), result.Final.Time)
+		}
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// RunFig5c reproduces Figure 5c: a CodeRedII-type worm with 15% of the
+// vulnerable population NAT'd into 192.168/16, detected by three sensor
+// placements: 10,000 random /24s; 10,000 random /24s inside the top-20 /8s;
+// and one /24 per /16 of 192/8 avoiding 192.168/16 (255 sensors).
+func RunFig5c(cfg Fig5Config) (*Result, error) {
+	pop, err := population.Synthesize(cfg.Pop)
+	if err != nil {
+		return nil, err
+	}
+	if err := pop.AssignNAT(cfg.NATFraction, cfg.HostsPerSite, cfg.Seed+5); err != nil {
+		return nil, err
+	}
+
+	placements := []struct {
+		name  string
+		build func() ([]ipv4.Prefix, error)
+	}{
+		{name: "randomly placed", build: func() ([]ipv4.Prefix, error) {
+			return detect.RandomSlash24s(cfg.RandomSensors, cfg.Seed+6, nil)
+		}},
+		{name: "placed top-20 /8s", build: func() ([]ipv4.Prefix, error) {
+			return detect.RandomSlash24sWithin(cfg.RandomSensors, cfg.Seed+7, pop.TopSlash8s(20), nil)
+		}},
+		{name: "placed 192/8", build: func() ([]ipv4.Prefix, error) {
+			return detect.Slash16SweepOfSlash8(192, []uint32{168}, cfg.Seed+8), nil
+		}},
+	}
+
+	res := &Result{}
+	fig := Figure{
+		ID:     "Figure 5c",
+		Title:  "Effect of sensor placement on alert generation (CodeRedII-type worm, 15% NAT'd)",
+		XLabel: "time (seconds)",
+		YLabel: "% of sensors alerting",
+	}
+	for _, pl := range placements {
+		prefixes, err := pl.build()
+		if err != nil {
+			return nil, err
+		}
+		fleet, err := detect.NewThresholdFleet(prefixes, cfg.AlertThreshold)
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Name: pl.name}
+		var infectedCurve Series
+		simCfg := sim.FastConfig{
+			Pop:         pop,
+			Model:       sim.NewCodeRedIIModel(),
+			ScanRate:    cfg.ScanRate,
+			TickSeconds: 1,
+			MaxSeconds:  cfg.MaxSeconds,
+			SeedHosts:   cfg.SeedHosts,
+			// Same dynamics seed across placements: sensors are passive, so
+			// the three curves are measured against one outbreak.
+			Seed:      cfg.Seed + 9,
+			Sensors:   fleet,
+			SensorSet: fleet.Union(),
+			OnTick: func(ti sim.TickInfo) bool {
+				series.X = append(series.X, ti.Time)
+				series.Y = append(series.Y, 100*fleet.AlertedFraction())
+				infectedCurve.X = append(infectedCurve.X, ti.Time)
+				infectedCurve.Y = append(infectedCurve.Y, 100*float64(ti.Infected)/float64(pop.Size()))
+				return true
+			},
+		}
+		result, err := sim.RunFast(simCfg)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, series)
+		if len(fig.Series) == 1 {
+			infectedCurve.Name = "20% vulnerable infected (reference)"
+			// Keep only the reference threshold as a flat marker series.
+			for i := range infectedCurve.Y {
+				if infectedCurve.Y[i] >= 20 {
+					fig.Series = append(fig.Series, Series{
+						Name: infectedCurve.Name,
+						X:    []float64{infectedCurve.X[i], infectedCurve.X[i]},
+						Y:    []float64{0, 100},
+					})
+					break
+				}
+			}
+		}
+		t20, ok20 := result.TimeToFraction(0.20)
+		alertedAt20 := alertFractionAt(series, t20)
+		res.SetMetric("fig5c."+pl.name+".alerted_at_20pct", alertedAt20)
+		res.SetMetric("fig5c."+pl.name+".final_alerted", fleet.AlertedFraction())
+		res.Notef("%s (%d sensors): final alerted %.1f%%; at 20%% infected (t=%.0fs, reached=%v) alerted=%.1f%%",
+			pl.name, fleet.Size(), 100*fleet.AlertedFraction(), t20, ok20, 100*alertedAt20)
+	}
+	res.Figures = append(res.Figures, fig)
+	return res, nil
+}
+
+// alertFractionAt linearly scans a series for the last value at or before
+// time t, as a fraction.
+func alertFractionAt(s Series, t float64) float64 {
+	var v float64
+	for i := range s.X {
+		if s.X[i] > t {
+			break
+		}
+		v = s.Y[i] / 100
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// WriteMarkdown renders one experiment's result as a Markdown section:
+// tables as Markdown tables, figures as fenced ASCII charts, notes and
+// metrics as lists. cmd/experiments -md stitches these into a full report.
+func WriteMarkdown(w io.Writer, id string, res *Result) error {
+	if _, err := fmt.Fprintf(w, "## %s\n\n", id); err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		if err := writeMarkdownTable(w, t); err != nil {
+			return err
+		}
+	}
+	for _, f := range res.Figures {
+		if err := writeMarkdownFigure(w, f); err != nil {
+			return err
+		}
+	}
+	if len(res.Notes) > 0 {
+		if _, err := fmt.Fprintln(w, "**Notes**"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, n := range res.Notes {
+			if _, err := fmt.Fprintf(w, "* %s\n", n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if len(res.Metrics) > 0 {
+		if _, err := fmt.Fprintln(w, "**Metrics**"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(res.Metrics) {
+			if _, err := fmt.Fprintf(w, "* `%s` = %.6g\n", k, res.Metrics[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMarkdownTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeMarkdownFigure(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	var ts []textplot.Series
+	for _, s := range f.Series {
+		d := Downsample(s, 72)
+		ts = append(ts, textplot.Series{Name: d.Name, X: d.X, Y: d.Y})
+	}
+	chart := textplot.Render(
+		fmt.Sprintf("y: %s, x: %s", f.YLabel, f.XLabel),
+		ts, textplot.Options{Width: 72, Height: 16})
+	if _, err := fmt.Fprintf(w, "```\n%s```\n\n", chart); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/botcmd"
+)
+
+// Table1Config parameterizes the bot-command capture study.
+type Table1Config struct {
+	// Capture generation; see botcmd.GeneratorConfig.
+	Generator botcmd.GeneratorConfig
+}
+
+// DefaultTable1 reproduces the paper's scale: ≈11 bots over a month on a
+// live /15 academic network.
+func DefaultTable1(seed uint64) Table1Config {
+	return Table1Config{Generator: botcmd.DefaultGenerator(seed)}
+}
+
+// RunTable1 generates a synthetic C&C capture, extracts the propagation
+// commands exactly as the paper's signature matching did, and tabulates
+// them with their hit-lists — Table 1.
+func RunTable1(cfg Table1Config) (*Result, error) {
+	capture := botcmd.Generate(cfg.Generator)
+	cmds := botcmd.ExtractCommands(capture)
+
+	table := Table{
+		ID:      "Table 1",
+		Title:   "Botnet scan commands captured on a live academic network",
+		Columns: []string{"Bot Propagation Command", "Family", "Exploit", "Hit-List"},
+	}
+	var targeted int
+	for _, c := range cmds {
+		hl := c.HitList()
+		hlStr := "unrestricted"
+		if hl.Bits() > 0 {
+			hlStr = hl.String()
+			targeted++
+		}
+		table.Rows = append(table.Rows, []string{c.Raw, c.Family.String(), c.Exploit, hlStr})
+	}
+
+	res := &Result{Tables: []Table{table}}
+	agg := botcmd.AggregateHitLists(cmds)
+	res.Notef("capture lines: %d, propagation commands: %d, targeted (hit-list) commands: %d",
+		len(capture), len(cmds), targeted)
+	res.Notef("aggregate hit-list space: %s (%d addresses, %.4f%% of IPv4)",
+		agg, agg.Size(), 100*float64(agg.Size())/float64(uint64(1)<<32))
+	if targeted == 0 {
+		return res, fmt.Errorf("experiments: capture contained no targeted commands")
+	}
+	res.Notef("hit-lists restrict propagation to specific subnets: the algorithmic factor behind bot hotspots")
+	return res, nil
+}

@@ -1,0 +1,223 @@
+package ipv4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 20}
+	if !iv.Contains(10) || !iv.Contains(20) || iv.Contains(9) || iv.Contains(21) {
+		t.Error("Contains bounds are wrong")
+	}
+	if got := iv.Len(); got != 11 {
+		t.Errorf("Len() = %d, want 11", got)
+	}
+	if got := (Interval{Lo: 0, Hi: MaxAddr}).Len(); got != 1<<32 {
+		t.Errorf("full-space Len() = %d, want 2^32", got)
+	}
+	if !iv.Overlaps(Interval{Lo: 20, Hi: 30}) || iv.Overlaps(Interval{Lo: 21, Hi: 30}) {
+		t.Error("Overlaps adjacency is wrong")
+	}
+	got, ok := iv.Intersect(Interval{Lo: 15, Hi: 40})
+	if !ok || got != (Interval{Lo: 15, Hi: 20}) {
+		t.Errorf("Intersect = %v,%v", got, ok)
+	}
+	if _, ok := iv.Intersect(Interval{Lo: 30, Hi: 40}); ok {
+		t.Error("disjoint Intersect should report empty")
+	}
+}
+
+func TestSetMergeAndSize(t *testing.T) {
+	s := NewSet(
+		Interval{Lo: 10, Hi: 20},
+		Interval{Lo: 15, Hi: 25}, // overlapping
+		Interval{Lo: 26, Hi: 30}, // adjacent
+		Interval{Lo: 100, Hi: 100},
+	)
+	if got := s.Size(); got != 22 {
+		t.Fatalf("Size() = %d, want 22", got)
+	}
+	ivs := s.Intervals()
+	if len(ivs) != 2 || ivs[0] != (Interval{Lo: 10, Hi: 30}) || ivs[1] != (Interval{Lo: 100, Hi: 100}) {
+		t.Fatalf("Intervals() = %v", ivs)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := SetOfPrefixes(MustParsePrefix("10.0.0.0/8"), MustParsePrefix("192.168.0.0/16"))
+	for _, give := range []string{"10.0.0.0", "10.255.255.255", "192.168.3.4"} {
+		if !s.Contains(MustParseAddr(give)) {
+			t.Errorf("Contains(%s) = false, want true", give)
+		}
+	}
+	for _, give := range []string{"9.255.255.255", "11.0.0.0", "192.169.0.0"} {
+		if s.Contains(MustParseAddr(give)) {
+			t.Errorf("Contains(%s) = true, want false", give)
+		}
+	}
+}
+
+func TestSetSelectRank(t *testing.T) {
+	s := NewSet(Interval{Lo: 10, Hi: 12}, Interval{Lo: 100, Hi: 101})
+	wantOrder := []Addr{10, 11, 12, 100, 101}
+	for i, want := range wantOrder {
+		if got := s.Select(uint64(i)); got != want {
+			t.Errorf("Select(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := s.Rank(11); got != 1 {
+		t.Errorf("Rank(11) = %d, want 1", got)
+	}
+	if got := s.Rank(50); got != 3 {
+		t.Errorf("Rank(50) = %d, want 3", got)
+	}
+	if got := s.Rank(200); got != 5 {
+		t.Errorf("Rank(200) = %d, want 5", got)
+	}
+}
+
+func TestSetIntersectInterval(t *testing.T) {
+	s := NewSet(Interval{Lo: 10, Hi: 20}, Interval{Lo: 30, Hi: 40})
+	tests := []struct {
+		give Interval
+		want uint64
+	}{
+		{give: Interval{Lo: 0, Hi: 5}, want: 0},
+		{give: Interval{Lo: 0, Hi: 10}, want: 1},
+		{give: Interval{Lo: 15, Hi: 35}, want: 12},
+		{give: Interval{Lo: 0, Hi: MaxAddr}, want: 22},
+		{give: Interval{Lo: 20, Hi: 30}, want: 2},
+	}
+	for _, tt := range tests {
+		if got := s.IntersectInterval(tt.give); got != tt.want {
+			t.Errorf("IntersectInterval(%v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+// refSet is a brute-force model of Set over a tiny universe, used as the
+// oracle for property tests of the set algebra.
+type refSet map[Addr]bool
+
+func randomSmallSet(r *rand.Rand) (*Set, refSet) {
+	s := &Set{}
+	ref := make(refSet)
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		lo := Addr(r.Intn(64))
+		hi := lo + Addr(r.Intn(16))
+		s.AddInterval(Interval{Lo: lo, Hi: hi})
+		for a := lo; ; a++ {
+			ref[a] = true
+			if a == hi {
+				break
+			}
+		}
+	}
+	return s, ref
+}
+
+func TestSetAlgebraAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a, refA := randomSmallSet(r)
+		b, refB := randomSmallSet(r)
+
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+
+		for addr := Addr(0); addr < 96; addr++ {
+			inA, inB := refA[addr], refB[addr]
+			if got, want := union.Contains(addr), inA || inB; got != want {
+				t.Fatalf("trial %d: union.Contains(%d) = %v, want %v (a=%v b=%v)", trial, addr, got, want, a, b)
+			}
+			if got, want := inter.Contains(addr), inA && inB; got != want {
+				t.Fatalf("trial %d: inter.Contains(%d) = %v, want %v (a=%v b=%v)", trial, addr, got, want, a, b)
+			}
+			if got, want := diff.Contains(addr), inA && !inB; got != want {
+				t.Fatalf("trial %d: diff.Contains(%d) = %v, want %v (a=%v b=%v)", trial, addr, got, want, a, b)
+			}
+		}
+
+		// Size is consistent with membership.
+		var wantUnion uint64
+		for addr := range refA {
+			if !refB[addr] {
+				wantUnion++
+			}
+		}
+		wantUnion += uint64(len(refB))
+		if got := union.Size(); got != wantUnion {
+			t.Fatalf("trial %d: union.Size() = %d, want %d", trial, got, wantUnion)
+		}
+	}
+}
+
+func TestSetSelectIsOrderedBijection(t *testing.T) {
+	f := func(rawLos [4]uint16, rawLens [4]uint8) bool {
+		s := &Set{}
+		for i := range rawLos {
+			lo := Addr(rawLos[i])
+			s.AddInterval(Interval{Lo: lo, Hi: lo + Addr(rawLens[i])})
+		}
+		size := s.Size()
+		prev := Addr(0)
+		for i := uint64(0); i < size; i++ {
+			a := s.Select(i)
+			if i > 0 && a <= prev {
+				return false
+			}
+			if !s.Contains(a) {
+				return false
+			}
+			if s.Rank(a) != i {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSubtractEdgeCases(t *testing.T) {
+	full := NewSet(Interval{Lo: 0, Hi: MaxAddr})
+	hole := SetOfPrefixes(MustParsePrefix("192.168.0.0/16"))
+	diff := full.Subtract(hole)
+	if got := diff.Size(); got != 1<<32-65536 {
+		t.Fatalf("Size() = %d, want 2^32-65536", got)
+	}
+	if diff.Contains(MustParseAddr("192.168.1.1")) {
+		t.Error("subtracted range still present")
+	}
+	if !diff.Contains(MustParseAddr("192.167.255.255")) || !diff.Contains(MustParseAddr("192.169.0.0")) {
+		t.Error("boundary addresses missing")
+	}
+
+	// Subtracting a superset empties the set.
+	if got := hole.Subtract(full); !got.IsEmpty() {
+		t.Errorf("subtract superset = %v, want empty", got)
+	}
+
+	// Subtracting the empty set is the identity.
+	if got := hole.Subtract(&Set{}); !got.Equal(hole) {
+		t.Errorf("subtract empty = %v, want %v", got, hole)
+	}
+}
+
+func TestSetCloneIsIndependent(t *testing.T) {
+	a := NewSet(Interval{Lo: 1, Hi: 5})
+	b := a.Clone()
+	b.AddAddr(100)
+	if a.Contains(100) {
+		t.Error("mutating a clone affected the original")
+	}
+	if !b.Contains(100) || !b.Contains(3) {
+		t.Error("clone lost members")
+	}
+}

@@ -1,0 +1,136 @@
+package ipv4
+
+import "fmt"
+
+// Trie is a binary (unibit) trie over IPv4 prefixes with longest-prefix-
+// match lookup — the data structure of routing and filtering tables. V is
+// the value attached to each route/rule.
+//
+// The zero value... is not usable; construct with NewTrie. Not safe for
+// concurrent mutation.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	children [2]*trieNode[V]
+	value    V
+	occupied bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Insert associates value with prefix, replacing any existing entry for the
+// exact same prefix.
+func (t *Trie[V]) Insert(p Prefix, value V) {
+	n := t.root
+	addr := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &trieNode[V]{}
+		}
+		n = n.children[bit]
+	}
+	if !n.occupied {
+		t.size++
+	}
+	n.value = value
+	n.occupied = true
+}
+
+// Lookup returns the value of the longest prefix containing a, and whether
+// any prefix matched.
+func (t *Trie[V]) Lookup(a Addr) (V, bool) {
+	var best V
+	found := false
+	n := t.root
+	if n.occupied { // default route
+		best, found = n.value, true
+	}
+	addr := uint32(a)
+	for depth := 0; depth < 32; depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.children[bit]
+		if n == nil {
+			break
+		}
+		if n.occupied {
+			best, found = n.value, true
+		}
+	}
+	return best, found
+}
+
+// Exact returns the value stored for exactly prefix p.
+func (t *Trie[V]) Exact(p Prefix) (V, bool) {
+	n := t.root
+	addr := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.children[bit]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	return n.value, n.occupied
+}
+
+// Delete removes the exact prefix p, reporting whether it was present.
+// Interior nodes are left in place (size bookkeeping stays correct; lookup
+// semantics are unaffected).
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	addr := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := (addr >> (31 - uint(depth))) & 1
+		n = n.children[bit]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.occupied {
+		return false
+	}
+	var zero V
+	n.value = zero
+	n.occupied = false
+	t.size--
+	return true
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Walk visits every stored (prefix, value) pair in lexicographic bit order.
+// Returning false from visit stops the walk.
+func (t *Trie[V]) Walk(visit func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, visit)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], addr uint32, depth int, visit func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.occupied {
+		p, err := NewPrefix(Addr(addr), depth)
+		if err != nil {
+			panic(fmt.Sprintf("ipv4: impossible trie depth %d", depth))
+		}
+		if !visit(p, n.value) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.children[0], addr, depth+1, visit) {
+		return false
+	}
+	return t.walk(n.children[1], addr|1<<(31-uint(depth)), depth+1, visit)
+}

@@ -1,0 +1,172 @@
+package ipv4
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "ten-one")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "ten-one-two")
+
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "10.1.2.3", want: "ten-one-two"},
+		{give: "10.1.3.3", want: "ten-one"},
+		{give: "10.2.0.0", want: "ten"},
+		{give: "11.0.0.0", want: "default"},
+		{give: "255.255.255.255", want: "default"},
+	}
+	for _, tt := range tests {
+		got, ok := tr.Lookup(MustParseAddr(tt.give))
+		if !ok || got != tt.want {
+			t.Errorf("Lookup(%s) = %q,%v, want %q", tt.give, got, ok, tt.want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func TestTrieNoMatch(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	if _, ok := tr.Lookup(MustParseAddr("11.0.0.0")); ok {
+		t.Error("matched outside any prefix")
+	}
+}
+
+func TestTrieExactAndDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	tr.Insert(p8, 8)
+	tr.Insert(p16, 16)
+
+	if v, ok := tr.Exact(p8); !ok || v != 8 {
+		t.Errorf("Exact(/8) = %v,%v", v, ok)
+	}
+	if _, ok := tr.Exact(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Error("Exact matched unstored prefix")
+	}
+	if !tr.Delete(p8) {
+		t.Error("Delete(/8) failed")
+	}
+	if tr.Delete(p8) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after delete, want 1", tr.Len())
+	}
+	// The /16 remains reachable; the /8 no longer matches.
+	if v, ok := tr.Lookup(MustParseAddr("10.1.0.1")); !ok || v != 16 {
+		t.Errorf("post-delete Lookup = %v,%v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("10.2.0.1")); ok {
+		t.Error("deleted prefix still matches")
+	}
+}
+
+func TestTrieReplaceValue(t *testing.T) {
+	tr := NewTrie[int]()
+	p := MustParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (replacement)", tr.Len())
+	}
+	if v, _ := tr.Exact(p); v != 2 {
+		t.Errorf("value = %d, want 2", v)
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("1.2.3.4/32"), 32)
+	if v, ok := tr.Lookup(MustParseAddr("1.2.3.4")); !ok || v != 32 {
+		t.Errorf("host route lookup = %v,%v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("1.2.3.5")); ok {
+		t.Error("host route matched neighbour")
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	tr := NewTrie[int]()
+	prefixes := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16"}
+	for i, p := range prefixes {
+		tr.Insert(MustParsePrefix(p), i)
+	}
+	var visited []string
+	tr.Walk(func(p Prefix, v int) bool {
+		visited = append(visited, p.String())
+		return true
+	})
+	if len(visited) != 4 {
+		t.Fatalf("walked %d entries, want 4: %v", len(visited), visited)
+	}
+	// Walk is lexicographic by bit string: the default route first.
+	if visited[0] != "0.0.0.0/0" {
+		t.Errorf("walk order starts with %s", visited[0])
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stopped walk visited %d", n)
+	}
+}
+
+func TestTrieAgainstLinearScan(t *testing.T) {
+	// Oracle test: LPM lookups must match a brute-force longest-match scan
+	// over a random rule set.
+	r := rand.New(rand.NewSource(7))
+	tr := NewTrie[int]()
+	type rule struct {
+		p Prefix
+		v int
+	}
+	var rules []rule
+	for i := 0; i < 300; i++ {
+		bits := r.Intn(25) + 8
+		p, err := NewPrefix(Addr(r.Uint32()), bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Last insert wins for duplicate prefixes — mirror that in the
+		// oracle by replacing.
+		replaced := false
+		for j := range rules {
+			if rules[j].p == p {
+				rules[j].v = i
+				replaced = true
+			}
+		}
+		if !replaced {
+			rules = append(rules, rule{p: p, v: i})
+		}
+		tr.Insert(p, i)
+	}
+	oracle := func(a Addr) (int, bool) {
+		best, bestBits, found := 0, -1, false
+		for _, ru := range rules {
+			if ru.p.Contains(a) && ru.p.Bits() > bestBits {
+				best, bestBits, found = ru.v, ru.p.Bits(), true
+			}
+		}
+		return best, found
+	}
+	for i := 0; i < 20000; i++ {
+		a := Addr(r.Uint32())
+		wantV, wantOK := oracle(a)
+		gotV, gotOK := tr.Lookup(a)
+		if gotOK != wantOK || (wantOK && gotV != wantV) {
+			t.Fatalf("Lookup(%v) = %v,%v, oracle %v,%v", a, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package netenv models the environmental factors of the hotspots paper:
+// the network conditions along the end-to-end path between an infected host
+// and its target that bias propagation independently of the worm's own
+// algorithm.
+//
+// Three factor classes are implemented:
+//
+//   - Routing and filtering policy: egress filters (enterprise firewalls
+//     dropping outbound worm probes — Table 2) and ingress/upstream filters
+//     (a provider blocking worm traffic toward a customer block — the reason
+//     the paper's M sensor saw zero Slammer probes).
+//   - Network failures and misconfiguration: a uniform probe-loss rate.
+//   - Topology: NAT reachability semantics for hosts with RFC 1918
+//     addresses (Section 5.3) — private hosts are reachable only from their
+//     own site, while their outbound probes flow freely.
+package netenv
+
+import (
+	"sort"
+
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/rng"
+)
+
+// FilterRule drops probes whose relevant address falls in Prefix with
+// probability Drop (1.0 = a hard block).
+type FilterRule struct {
+	Prefix ipv4.Prefix
+	Drop   float64
+}
+
+// Environment is the set of environmental factors applied to every probe.
+// The zero value is a perfectly transparent network. Not safe for
+// concurrent mutation.
+type Environment struct {
+	egress  []FilterRule
+	ingress []FilterRule
+
+	// EgressPolicy and IngressPolicy, when non-nil, are longest-prefix-
+	// match tables applied in addition to the flat rules: the most
+	// specific rule covering the source (egress) or destination (ingress)
+	// decides, so specific allows can punch holes in broad blocks.
+	EgressPolicy  *PolicyTable
+	IngressPolicy *PolicyTable
+
+	// LossRate is the probability an arbitrary probe is lost to failures,
+	// congestion, or misconfiguration.
+	LossRate float64
+}
+
+// AddEgressFilter drops probes originating inside prefix.
+func (e *Environment) AddEgressFilter(prefix ipv4.Prefix, drop float64) {
+	e.egress = append(e.egress, FilterRule{Prefix: prefix, Drop: drop})
+	sortRules(e.egress)
+}
+
+// AddIngressFilter drops probes destined inside prefix (upstream/provider
+// filtering, like the policy that blinded the M block to Slammer).
+func (e *Environment) AddIngressFilter(prefix ipv4.Prefix, drop float64) {
+	e.ingress = append(e.ingress, FilterRule{Prefix: prefix, Drop: drop})
+	sortRules(e.ingress)
+}
+
+func sortRules(rules []FilterRule) {
+	sort.Slice(rules, func(i, j int) bool {
+		return rules[i].Prefix.First() < rules[j].Prefix.First()
+	})
+}
+
+// Delivered reports whether a probe from src to dst survives the
+// environment: egress policy at the source, ingress policy at the
+// destination, and random loss. r drives the stochastic drops; determinism
+// comes from the caller's seeded generator.
+func (e *Environment) Delivered(src, dst ipv4.Addr, r *rng.Xoshiro) bool {
+	if e.LossRate > 0 && r.Bernoulli(e.LossRate) {
+		return false
+	}
+	for _, rule := range e.egress {
+		if rule.Prefix.Contains(src) && r.Bernoulli(rule.Drop) {
+			return false
+		}
+	}
+	for _, rule := range e.ingress {
+		if rule.Prefix.Contains(dst) && r.Bernoulli(rule.Drop) {
+			return false
+		}
+	}
+	if e.EgressPolicy != nil && r.Bernoulli(e.EgressPolicy.DropProbability(src)) {
+		return false
+	}
+	if e.IngressPolicy != nil && r.Bernoulli(e.IngressPolicy.DropProbability(dst)) {
+		return false
+	}
+	return true
+}
+
+// BlocksDeterministically reports whether dst is inside a hard (Drop == 1)
+// ingress filter — useful for analytic fast paths that must not consume
+// randomness.
+func (e *Environment) BlocksDeterministically(dst ipv4.Addr) bool {
+	for _, rule := range e.ingress {
+		if rule.Drop >= 1 && rule.Prefix.Contains(dst) {
+			return true
+		}
+	}
+	return e.IngressPolicy != nil && e.IngressPolicy.DropProbability(dst) >= 1
+}
+
+// CanReach implements NAT topology semantics between two population hosts:
+// a probe from host src can reach host dst when dst is public, or when both
+// sit behind the same NAT site. (Egress from private space is unrestricted;
+// inbound to private space requires being on the same network.)
+func CanReach(src, dst population.Host) bool {
+	if !dst.IsNATed() {
+		return true
+	}
+	return src.Site == dst.Site
+}

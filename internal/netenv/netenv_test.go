@@ -1,0 +1,208 @@
+package netenv
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/rng"
+)
+
+func TestTransparentEnvironmentDeliversEverything(t *testing.T) {
+	var env Environment
+	r := rng.NewXoshiro(1)
+	for i := 0; i < 1000; i++ {
+		if !env.Delivered(ipv4.Addr(i), ipv4.Addr(i*7), r) {
+			t.Fatal("transparent environment dropped a probe")
+		}
+	}
+}
+
+func TestHardIngressFilter(t *testing.T) {
+	var env Environment
+	blocked := ipv4.MustParsePrefix("192.52.92.0/22")
+	env.AddIngressFilter(blocked, 1.0)
+	r := rng.NewXoshiro(2)
+	for i := 0; i < 1000; i++ {
+		dst := blocked.Nth(uint64(i % 1024))
+		if env.Delivered(ipv4.MustParseAddr("1.2.3.4"), dst, r) {
+			t.Fatal("hard-blocked destination received a probe")
+		}
+	}
+	if !env.Delivered(ipv4.MustParseAddr("1.2.3.4"), ipv4.MustParseAddr("192.52.96.1"), r) {
+		t.Error("destination outside filter dropped")
+	}
+	if !env.BlocksDeterministically(blocked.Nth(5)) {
+		t.Error("BlocksDeterministically missed hard filter")
+	}
+	if env.BlocksDeterministically(ipv4.MustParseAddr("8.8.8.8")) {
+		t.Error("BlocksDeterministically false positive")
+	}
+}
+
+func TestEgressFilterDropRate(t *testing.T) {
+	var env Environment
+	corp := ipv4.MustParsePrefix("144.0.0.0/16")
+	env.AddEgressFilter(corp, 0.9)
+	r := rng.NewXoshiro(3)
+	const n = 20000
+	var delivered int
+	for i := 0; i < n; i++ {
+		if env.Delivered(corp.Nth(uint64(i%4096)), ipv4.MustParseAddr("8.8.8.8"), r) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("delivery rate through 0.9 egress filter = %.3f, want ≈0.1", frac)
+	}
+	// Sources outside the filter are untouched.
+	for i := 0; i < 100; i++ {
+		if !env.Delivered(ipv4.MustParseAddr("9.9.9.9"), ipv4.MustParseAddr("8.8.8.8"), r) {
+			t.Fatal("unfiltered source dropped")
+		}
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	env := Environment{LossRate: 0.25}
+	r := rng.NewXoshiro(4)
+	const n = 40000
+	var delivered int
+	for i := 0; i < n; i++ {
+		if env.Delivered(1, 2, r) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / n
+	if frac < 0.73 || frac > 0.77 {
+		t.Errorf("delivery under 25%% loss = %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestSoftIngressPartialDrop(t *testing.T) {
+	var env Environment
+	env.AddIngressFilter(ipv4.MustParsePrefix("10.0.0.0/8"), 0.5)
+	if env.BlocksDeterministically(ipv4.MustParseAddr("10.1.1.1")) {
+		t.Error("soft filter reported as deterministic block")
+	}
+	r := rng.NewXoshiro(5)
+	var delivered int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if env.Delivered(1, ipv4.MustParseAddr("10.1.1.1"), r) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("delivery through 0.5 filter = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	pub1 := population.Host{Addr: 100, Site: population.NoSite}
+	pub2 := population.Host{Addr: 200, Site: population.NoSite}
+	nat1a := population.Host{Addr: ipv4.MustParseAddr("192.168.0.5"), Site: 1}
+	nat1b := population.Host{Addr: ipv4.MustParseAddr("192.168.0.9"), Site: 1}
+	nat2 := population.Host{Addr: ipv4.MustParseAddr("192.168.0.5"), Site: 2}
+
+	tests := []struct {
+		name     string
+		src, dst population.Host
+		want     bool
+	}{
+		{name: "public-to-public", src: pub1, dst: pub2, want: true},
+		{name: "nat-to-public", src: nat1a, dst: pub1, want: true},
+		{name: "public-to-nat", src: pub1, dst: nat1a, want: false},
+		{name: "same-site", src: nat1a, dst: nat1b, want: true},
+		{name: "cross-site", src: nat2, dst: nat1a, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CanReach(tt.src, tt.dst); got != tt.want {
+				t.Errorf("CanReach = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSynthesizeOrgs(t *testing.T) {
+	cfg := DefaultOrgModel(1)
+	orgs := SynthesizeOrgs(cfg)
+	var ents, isps int
+	all := &ipv4.Set{}
+	var before uint64
+	for _, o := range orgs {
+		switch o.Kind {
+		case Enterprise:
+			ents++
+			if o.EgressDrop < 0.9 {
+				t.Errorf("%s: enterprise egress drop %.3f, want ≥0.9", o.Name, o.EgressDrop)
+			}
+		case BroadbandISP:
+			isps++
+			if o.EgressDrop != 0 {
+				t.Errorf("%s: ISP egress drop %.3f, want 0", o.Name, o.EgressDrop)
+			}
+			if o.TotalAddrs() <= 1<<18 {
+				t.Errorf("%s: ISP allocation %d too small", o.Name, o.TotalAddrs())
+			}
+		default:
+			t.Errorf("unknown kind %v", o.Kind)
+		}
+		for _, p := range o.Prefixes {
+			all.AddPrefix(p)
+		}
+		before += o.TotalAddrs()
+	}
+	if ents != cfg.Enterprises || isps != cfg.ISPs {
+		t.Errorf("got %d enterprises / %d ISPs, want %d / %d", ents, isps, cfg.Enterprises, cfg.ISPs)
+	}
+	// No overlapping allocations: union size equals sum of sizes.
+	if all.Size() != before {
+		t.Errorf("allocations overlap: union %d != sum %d", all.Size(), before)
+	}
+}
+
+func TestApplyEgressPolicies(t *testing.T) {
+	orgs := SynthesizeOrgs(DefaultOrgModel(2))
+	var env Environment
+	ApplyEgressPolicies(&env, orgs)
+	r := rng.NewXoshiro(3)
+
+	var entSrc, ispSrc ipv4.Addr
+	for _, o := range orgs {
+		if o.Kind == Enterprise && entSrc == 0 {
+			entSrc = o.Prefixes[0].Nth(77)
+		}
+		if o.Kind == BroadbandISP && ispSrc == 0 {
+			ispSrc = o.Prefixes[0].Nth(77)
+		}
+	}
+	var entOut, ispOut int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if env.Delivered(entSrc, 8, r) {
+			entOut++
+		}
+		if env.Delivered(ispSrc, 8, r) {
+			ispOut++
+		}
+	}
+	if entOut > n/100 {
+		t.Errorf("enterprise leaked %d/%d probes, want ≈0.1%%", entOut, n)
+	}
+	if ispOut != n {
+		t.Errorf("ISP delivered %d/%d probes, want all", ispOut, n)
+	}
+}
+
+func TestOrgKindString(t *testing.T) {
+	if Enterprise.String() != "enterprise" || BroadbandISP.String() != "broadband-isp" {
+		t.Error("kind names wrong")
+	}
+	if OrgKind(9).String() != "OrgKind(9)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}

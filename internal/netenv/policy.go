@@ -1,0 +1,54 @@
+package netenv
+
+import "repro/internal/ipv4"
+
+// PolicyTable is a longest-prefix-match filtering table: the most specific
+// rule covering an address decides its fate, as in real router/firewall
+// policy. This allows "drop 10.0.0.0/8 except allow 10.1.0.0/16" — the
+// structure flat filter lists cannot express.
+type PolicyTable struct {
+	trie *ipv4.Trie[PolicyVerdict]
+}
+
+// PolicyVerdict is a rule's action.
+type PolicyVerdict struct {
+	// Drop is the probability a matching probe is dropped (1 = hard
+	// block, 0 = explicit allow).
+	Drop float64
+}
+
+// NewPolicyTable returns an empty table (no rule matches anything).
+func NewPolicyTable() *PolicyTable {
+	return &PolicyTable{trie: ipv4.NewTrie[PolicyVerdict]()}
+}
+
+// Add installs a rule; the same prefix may be re-added to replace its
+// verdict.
+func (t *PolicyTable) Add(prefix ipv4.Prefix, drop float64) {
+	if drop < 0 {
+		drop = 0
+	}
+	if drop > 1 {
+		drop = 1
+	}
+	t.trie.Insert(prefix, PolicyVerdict{Drop: drop})
+}
+
+// Verdict returns the most specific matching rule's verdict and whether any
+// rule matched.
+func (t *PolicyTable) Verdict(a ipv4.Addr) (PolicyVerdict, bool) {
+	return t.trie.Lookup(a)
+}
+
+// DropProbability returns the effective drop probability for a (0 when no
+// rule matches).
+func (t *PolicyTable) DropProbability(a ipv4.Addr) float64 {
+	v, ok := t.trie.Lookup(a)
+	if !ok {
+		return 0
+	}
+	return v.Drop
+}
+
+// Len returns the number of installed rules.
+func (t *PolicyTable) Len() int { return t.trie.Len() }

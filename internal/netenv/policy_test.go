@@ -1,0 +1,88 @@
+package netenv
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+func TestPolicyTableLPMOverride(t *testing.T) {
+	// The classic structure flat lists cannot express: block a /8 but
+	// allow one /16 inside it.
+	p := NewPolicyTable()
+	p.Add(ipv4.MustParsePrefix("10.0.0.0/8"), 1.0)
+	p.Add(ipv4.MustParsePrefix("10.1.0.0/16"), 0.0)
+
+	if got := p.DropProbability(ipv4.MustParseAddr("10.2.0.1")); got != 1 {
+		t.Errorf("broad block drop = %v, want 1", got)
+	}
+	if got := p.DropProbability(ipv4.MustParseAddr("10.1.5.5")); got != 0 {
+		t.Errorf("specific allow drop = %v, want 0", got)
+	}
+	if got := p.DropProbability(ipv4.MustParseAddr("11.0.0.1")); got != 0 {
+		t.Errorf("unmatched drop = %v, want 0", got)
+	}
+	if _, ok := p.Verdict(ipv4.MustParseAddr("11.0.0.1")); ok {
+		t.Error("unmatched address returned a verdict")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestPolicyTableClampsDrop(t *testing.T) {
+	p := NewPolicyTable()
+	p.Add(ipv4.MustParsePrefix("10.0.0.0/8"), 1.5)
+	p.Add(ipv4.MustParsePrefix("11.0.0.0/8"), -0.5)
+	if got := p.DropProbability(ipv4.MustParseAddr("10.0.0.1")); got != 1 {
+		t.Errorf("clamped high = %v", got)
+	}
+	if got := p.DropProbability(ipv4.MustParseAddr("11.0.0.1")); got != 0 {
+		t.Errorf("clamped low = %v", got)
+	}
+}
+
+func TestEnvironmentWithIngressPolicy(t *testing.T) {
+	var env Environment
+	env.IngressPolicy = NewPolicyTable()
+	env.IngressPolicy.Add(ipv4.MustParsePrefix("10.0.0.0/8"), 1.0)
+	env.IngressPolicy.Add(ipv4.MustParsePrefix("10.1.0.0/16"), 0.0)
+
+	r := rng.NewXoshiro(1)
+	if env.Delivered(1, ipv4.MustParseAddr("10.2.0.1"), r) {
+		t.Error("blocked destination delivered")
+	}
+	if !env.Delivered(1, ipv4.MustParseAddr("10.1.0.1"), r) {
+		t.Error("allowed hole dropped")
+	}
+	if !env.BlocksDeterministically(ipv4.MustParseAddr("10.2.0.1")) {
+		t.Error("hard LPM block not reported")
+	}
+	if env.BlocksDeterministically(ipv4.MustParseAddr("10.1.0.1")) {
+		t.Error("allowed hole reported as blocked")
+	}
+}
+
+func TestEnvironmentWithEgressPolicy(t *testing.T) {
+	var env Environment
+	env.EgressPolicy = NewPolicyTable()
+	env.EgressPolicy.Add(ipv4.MustParsePrefix("144.0.0.0/16"), 0.8)
+
+	r := rng.NewXoshiro(2)
+	src := ipv4.MustParseAddr("144.0.5.5")
+	const n = 20000
+	delivered := 0
+	for i := 0; i < n; i++ {
+		if env.Delivered(src, 8, r) {
+			delivered++
+		}
+	}
+	frac := float64(delivered) / n
+	if frac < 0.18 || frac > 0.22 {
+		t.Errorf("delivery through 0.8 egress policy = %.3f, want ≈0.2", frac)
+	}
+	if !env.Delivered(ipv4.MustParseAddr("9.9.9.9"), 8, r) {
+		t.Error("unmatched source dropped")
+	}
+}

@@ -1,0 +1,59 @@
+package payload
+
+import (
+	"repro/internal/rng"
+)
+
+// WormPayload synthesizes a worm infection payload: an invariant exploit
+// region (what content-prevalence systems latch onto) surrounded by
+// per-instance polymorphic filler. The invariant region is a deterministic
+// function of the worm name so every instance carries it.
+type WormPayload struct {
+	// Name identifies the worm (drives the invariant bytes).
+	Name string
+	// InvariantLen and FillerLen size the two regions.
+	InvariantLen int
+	FillerLen    int
+}
+
+// DefaultWormPayload returns a payload model comparable to a small exploit:
+// a 120-byte invariant region and 200 bytes of per-instance filler.
+func DefaultWormPayload(name string) WormPayload {
+	return WormPayload{Name: name, InvariantLen: 120, FillerLen: 200}
+}
+
+// Instance renders one instance's bytes; instanceSeed varies the filler
+// (polymorphism) but never the invariant region.
+func (w WormPayload) Instance(instanceSeed uint64) []byte {
+	out := make([]byte, 0, w.InvariantLen+w.FillerLen)
+	inv := rng.NewXoshiro(hashName(w.Name))
+	for i := 0; i < w.InvariantLen; i++ {
+		out = append(out, byte(inv.Uint64n(256)))
+	}
+	fill := rng.NewXoshiro(rng.Mix64(instanceSeed))
+	for i := 0; i < w.FillerLen; i++ {
+		out = append(out, byte(fill.Uint64n(256)))
+	}
+	return out
+}
+
+// BenignPayload renders unique benign content (every packet distinct), the
+// background against which worm content must stand out.
+func BenignPayload(seed uint64, length int) []byte {
+	r := rng.NewXoshiro(rng.Mix64(seed ^ 0xb5e1))
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = byte(r.Uint64n(256))
+	}
+	return out
+}
+
+// hashName folds a worm name into a seed.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

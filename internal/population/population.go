@@ -1,0 +1,436 @@
+// Package population synthesizes vulnerable-host populations with the
+// clustering structure the hotspots paper measured and fed into its
+// Section 5 simulations.
+//
+// The paper's CodeRedII vulnerable population: 134,586 unique addresses
+// clustered in 47 /8 networks, occupying 4,481 distinct /16s, with the
+// top 20 /8s holding 94% of hosts, and greedy /16 hit-lists of size
+// 10/100/1000/4481 covering 10.60%/50.49%/91.33%/100% of the population.
+// Synthesize reproduces exactly this shape (up to rounding) for any
+// requested size, deterministically from a seed.
+//
+// A fraction of hosts can be placed behind NATs in 192.168.0.0/16 private
+// space (Section 5.3): NAT'd hosts keep a private own-address (which is what
+// CodeRedII's local preference keys on) and are grouped into sites;
+// reachability semantics live in package netenv.
+package population
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// NoSite marks a host that is publicly addressed rather than NAT'd.
+const NoSite = -1
+
+// Host is one vulnerable host.
+type Host struct {
+	// Addr is the address the host itself sees: its public address, or its
+	// RFC 1918 private address when behind a NAT. Worm local preference
+	// operates on this value.
+	Addr ipv4.Addr
+	// Site groups NAT'd hosts sharing one private network; NoSite for
+	// public hosts.
+	Site int
+}
+
+// IsNATed reports whether the host sits behind a NAT.
+func (h Host) IsNATed() bool { return h.Site != NoSite }
+
+// Config controls synthesis.
+type Config struct {
+	// Size is the number of vulnerable hosts.
+	Size int
+	// Slash8s is the number of distinct /8 networks hosting the population.
+	Slash8s int
+	// Slash16s is the number of distinct /16 networks occupied.
+	Slash16s int
+	// Anchors pins the cumulative population share covered by the k
+	// most-populated /16s; between anchors the /16 size profile is
+	// interpolated log-log. Must be sorted by K.
+	Anchors []CoverageAnchor
+	// Include192Slash8 forces 192.0.0.0/8 to be one of the populated /8s,
+	// which the CodeRedII experiments require (public vulnerable hosts in
+	// 192/8 are what the NAT leak infects).
+	Include192Slash8 bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// CoverageAnchor says "the top K /16s hold Share of all hosts".
+type CoverageAnchor struct {
+	K     int
+	Share float64
+}
+
+// DefaultCodeRedII returns the configuration reproducing the paper's
+// CodeRedII population statistics.
+func DefaultCodeRedII(seed uint64) Config {
+	return Config{
+		Size:     134586,
+		Slash8s:  47,
+		Slash16s: 4481,
+		Anchors: []CoverageAnchor{
+			{K: 10, Share: 0.1060},
+			{K: 100, Share: 0.5049},
+			{K: 1000, Share: 0.9133},
+			{K: 4481, Share: 1.0},
+		},
+		Include192Slash8: true,
+		Seed:             seed,
+	}
+}
+
+// Population is a synthesized vulnerable population.
+type Population struct {
+	hosts  []Host
+	byAddr map[ipv4.Addr][]int // own-address → host ids (private addrs collide across sites)
+	sites  int
+}
+
+// Synthesize builds a population per cfg.
+func Synthesize(cfg Config) (*Population, error) {
+	if cfg.Size <= 0 {
+		return nil, errors.New("population: non-positive size")
+	}
+	if cfg.Slash8s <= 0 || cfg.Slash8s > 200 {
+		return nil, fmt.Errorf("population: %d /8s out of range", cfg.Slash8s)
+	}
+	if cfg.Slash16s < cfg.Slash8s || cfg.Slash16s > cfg.Slash8s*256 {
+		return nil, fmt.Errorf("population: %d /16s impossible within %d /8s", cfg.Slash16s, cfg.Slash8s)
+	}
+	if cfg.Slash16s > cfg.Size {
+		return nil, fmt.Errorf("population: %d /16s exceed %d hosts", cfg.Slash16s, cfg.Size)
+	}
+	r := rng.NewXoshiro(cfg.Seed)
+
+	sizes := slash16Sizes(cfg)
+	slash8s := chooseSlash8s(cfg, r)
+	slash16s := assignSlash16s(sizes, slash8s, r)
+
+	hosts := make([]Host, 0, cfg.Size)
+	seen := make(map[ipv4.Addr]struct{}, cfg.Size)
+	for i, net16 := range slash16s {
+		base := ipv4.Addr(net16) << 16
+		for n := 0; n < sizes[i]; {
+			a := base | ipv4.Addr(r.Uint64n(1<<16))
+			if _, dup := seen[a]; dup {
+				continue
+			}
+			seen[a] = struct{}{}
+			hosts = append(hosts, Host{Addr: a, Site: NoSite})
+			n++
+		}
+	}
+	p := &Population{hosts: hosts}
+	p.reindex()
+	return p, nil
+}
+
+// slash16Sizes produces the per-/16 host counts (descending), interpolating
+// the anchor coverage curve and exactly summing to cfg.Size.
+func slash16Sizes(cfg Config) []int {
+	n := cfg.Slash16s
+	anchors := cfg.Anchors
+	if len(anchors) == 0 {
+		anchors = []CoverageAnchor{{K: n, Share: 1.0}}
+	}
+	// Build the target cumulative share at every rank by piecewise-linear
+	// interpolation between anchors (constant per-/16 density within each
+	// segment). This keeps the size profile monotone non-increasing —
+	// required for the anchors to equal the greedy top-k coverage — and
+	// hits each anchor exactly.
+	cum := func(k int) float64 {
+		if k <= 0 {
+			return 0
+		}
+		if k >= anchors[len(anchors)-1].K {
+			return anchors[len(anchors)-1].Share
+		}
+		prevK, prevS := 0, 0.0
+		for _, a := range anchors {
+			if k <= a.K {
+				t := float64(k-prevK) / float64(a.K-prevK)
+				return prevS + t*(a.Share-prevS)
+			}
+			prevK, prevS = a.K, a.Share
+		}
+		return 1
+	}
+	// Largest-remainder rounding against the cumulative host curve, then a
+	// 1-host floor (every counted /16 contains at least one vulnerable host
+	// by definition) repaid by the densest /16s.
+	sizes := make([]int, n)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, n)
+	total := 0
+	for i := range sizes {
+		exact := (cum(i+1) - cum(i)) * float64(cfg.Size)
+		sizes[i] = int(exact)
+		total += sizes[i]
+		fracs[i] = frac{idx: i, rem: exact - math.Floor(exact)}
+	}
+	sort.Slice(fracs, func(i, j int) bool { return fracs[i].rem > fracs[j].rem })
+	for i := 0; i < cfg.Size-total; i++ {
+		sizes[fracs[i%n].idx]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for i := n - 1; i >= 0 && sizes[i] == 0; i-- {
+		sizes[i] = 1
+		sizes[0]-- // the head is always large enough to absorb the floor
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// chooseSlash8s picks the populated /8 networks: public, unreserved,
+// deterministic given the RNG, optionally forcing 192/8 in.
+func chooseSlash8s(cfg Config, r *rng.Xoshiro) []uint32 {
+	var candidates []uint32
+	for o := uint32(1); o <= 223; o++ {
+		a := ipv4.Addr(o << 24)
+		if a.IsReserved() || a.IsLoopback() || o == 10 {
+			continue
+		}
+		candidates = append(candidates, o)
+	}
+	picked := make(map[uint32]bool, cfg.Slash8s)
+	if cfg.Include192Slash8 {
+		picked[192] = true
+	}
+	for len(picked) < cfg.Slash8s {
+		picked[candidates[r.Intn(len(candidates))]] = true
+	}
+	out := make([]uint32, 0, cfg.Slash8s)
+	for o := range picked {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// assignSlash16s maps each ranked /16 slot to a concrete /16 network. The
+// densest /16s are dealt round-robin across a "core" subset of the /8s so
+// that a top-20 subset of /8s carries the bulk of the population, as in the
+// paper's measurement.
+func assignSlash16s(sizes []int, slash8s []uint32, r *rng.Xoshiro) []uint32 {
+	core := len(slash8s)
+	if core > 20 {
+		core = 20
+	}
+	used := make(map[uint32]bool, len(sizes))
+	out := make([]uint32, 0, len(sizes))
+	// The second octet walk is randomized per /8 for realism.
+	perms := make(map[uint32][]int, len(slash8s))
+	next := make(map[uint32]int, len(slash8s))
+	for _, o := range slash8s {
+		perms[o] = r.Shuffle(256)
+	}
+	take := func(o uint32) (uint32, bool) {
+		for next[o] < 256 {
+			second := perms[o][next[o]]
+			next[o]++
+			net := o<<8 | uint32(second)
+			if !used[net] {
+				used[net] = true
+				return net, true
+			}
+		}
+		return 0, false
+	}
+	for i := range sizes {
+		var pool []uint32
+		if i < len(sizes)*core/len(slash8s) || len(slash8s) == core {
+			pool = slash8s[:core]
+		} else {
+			pool = slash8s[core:]
+		}
+		// Round-robin with fallback to any /8 that still has room.
+		assigned := false
+		for try := 0; try < len(pool); try++ {
+			o := pool[(i+try)%len(pool)]
+			if net, ok := take(o); ok {
+				out = append(out, net)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			for _, o := range slash8s {
+				if net, ok := take(o); ok {
+					out = append(out, net)
+					assigned = true
+					break
+				}
+			}
+		}
+		if !assigned {
+			panic("population: ran out of /16 slots (validated in Synthesize)")
+		}
+	}
+	return out
+}
+
+func (p *Population) reindex() {
+	p.byAddr = make(map[ipv4.Addr][]int, len(p.hosts))
+	maxSite := NoSite
+	for i, h := range p.hosts {
+		p.byAddr[h.Addr] = append(p.byAddr[h.Addr], i)
+		if h.Site > maxSite {
+			maxSite = h.Site
+		}
+	}
+	p.sites = maxSite + 1
+}
+
+// Size returns the number of hosts.
+func (p *Population) Size() int { return len(p.hosts) }
+
+// Host returns host i.
+func (p *Population) Host(i int) Host { return p.hosts[i] }
+
+// Hosts returns a copy of all hosts.
+func (p *Population) Hosts() []Host {
+	out := make([]Host, len(p.hosts))
+	copy(out, p.hosts)
+	return out
+}
+
+// Addrs returns every host's own-address (public hosts only when
+// publicOnly is set), in host order.
+func (p *Population) Addrs(publicOnly bool) []ipv4.Addr {
+	out := make([]ipv4.Addr, 0, len(p.hosts))
+	for _, h := range p.hosts {
+		if publicOnly && h.IsNATed() {
+			continue
+		}
+		out = append(out, h.Addr)
+	}
+	return out
+}
+
+// Lookup returns the ids of hosts whose own-address equals addr. Multiple
+// ids occur only for private addresses reused across NAT sites.
+func (p *Population) Lookup(addr ipv4.Addr) []int { return p.byAddr[addr] }
+
+// Sites returns the number of NAT sites.
+func (p *Population) Sites() int { return p.sites }
+
+// AssignNAT rehomes a fraction of hosts behind NATs: each chosen host gets a
+// fresh private address in 192.168.0.0/16 and a site id. Hosts are grouped
+// into sites of hostsPerSite (the tail site may be smaller); hostsPerSite
+// ≤ 0 puts every NAT'd host in one shared site — the paper's Section 5.3
+// model, where 192.168/16 behaves as one private network that the worm can
+// traverse internally. The selection is uniform over hosts and
+// deterministic in seed.
+func (p *Population) AssignNAT(fraction float64, hostsPerSite int, seed uint64) error {
+	if fraction < 0 || fraction > 1 {
+		return fmt.Errorf("population: NAT fraction %v out of [0,1]", fraction)
+	}
+	r := rng.NewXoshiro(seed)
+	n := int(math.Round(fraction * float64(len(p.hosts))))
+	if n == 0 {
+		return nil
+	}
+	if hostsPerSite <= 0 {
+		hostsPerSite = n
+	}
+	if hostsPerSite > 1<<16 {
+		return errors.New("population: a NAT site cannot exceed the 192.168/16 address space")
+	}
+	chosen := r.SampleWithoutReplacement(len(p.hosts), n)
+	sort.Ints(chosen)
+	private := ipv4.MustParsePrefix("192.168.0.0/16")
+	site := 0
+	inSite := 0
+	usedInSite := make(map[ipv4.Addr]bool, hostsPerSite)
+	for _, id := range chosen {
+		if inSite == hostsPerSite {
+			site++
+			inSite = 0
+			usedInSite = make(map[ipv4.Addr]bool, hostsPerSite)
+		}
+		var a ipv4.Addr
+		for {
+			a = private.Nth(r.Uint64n(private.NumAddrs()))
+			if !usedInSite[a] {
+				usedInSite[a] = true
+				break
+			}
+		}
+		p.hosts[id] = Host{Addr: a, Site: site}
+		inSite++
+	}
+	p.reindex()
+	return nil
+}
+
+// Slash8Histogram returns host counts per populated /8, descending.
+func (p *Population) Slash8Histogram() []SlashCount {
+	return p.histogram(func(a ipv4.Addr) uint32 { return a.Slash8() })
+}
+
+// Slash16Histogram returns host counts per populated /16, descending.
+// NAT'd hosts count under 192.168/16.
+func (p *Population) Slash16Histogram() []SlashCount {
+	return p.histogram(func(a ipv4.Addr) uint32 { return a.Slash16() })
+}
+
+// SlashCount pairs a network index with its host count.
+type SlashCount struct {
+	Network uint32
+	Count   int
+}
+
+func (p *Population) histogram(key func(ipv4.Addr) uint32) []SlashCount {
+	counts := make(map[uint32]int)
+	for _, h := range p.hosts {
+		counts[key(h.Addr)]++
+	}
+	out := make([]SlashCount, 0, len(counts))
+	for net, c := range counts {
+		out = append(out, SlashCount{Network: net, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Network < out[j].Network
+	})
+	return out
+}
+
+// TopSlash8Share returns the fraction of hosts inside the k most-populated
+// /8s.
+func (p *Population) TopSlash8Share(k int) float64 {
+	hist := p.Slash8Histogram()
+	if k > len(hist) {
+		k = len(hist)
+	}
+	var top int
+	for _, sc := range hist[:k] {
+		top += sc.Count
+	}
+	return float64(top) / float64(len(p.hosts))
+}
+
+// TopSlash8s returns the k most-populated /8 networks.
+func (p *Population) TopSlash8s(k int) []uint32 {
+	hist := p.Slash8Histogram()
+	if k > len(hist) {
+		k = len(hist)
+	}
+	out := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		out[i] = hist[i].Network
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/worm"
+)
+
+func TestSynthesizeValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "zero-size", cfg: Config{Size: 0, Slash8s: 4, Slash16s: 8}},
+		{name: "no-slash8s", cfg: Config{Size: 10, Slash8s: 0, Slash16s: 4}},
+		{name: "slash16s-below-slash8s", cfg: Config{Size: 10, Slash8s: 4, Slash16s: 2}},
+		{name: "slash16s-overflow", cfg: Config{Size: 100000, Slash8s: 1, Slash16s: 300}},
+		{name: "more-16s-than-hosts", cfg: Config{Size: 5, Slash8s: 2, Slash16s: 6}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Synthesize(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestSynthesizeMatchesPaperStatistics(t *testing.T) {
+	p, err := Synthesize(DefaultCodeRedII(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Size(); got != 134586 {
+		t.Fatalf("size = %d, want 134586", got)
+	}
+	if got := len(p.Slash8Histogram()); got != 47 {
+		t.Errorf("populated /8s = %d, want 47", got)
+	}
+	if got := len(p.Slash16Histogram()); got != 4481 {
+		t.Errorf("populated /16s = %d, want 4481", got)
+	}
+	// Top 20 /8s hold ≈94% of hosts.
+	if got := p.TopSlash8Share(20); got < 0.90 || got > 0.99 {
+		t.Errorf("top-20 /8 share = %.3f, want ≈0.94", got)
+	}
+	// 192/8 is populated (required by the CRII experiments).
+	found := false
+	for _, sc := range p.Slash8Histogram() {
+		if sc.Network == 192 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("192/8 not populated")
+	}
+	// All addresses distinct and unreserved.
+	seen := make(map[ipv4.Addr]bool, p.Size())
+	for _, h := range p.Hosts() {
+		if seen[h.Addr] {
+			t.Fatalf("duplicate address %v", h.Addr)
+		}
+		seen[h.Addr] = true
+		if h.Addr.IsReserved() || h.Addr.IsLoopback() {
+			t.Fatalf("reserved address %v in population", h.Addr)
+		}
+		if h.IsNATed() {
+			t.Fatalf("NAT site assigned before AssignNAT")
+		}
+	}
+}
+
+func TestSynthesizeHitListCoverageAnchors(t *testing.T) {
+	// The greedy /16 hit-list coverage must land near the paper's
+	// 10→10.60%, 100→50.49%, 1000→91.33% anchors.
+	p, err := Synthesize(DefaultCodeRedII(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := p.Addrs(false)
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{k: 10, want: 0.1060},
+		{k: 100, want: 0.5049},
+		{k: 1000, want: 0.9133},
+		{k: 4481, want: 1.0},
+	}
+	for _, tt := range tests {
+		_, cover := worm.BuildGreedySlash16HitList(addrs, tt.k)
+		if math.Abs(cover-tt.want) > 0.02 {
+			t.Errorf("top-%d coverage = %.4f, want %.4f±0.02", tt.k, cover, tt.want)
+		}
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	cfg := DefaultCodeRedII(7)
+	cfg.Size = 2000
+	cfg.Slash16s = 500
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, bh := a.Hosts(), b.Hosts()
+	for i := range ah {
+		if ah[i] != bh[i] {
+			t.Fatal("same seed produced different populations")
+		}
+	}
+	cfg.Seed = 8
+	c, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i, h := range c.Hosts() {
+		if h == ah[i] {
+			same++
+		}
+	}
+	if same == len(ah) {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestAssignNAT(t *testing.T) {
+	cfg := DefaultCodeRedII(3)
+	cfg.Size = 10000
+	cfg.Slash16s = 400
+	p, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignNAT(0.15, 4, 99); err != nil {
+		t.Fatal(err)
+	}
+	private := ipv4.MustParsePrefix("192.168.0.0/16")
+	var natted int
+	siteSizes := make(map[int]int)
+	for _, h := range p.Hosts() {
+		if !h.IsNATed() {
+			if private.Contains(h.Addr) {
+				t.Fatalf("public host with private address %v", h.Addr)
+			}
+			continue
+		}
+		natted++
+		if !private.Contains(h.Addr) {
+			t.Fatalf("NAT'd host with public address %v", h.Addr)
+		}
+		siteSizes[h.Site]++
+	}
+	if want := 1500; natted != want {
+		t.Errorf("NAT'd hosts = %d, want %d", natted, want)
+	}
+	for site, size := range siteSizes {
+		if size > 4 {
+			t.Errorf("site %d has %d hosts, want ≤4", site, size)
+		}
+	}
+	if p.Sites() != len(siteSizes) {
+		t.Errorf("Sites() = %d, want %d", p.Sites(), len(siteSizes))
+	}
+
+	// Lookup resolves private addresses to all hosts sharing them.
+	h0 := p.Hosts()[0]
+	ids := p.Lookup(h0.Addr)
+	found := false
+	for _, id := range ids {
+		if p.Host(id) == h0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Lookup lost a host")
+	}
+}
+
+func TestAssignNATValidation(t *testing.T) {
+	p, err := Synthesize(Config{Size: 100, Slash8s: 2, Slash16s: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignNAT(-0.1, 4, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := p.AssignNAT(1.5, 4, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if err := p.AssignNAT(0, 4, 1); err != nil {
+		t.Errorf("zero fraction rejected: %v", err)
+	}
+}
+
+func TestAssignNATSingleSite(t *testing.T) {
+	p, err := Synthesize(Config{Size: 1000, Slash8s: 3, Slash16s: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignNAT(0.3, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sites := make(map[int]int)
+	for _, h := range p.Hosts() {
+		if h.IsNATed() {
+			sites[h.Site]++
+		}
+	}
+	if len(sites) != 1 {
+		t.Fatalf("single-site mode produced %d sites", len(sites))
+	}
+	if sites[0] != 300 {
+		t.Errorf("site holds %d hosts, want 300", sites[0])
+	}
+}
+
+func TestAddrsPublicOnly(t *testing.T) {
+	p, err := Synthesize(Config{Size: 1000, Slash8s: 3, Slash16s: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignNAT(0.2, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	pub := p.Addrs(true)
+	all := p.Addrs(false)
+	if len(all) != 1000 {
+		t.Errorf("Addrs(false) = %d, want 1000", len(all))
+	}
+	if len(pub) != 800 {
+		t.Errorf("Addrs(true) = %d, want 800", len(pub))
+	}
+	for _, a := range pub {
+		if a.IsPrivate() {
+			t.Fatalf("public list contains private %v", a)
+		}
+	}
+}
+
+func TestTopSlash8s(t *testing.T) {
+	p, err := Synthesize(Config{Size: 5000, Slash8s: 5, Slash16s: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopSlash8s(3)
+	if len(top) != 3 {
+		t.Fatalf("TopSlash8s(3) returned %d", len(top))
+	}
+	hist := p.Slash8Histogram()
+	for i, net := range top {
+		if hist[i].Network != net {
+			t.Errorf("TopSlash8s[%d] = %d, want %d", i, net, hist[i].Network)
+		}
+	}
+	// Asking for more than exist clamps.
+	if got := p.TopSlash8s(100); len(got) != 5 {
+		t.Errorf("TopSlash8s(100) = %d entries, want 5", len(got))
+	}
+}

@@ -1,0 +1,158 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	x := NewXoshiro(1)
+	if got := x.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d, want 0", got)
+	}
+	if got := x.Binomial(100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d, want 0", got)
+	}
+	if got := x.Binomial(100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d, want 100", got)
+	}
+	if got := x.Binomial(100, -0.5); got != 0 {
+		t.Errorf("Binomial(100, -0.5) = %d, want 0", got)
+	}
+	if got := x.Binomial(100, 1.5); got != 100 {
+		t.Errorf("Binomial(100, 1.5) = %d, want 100", got)
+	}
+}
+
+func TestBinomialNeverExceedsN(t *testing.T) {
+	x := NewXoshiro(2)
+	for _, n := range []uint64{1, 10, 63, 64, 65, 1000, 1 << 20} {
+		for _, p := range []float64{0.001, 0.1, 0.5, 0.9, 0.999} {
+			for i := 0; i < 50; i++ {
+				if got := x.Binomial(n, p); got > n {
+					t.Fatalf("Binomial(%d, %v) = %d > n", n, p, got)
+				}
+			}
+		}
+	}
+}
+
+// checkMoments draws n samples and verifies mean/variance within tol
+// relative error.
+func checkMoments(t *testing.T, name string, draw func() float64, wantMean, wantVar, tol float64, n int) {
+	t.Helper()
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := draw()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-wantMean) > tol*math.Max(1, wantMean) {
+		t.Errorf("%s: mean = %v, want ≈%v", name, mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 3*tol*math.Max(1, wantVar) {
+		t.Errorf("%s: variance = %v, want ≈%v", name, variance, wantVar)
+	}
+}
+
+func TestBinomialMomentsAcrossRegimes(t *testing.T) {
+	tests := []struct {
+		name string
+		n    uint64
+		p    float64
+	}{
+		{name: "direct-small-n", n: 40, p: 0.3},
+		{name: "geometric-small-np", n: 100000, p: 0.0001},
+		{name: "normal-large-np", n: 1000000, p: 0.01},
+		{name: "high-p-reflection", n: 50000, p: 0.99},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x := NewXoshiro(77)
+			wantMean := float64(tt.n) * tt.p
+			wantVar := wantMean * (1 - tt.p)
+			checkMoments(t, tt.name, func() float64 { return float64(x.Binomial(tt.n, tt.p)) },
+				wantMean, wantVar, 0.03, 20000)
+		})
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 12, 50, 400} {
+		x := NewXoshiro(5)
+		checkMoments(t, "poisson", func() float64 { return float64(x.Poisson(lambda)) },
+			lambda, lambda, 0.05, 20000)
+	}
+	x := NewXoshiro(6)
+	if got := x.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := x.Poisson(-1); got != 0 {
+		t.Errorf("Poisson(-1) = %d, want 0", got)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	x := NewXoshiro(9)
+	perm := x.Shuffle(100)
+	seen := make([]bool, 100)
+	for _, v := range perm {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	x := NewXoshiro(10)
+	sample := x.SampleWithoutReplacement(50, 20)
+	if len(sample) != 20 {
+		t.Fatalf("len = %d, want 20", len(sample))
+	}
+	seen := make(map[int]bool)
+	for _, v := range sample {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid sample: %v", sample)
+		}
+		seen[v] = true
+	}
+	// Full sample covers the population.
+	all := x.SampleWithoutReplacement(10, 10)
+	seen = make(map[int]bool)
+	for _, v := range all {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("full sample missed members: %v", all)
+	}
+}
+
+func TestSampleWithoutReplacementPanicsWhenOversized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when k > n")
+		}
+	}()
+	NewXoshiro(1).SampleWithoutReplacement(5, 6)
+}
+
+func TestSampleUniformCoverage(t *testing.T) {
+	// Each element of [0,20) should appear in roughly k/n of samples.
+	x := NewXoshiro(20)
+	counts := make([]int, 20)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range x.SampleWithoutReplacement(20, 5) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 5 / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.08*want {
+			t.Errorf("element %d drawn %d times, want ≈%.0f", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sensor
+
+import "fmt"
+
+// The IMS darknets' defining design choice (paper §4.1): the sensor
+// "actively responded to TCP SYN packets with a SYN-ACK packet to elicit
+// the first data payload on all TCP streams". A passive darknet sees only
+// the SYN of a TCP worm — enough to count probes, not enough to identify
+// the threat. Single-packet UDP worms (Slammer) deliver their payload
+// unconditionally. This file models that distinction so detection layers
+// (signature extraction, content prevalence) can be driven faithfully.
+
+// ProbeKind classifies how a worm's first packet carries its payload.
+type ProbeKind int
+
+// Probe kinds.
+const (
+	// UDPPayload: the exploit rides the first (only) packet — Slammer.
+	UDPPayload ProbeKind = iota + 1
+	// TCPSYN: the exploit payload follows only after a completed
+	// handshake — CodeRedII (80/tcp), Blaster (135/tcp), the bots.
+	TCPSYN
+)
+
+// String names the kind.
+func (k ProbeKind) String() string {
+	switch k {
+	case UDPPayload:
+		return "udp-payload"
+	case TCPSYN:
+		return "tcp-syn"
+	default:
+		return fmt.Sprintf("ProbeKind(%d)", int(k))
+	}
+}
+
+// ResponseMode is a darknet sensor's liveness posture.
+type ResponseMode int
+
+// Response modes.
+const (
+	// Passive: record packets, answer nothing (a classic network
+	// telescope).
+	Passive ResponseMode = iota + 1
+	// ActiveSYNACK: answer TCP SYNs with SYN-ACK to elicit the first data
+	// payload (the IMS design).
+	ActiveSYNACK
+)
+
+// String names the mode.
+func (m ResponseMode) String() string {
+	switch m {
+	case Passive:
+		return "passive"
+	case ActiveSYNACK:
+		return "active-synack"
+	default:
+		return fmt.Sprintf("ResponseMode(%d)", int(m))
+	}
+}
+
+// PayloadDelivered reports whether a sensor operating in mode receives the
+// payload of a probe of the given kind.
+func PayloadDelivered(kind ProbeKind, mode ResponseMode) bool {
+	switch kind {
+	case UDPPayload:
+		return true
+	case TCPSYN:
+		return mode == ActiveSYNACK
+	default:
+		return false
+	}
+}
+
+// WormProbeKind returns the probe kind of each studied worm's first packet.
+func WormProbeKind(worm string) (ProbeKind, bool) {
+	switch worm {
+	case "slammer":
+		return UDPPayload, true
+	case "codered2", "blaster", "witty-tcp", "agobot", "sdbot", "hitlist-worm":
+		return TCPSYN, true
+	case "witty":
+		// Witty was UDP (ICQ/ISS ports).
+		return UDPPayload, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,114 @@
+package sensor
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ipv4"
+)
+
+// populatedFleet builds a fleet with some recorded traffic.
+func populatedFleet(t *testing.T) *Fleet {
+	t.Helper()
+	fleet := MustNewFleet(DefaultIMSBlocks())
+	targets := []string{"98.136.0.5", "98.136.3.7", "41.1.2.3", "192.52.92.9"}
+	for i, dst := range targets {
+		for j := 0; j <= i; j++ {
+			fleet.Observe(ipv4.Addr(1000+j), ipv4.MustParseAddr(dst))
+		}
+	}
+	return fleet
+}
+
+func TestSnapshotBinaryRoundTrip(t *testing.T) {
+	snap := populatedFleet(t).Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("fresh snapshot invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Error("binary round trip lost data")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	snap := populatedFleet(t).Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	snap := populatedFleet(t).Snapshot()
+	d, ok := snap.Block("D")
+	if !ok {
+		t.Fatal("D block missing from snapshot")
+	}
+	if d.TotalAttempts != 3 { // 1 probe to .0.5 + 2 to .3.7
+		t.Errorf("D attempts = %d, want 3", d.TotalAttempts)
+	}
+	if d.Attempts[0] != 1 || d.Attempts[3] != 2 {
+		t.Errorf("D per-/24 = %v", d.Attempts[:4])
+	}
+	if _, ok := snap.Block("nope"); ok {
+		t.Error("unknown label found")
+	}
+	counts := snap.PerSlash24Counts()
+	var want int
+	for _, b := range DefaultIMSBlocks() {
+		want += b.Prefix.Slash24s()
+	}
+	if len(counts) != want {
+		t.Errorf("concatenated counts = %d slots, want %d", len(counts), want)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated valid stream.
+	snap := populatedFleet(t).Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSnapshot(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestSnapshotValidateCatchesCorruption(t *testing.T) {
+	snap := populatedFleet(t).Snapshot()
+	snap.Blocks[0].Attempts = snap.Blocks[0].Attempts[:1]
+	if err := snap.Validate(); err == nil {
+		t.Error("series mismatch not caught")
+	}
+	snap = populatedFleet(t).Snapshot()
+	snap.Blocks[0].Prefix = "bogus"
+	if err := snap.Validate(); err == nil {
+		t.Error("bad prefix not caught")
+	}
+}

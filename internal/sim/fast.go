@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/rng"
+)
+
+// FastConfig configures the aggregated driver.
+type FastConfig struct {
+	// Pop is the vulnerable population.
+	Pop *population.Population
+	// Model decomposes the scanner into mixture components.
+	Model RateModel
+	// ScanRate is probes per second per infected host; TickSeconds the
+	// step; MaxSeconds the horizon.
+	ScanRate    float64
+	TickSeconds float64
+	MaxSeconds  float64
+	// SeedHosts initially infected hosts, drawn uniformly.
+	SeedHosts int
+	// Seed drives all randomness.
+	Seed uint64
+	// LossRate is the environmental probe-loss probability.
+	LossRate float64
+	// BlockedDst is destination space hard-blocked upstream (probes there
+	// are always lost). May be nil.
+	BlockedDst *ipv4.Set
+	// Sensors receives monitored probes; SensorSet is the union of
+	// monitored space and must be set when Sensors is.
+	Sensors   HitRecorder
+	SensorSet *ipv4.Set
+	// OnTick, when non-nil, is called each tick; returning false stops.
+	OnTick func(TickInfo) bool
+	// StopWhenInfected stops once this many hosts are infected (0=never).
+	StopWhenInfected int
+	// Containment, when non-nil, models a coordinated response (Internet
+	// quarantine): once Trigger returns true the policy engages and every
+	// subsequent probe is dropped with probability Drop.
+	Containment *Containment
+}
+
+// Containment is a global response policy: detection-triggered filtering
+// of the worm's traffic (Moore et al.'s "Internet quarantine" model). The
+// paper's closing argument — local detection matters because it triggers
+// response *early* — is quantified by wiring a detector fleet's alert state
+// into Trigger.
+type Containment struct {
+	// Trigger is evaluated after every tick; once it returns true the
+	// policy engages permanently.
+	Trigger func() bool
+	// Drop is the per-probe drop probability once engaged.
+	Drop float64
+	// engaged latches the trigger; EngagedAt records the simulated time.
+	engaged   bool
+	EngagedAt float64
+}
+
+// Engaged reports whether the policy has triggered.
+func (c *Containment) Engaged() bool { return c.engaged }
+
+func (c *FastConfig) validate() error {
+	if c.Pop == nil || c.Pop.Size() == 0 {
+		return errors.New("sim: empty population")
+	}
+	if c.Model == nil {
+		return errors.New("sim: nil rate model")
+	}
+	if c.ScanRate <= 0 || c.TickSeconds <= 0 || c.MaxSeconds <= 0 {
+		return errors.New("sim: rates and durations must be positive")
+	}
+	if c.SeedHosts <= 0 || c.SeedHosts > c.Pop.Size() {
+		return fmt.Errorf("sim: seed hosts %d out of range", c.SeedHosts)
+	}
+	if c.Sensors != nil && c.SensorSet == nil {
+		return errors.New("sim: Sensors set but SensorSet missing")
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return errors.New("sim: loss rate out of [0,1)")
+	}
+	if c.Containment != nil {
+		if c.Containment.Trigger == nil {
+			return errors.New("sim: containment without a trigger")
+		}
+		if c.Containment.Drop < 0 || c.Containment.Drop > 1 {
+			return errors.New("sim: containment drop out of [0,1]")
+		}
+	}
+	return nil
+}
+
+// fastComp is one precomputed mixture component of a group.
+type fastComp struct {
+	pVuln   float64 // per-probe probability of hitting a reachable vulnerable address
+	pSensor float64 // per-probe probability of landing on monitored space
+	pool    []int32 // candidate victim host ids
+	sensors *ipv4.Set
+}
+
+// fastGroup aggregates infected hosts sharing a mixture.
+type fastGroup struct {
+	comps    []fastComp
+	infected int
+}
+
+// fastState carries the driver's caches.
+type fastState struct {
+	cfg    FastConfig
+	pop    *population.Population
+	r      *rng.Xoshiro
+	groups map[uint64]*fastGroup
+	// groupList holds groups in creation order: per-tick processing must
+	// not follow map iteration order, or same-seed runs would diverge.
+	groupList []*fastGroup
+
+	// publicAddrs/publicIDs are sorted by address for pool construction.
+	publicAddrs []ipv4.Addr
+	publicIDs   []int32
+	// sitePools maps a NAT site to its member ids.
+	sitePools map[int][]int32
+	// compCache memoizes per-(set,site) component data.
+	compCache map[compKey]*compData
+}
+
+type compKey struct {
+	set  *ipv4.Set
+	site int
+}
+
+type compData struct {
+	pool        []int32
+	poolInSet   uint64 // reachable vulnerable addresses inside the set
+	sensorInter *ipv4.Set
+	sensorSize  uint64
+	setSize     uint64
+}
+
+// RunFast runs the aggregated simulation.
+func RunFast(cfg FastConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st := &fastState{
+		cfg:       cfg,
+		pop:       cfg.Pop,
+		r:         rng.NewXoshiro(cfg.Seed),
+		groups:    make(map[uint64]*fastGroup),
+		sitePools: make(map[int][]int32),
+		compCache: make(map[compKey]*compData),
+	}
+	st.indexHosts()
+
+	n := cfg.Pop.Size()
+	infected := make([]bool, n)
+	infTime := make([]float64, n)
+	for i := range infTime {
+		infTime[i] = -1
+	}
+	total := 0
+	infect := func(id int32, t float64) {
+		if infected[id] {
+			return
+		}
+		infected[id] = true
+		infTime[id] = t
+		total++
+		h := st.pop.Host(int(id))
+		key := cfg.Model.GroupKey(h)
+		g, ok := st.groups[key]
+		if !ok {
+			g = &fastGroup{comps: st.buildComps(h)}
+			st.groups[key] = g
+			st.groupList = append(st.groupList, g)
+		}
+		g.infected++
+	}
+	for _, id := range st.r.SampleWithoutReplacement(n, cfg.SeedHosts) {
+		infect(int32(id), 0)
+	}
+
+	res := &Result{InfectionTime: infTime}
+	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
+	baseDeliver := 1 - cfg.LossRate
+	deliver := baseDeliver
+	// groupSnap buffers per-tick group intensities so infections during a
+	// tick do not feed back into the same tick (matching the exact driver,
+	// where new agents start probing on the next tick).
+	type snap struct {
+		g *fastGroup
+		p float64 // expected probes this tick
+	}
+	var snaps []snap
+	for step := 1; step <= steps; step++ {
+		t := float64(step) * cfg.TickSeconds
+		snaps = snaps[:0]
+		var probes float64
+		for _, g := range st.groupList {
+			if g.infected == 0 {
+				continue
+			}
+			p := float64(g.infected) * cfg.ScanRate * cfg.TickSeconds
+			probes += p
+			snaps = append(snaps, snap{g: g, p: p})
+		}
+		var newInf int
+		for _, s := range snaps {
+			for ci := range s.g.comps {
+				comp := &s.g.comps[ci]
+				if len(comp.pool) > 0 && comp.pVuln > 0 {
+					hits := st.r.Poisson(s.p * comp.pVuln * deliver)
+					for i := uint64(0); i < hits; i++ {
+						victim := comp.pool[st.r.Intn(len(comp.pool))]
+						if !infected[victim] {
+							infect(victim, t)
+							newInf++
+						}
+					}
+				}
+				if cfg.Sensors != nil && comp.pSensor > 0 {
+					hits := st.r.Poisson(s.p * comp.pSensor * deliver)
+					for i := uint64(0); i < hits; i++ {
+						dst := comp.sensors.Select(st.r.Uint64n(comp.sensors.Size()))
+						cfg.Sensors.RecordHit(dst)
+					}
+				}
+			}
+		}
+		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: uint64(probes)}
+		res.Series = append(res.Series, info)
+		res.Final = info
+		if cfg.OnTick != nil && !cfg.OnTick(info) {
+			break
+		}
+		if cfg.StopWhenInfected > 0 && total >= cfg.StopWhenInfected {
+			break
+		}
+		if c := cfg.Containment; c != nil && !c.engaged && c.Trigger != nil && c.Trigger() {
+			c.engaged = true
+			c.EngagedAt = t
+			deliver = baseDeliver * (1 - c.Drop)
+		}
+	}
+	return res, nil
+}
+
+// indexHosts builds the sorted public-address index and per-site pools.
+func (st *fastState) indexHosts() {
+	n := st.pop.Size()
+	type entry struct {
+		addr ipv4.Addr
+		id   int32
+	}
+	entries := make([]entry, 0, n)
+	for i := 0; i < n; i++ {
+		h := st.pop.Host(i)
+		if h.IsNATed() {
+			st.sitePools[h.Site] = append(st.sitePools[h.Site], int32(i))
+			continue
+		}
+		entries = append(entries, entry{addr: h.Addr, id: int32(i)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].addr < entries[j].addr })
+	st.publicAddrs = make([]ipv4.Addr, len(entries))
+	st.publicIDs = make([]int32, len(entries))
+	for i, e := range entries {
+		st.publicAddrs[i] = e.addr
+		st.publicIDs[i] = e.id
+	}
+}
+
+// buildComps materializes the fast components for a host's group.
+func (st *fastState) buildComps(h population.Host) []fastComp {
+	comps := st.cfg.Model.Components(h)
+	out := make([]fastComp, 0, len(comps))
+	for _, c := range comps {
+		site := population.NoSite
+		if c.Private {
+			site = h.Site
+		}
+		data := st.compData(c.Set, site)
+		setSize := float64(data.setSize)
+		fc := fastComp{pool: data.pool}
+		if setSize > 0 {
+			fc.pVuln = c.Weight * float64(data.poolInSet) / setSize
+		}
+		if !c.Private && st.cfg.Sensors != nil && data.sensorSize > 0 && setSize > 0 {
+			fc.pSensor = c.Weight * float64(data.sensorSize) / setSize
+			fc.sensors = data.sensorInter
+		}
+		out = append(out, fc)
+	}
+	return out
+}
+
+// compData computes (and caches) the victim pool and sensor intersection
+// for a component set, optionally restricted to one NAT site.
+func (st *fastState) compData(set *ipv4.Set, site int) *compData {
+	key := compKey{set: set, site: site}
+	if d, ok := st.compCache[key]; ok {
+		return d
+	}
+	d := &compData{setSize: set.Size()}
+	if site != population.NoSite {
+		// Private component: pool is the site's members whose private
+		// address falls in the set; every pool address is reachable.
+		for _, id := range st.sitePools[site] {
+			if set.Contains(st.pop.Host(int(id)).Addr) {
+				d.pool = append(d.pool, id)
+			}
+		}
+		d.poolInSet = uint64(len(d.pool))
+		st.compCache[key] = d
+		return d
+	}
+	// Public component: binary-search the sorted address index per
+	// interval, excluding hard-blocked destinations.
+	for _, iv := range set.Intervals() {
+		lo := sort.Search(len(st.publicAddrs), func(i int) bool { return st.publicAddrs[i] >= iv.Lo })
+		for i := lo; i < len(st.publicAddrs) && st.publicAddrs[i] <= iv.Hi; i++ {
+			if st.cfg.BlockedDst != nil && st.cfg.BlockedDst.Contains(st.publicAddrs[i]) {
+				continue
+			}
+			d.pool = append(d.pool, st.publicIDs[i])
+		}
+	}
+	d.poolInSet = uint64(len(d.pool))
+	if st.cfg.Sensors != nil && st.cfg.SensorSet != nil {
+		inter := st.cfg.SensorSet.Intersect(set)
+		if st.cfg.BlockedDst != nil {
+			inter = inter.Subtract(st.cfg.BlockedDst)
+		}
+		d.sensorInter = inter
+		d.sensorSize = inter.Size()
+	}
+	st.compCache[key] = d
+	return d
+}

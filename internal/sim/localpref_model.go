@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ipv4"
+	"repro/internal/population"
+	"repro/internal/worm"
+)
+
+// LocalPrefModel is the fast-driver decomposition of a generic
+// worm.Preference profile: each probability mass becomes a uniform
+// component over the host's /8, /16, or /24, with the remainder over the
+// full space. It generalizes CodeRedIIModel (without the NAT-specific
+// private-space handling — use CodeRedIIModel for NAT'd populations).
+type LocalPrefModel struct {
+	prefs   worm.Preference
+	full    *ipv4.Set
+	slash8  map[uint32]*ipv4.Set
+	slash16 map[uint32]*ipv4.Set
+	slash24 map[uint32]*ipv4.Set
+}
+
+// NewLocalPrefModel builds the model; the profile must validate.
+func NewLocalPrefModel(prefs worm.Preference) (*LocalPrefModel, error) {
+	if err := prefs.Validate(); err != nil {
+		return nil, err
+	}
+	return &LocalPrefModel{
+		prefs:   prefs,
+		full:    fullSpace(),
+		slash8:  make(map[uint32]*ipv4.Set),
+		slash16: make(map[uint32]*ipv4.Set),
+		slash24: make(map[uint32]*ipv4.Set),
+	}, nil
+}
+
+// GroupKey implements RateModel: the /24 fixes every mixture set.
+func (m *LocalPrefModel) GroupKey(h population.Host) uint64 {
+	return uint64(h.Addr.Slash24())
+}
+
+// Components implements RateModel.
+func (m *LocalPrefModel) Components(h population.Host) []Component {
+	rest := 1 - m.prefs.Same8 - m.prefs.Same16 - m.prefs.Same24
+	comps := make([]Component, 0, 4)
+	if rest > 0 {
+		comps = append(comps, Component{Weight: rest, Set: m.full})
+	}
+	if m.prefs.Same8 > 0 {
+		comps = append(comps, Component{Weight: m.prefs.Same8, Set: m.cached(m.slash8, h.Addr.Slash8(), 8)})
+	}
+	if m.prefs.Same16 > 0 {
+		comps = append(comps, Component{Weight: m.prefs.Same16, Set: m.cached(m.slash16, h.Addr.Slash16(), 16)})
+	}
+	if m.prefs.Same24 > 0 {
+		comps = append(comps, Component{Weight: m.prefs.Same24, Set: m.cached(m.slash24, h.Addr.Slash24(), 24)})
+	}
+	return comps
+}
+
+// Name implements RateModel.
+func (m *LocalPrefModel) Name() string {
+	return fmt.Sprintf("local-preference(%.3g/%.3g/%.3g)", m.prefs.Same8, m.prefs.Same16, m.prefs.Same24)
+}
+
+func (m *LocalPrefModel) cached(cache map[uint32]*ipv4.Set, net uint32, bits int) *ipv4.Set {
+	if s, ok := cache[net]; ok {
+		return s
+	}
+	p, err := ipv4.NewPrefix(ipv4.Addr(net<<(32-uint(bits))), bits)
+	if err != nil {
+		panic(err) // unreachable: bits ∈ {8,16,24}
+	}
+	s := ipv4.SetOfPrefixes(p)
+	cache[net] = s
+	return s
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/worm"
+)
+
+func TestNewLocalPrefModelValidates(t *testing.T) {
+	if _, err := NewLocalPrefModel(worm.Preference{Same8: 2}); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := NewLocalPrefModel(worm.CodeRedIIPreference()); err != nil {
+		t.Errorf("CRII profile rejected: %v", err)
+	}
+}
+
+func TestLocalPrefModelComponents(t *testing.T) {
+	m, err := NewLocalPrefModel(worm.Preference{Same8: 0.25, Same16: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := population.Host{Addr: 0x12345678, Site: population.NoSite}
+	comps := m.Components(h)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3 (rest + /8 + /16)", len(comps))
+	}
+	var total float64
+	for _, c := range comps {
+		total += c.Weight
+		if c.Private {
+			t.Error("generic model produced a private component")
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("weights sum to %v", total)
+	}
+	// Set sizes: full, /8, /16.
+	if comps[0].Set.Size() != 1<<32 || comps[1].Set.Size() != 1<<24 || comps[2].Set.Size() != 1<<16 {
+		t.Errorf("component set sizes wrong: %d %d %d",
+			comps[0].Set.Size(), comps[1].Set.Size(), comps[2].Set.Size())
+	}
+	// Hosts sharing a /24 share a group and pointer-equal sets (caching).
+	h2 := population.Host{Addr: 0x123456aa, Site: population.NoSite}
+	if m.GroupKey(h) != m.GroupKey(h2) {
+		t.Error("same-/24 hosts got different groups")
+	}
+	comps2 := m.Components(h2)
+	if comps[1].Set != comps2[1].Set || comps[2].Set != comps2[2].Set {
+		t.Error("component sets not cached/shared")
+	}
+}
+
+func TestLocalPrefModelMatchesExactDriver(t *testing.T) {
+	// Cross-validate the generic model against the probe-exact generic
+	// scanner on a clustered population: growth must agree.
+	pop := smallPop(t, 400, 31)
+	prefs := worm.NimdaPreference()
+	model, err := NewLocalPrefModel(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := pop.Size() * 6 / 10
+	exact := func(seed uint64) *Result {
+		res, err := RunExact(ExactConfig{
+			Pop: pop, Factory: worm.LocalPreferenceFactory{Prefs: prefs},
+			ScanRate: 300, TickSeconds: 1, MaxSeconds: 2000, SeedHosts: 8, Seed: seed,
+			StopWhenInfected: stop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := func(seed uint64) *Result {
+		res, err := RunFast(FastConfig{
+			Pop: pop, Model: model,
+			ScanRate: 300, TickSeconds: 1, MaxSeconds: 2000, SeedHosts: 8, Seed: seed,
+			StopWhenInfected: stop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	te := epidemicHalfTime(t, exact, 5)
+	tf := epidemicHalfTime(t, fast, 5)
+	if r := te / tf; r < 0.65 || r > 1.55 {
+		t.Errorf("half-time exact %.0fs vs fast %.0fs (ratio %.2f)", te, tf, r)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"repro/internal/ipv4"
+	"repro/internal/population"
+)
+
+// Component is one term of a scanner's target mixture: with probability
+// Weight the next probe is drawn uniformly from Set.
+type Component struct {
+	Weight float64
+	Set    *ipv4.Set
+	// Private marks components whose targets never leave the host's NAT
+	// site (e.g. CodeRedII's /16 preference evaluated at a 192.168.x.y
+	// address). Probes from private components can only infect sitemates
+	// and are invisible to darknet sensors.
+	Private bool
+}
+
+// RateModel decomposes a memoryless scanner into mixture components so the
+// fast driver can aggregate probes. Implementations must return identical
+// (pointer-equal) Sets for hosts sharing a group, so per-set work is cached.
+type RateModel interface {
+	// GroupKey buckets hosts with identical component mixtures.
+	GroupKey(h population.Host) uint64
+	// Components returns the mixture for h's group.
+	Components(h population.Host) []Component
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// fullSpace returns the whole IPv4 space as a set.
+func fullSpace() *ipv4.Set {
+	return ipv4.NewSet(ipv4.Interval{Lo: 0, Hi: ipv4.MaxAddr})
+}
+
+// UniformModel is the rate model of a uniform scanner.
+type UniformModel struct {
+	full *ipv4.Set
+}
+
+// NewUniformModel returns the uniform rate model.
+func NewUniformModel() *UniformModel {
+	return &UniformModel{full: fullSpace()}
+}
+
+// GroupKey implements RateModel: every host behaves identically.
+func (m *UniformModel) GroupKey(population.Host) uint64 { return 0 }
+
+// Components implements RateModel.
+func (m *UniformModel) Components(population.Host) []Component {
+	return []Component{{Weight: 1, Set: m.full}}
+}
+
+// Name implements RateModel.
+func (m *UniformModel) Name() string { return "uniform" }
+
+// HitListModel is the rate model of a shared hit-list scanner.
+type HitListModel struct {
+	List *ipv4.Set
+}
+
+// GroupKey implements RateModel.
+func (m *HitListModel) GroupKey(population.Host) uint64 { return 0 }
+
+// Components implements RateModel.
+func (m *HitListModel) Components(population.Host) []Component {
+	return []Component{{Weight: 1, Set: m.List}}
+}
+
+// Name implements RateModel.
+func (m *HitListModel) Name() string { return "hitlist" }
+
+// CodeRedIIModel decomposes CRII's mask preference: 1/8 anywhere, 1/2 in
+// the host's /8, 3/8 in the host's /16. For a NAT'd host the /16 term is
+// private to its site and the /8 term covers public 192/8 — the leak that
+// produces the Figure 4 hotspot.
+//
+// Approximations relative to the probe-exact CodeRedII generator (all
+// validated against it in tests): the worm's rejection of loopback,
+// multicast, and its own address is ignored (those probes are wasted in
+// both drivers — the bias is < 2%), and the small 1/2·(1/256) mass a NAT'd
+// host sends to its own private /16 via the /8 branch is folded into the
+// public /8 component.
+type CodeRedIIModel struct {
+	full    *ipv4.Set
+	private *ipv4.Set
+	slash8  map[uint32]*ipv4.Set
+	slash16 map[uint32]*ipv4.Set
+}
+
+// NewCodeRedIIModel returns a CRII rate model.
+func NewCodeRedIIModel() *CodeRedIIModel {
+	return &CodeRedIIModel{
+		full:    fullSpace(),
+		private: ipv4.SetOfPrefixes(ipv4.MustParsePrefix("192.168.0.0/16")),
+		slash8:  make(map[uint32]*ipv4.Set),
+		slash16: make(map[uint32]*ipv4.Set),
+	}
+}
+
+// GroupKey implements RateModel: public hosts group by their /16 (which
+// fixes both mixture sets); NAT'd hosts group by site.
+func (m *CodeRedIIModel) GroupKey(h population.Host) uint64 {
+	if h.IsNATed() {
+		return 1<<32 | uint64(h.Site)
+	}
+	return uint64(h.Addr.Slash16())
+}
+
+// Components implements RateModel.
+func (m *CodeRedIIModel) Components(h population.Host) []Component {
+	own8 := m.slash8Set(h.Addr.Slash8())
+	own16 := m.slash16Set(h.Addr.Slash16())
+	if h.IsNATed() {
+		return []Component{
+			{Weight: 0.125, Set: m.full},
+			{Weight: 0.5, Set: own8}, // public 192/8: the leak
+			{Weight: 0.375, Set: m.private, Private: true},
+		}
+	}
+	return []Component{
+		{Weight: 0.125, Set: m.full},
+		{Weight: 0.5, Set: own8},
+		{Weight: 0.375, Set: own16},
+	}
+}
+
+// Name implements RateModel.
+func (m *CodeRedIIModel) Name() string { return "codered2" }
+
+// slash8Set returns the cached /8 target set, with 192.168/16 carved out of
+// 192/8 (those targets are private and handled by the private component).
+func (m *CodeRedIIModel) slash8Set(o uint32) *ipv4.Set {
+	if s, ok := m.slash8[o]; ok {
+		return s
+	}
+	p, err := ipv4.NewPrefix(ipv4.Addr(o<<24), 8)
+	if err != nil {
+		panic(err) // unreachable: 8 is valid
+	}
+	s := ipv4.SetOfPrefixes(p)
+	if o == 192 {
+		s = s.Subtract(m.private)
+	}
+	m.slash8[o] = s
+	return s
+}
+
+func (m *CodeRedIIModel) slash16Set(n uint32) *ipv4.Set {
+	if s, ok := m.slash16[n]; ok {
+		return s
+	}
+	p, err := ipv4.NewPrefix(ipv4.Addr(n<<16), 16)
+	if err != nil {
+		panic(err) // unreachable: 16 is valid
+	}
+	s := ipv4.SetOfPrefixes(p)
+	m.slash16[n] = s
+	return s
+}

@@ -1,0 +1,132 @@
+// Package sweep runs batches of independent simulation tasks across a
+// bounded worker pool: parameter sweeps (hit-list sizes, NAT fractions,
+// alert thresholds, seeds) that would otherwise run serially. Results
+// return in task order regardless of completion order, and a context
+// cancels stragglers.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of sweep work; it must be safe to run concurrently with
+// other tasks (tasks share nothing unless the caller arranges otherwise).
+type Task[R any] func(ctx context.Context) (R, error)
+
+// Result pairs a task's output with its index and error.
+type Result[R any] struct {
+	// Index is the task's position in the input slice.
+	Index int
+	// Value is the task's output; valid when Err is nil.
+	Value R
+	// Err is the task's failure, or nil.
+	Err error
+}
+
+// Options tunes the pool.
+type Options struct {
+	// Workers bounds concurrency; ≤0 means GOMAXPROCS.
+	Workers int
+	// FailFast cancels remaining tasks after the first error.
+	FailFast bool
+}
+
+// Run executes every task and returns results in task order. The returned
+// error is the first task error encountered in task order (all tasks still
+// have their individual Err recorded), or ctx's error if the context was
+// cancelled first.
+func Run[R any](ctx context.Context, tasks []Task[R], opts Options) ([]Result[R], error) {
+	if ctx == nil {
+		return nil, errors.New("sweep: nil context")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]Result[R], len(tasks))
+	if len(tasks) == 0 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if err := ctx.Err(); err != nil {
+					results[i] = Result[R]{Index: i, Err: err}
+					continue
+				}
+				v, err := runTask(ctx, tasks[i])
+				results[i] = Result[R]{Index: i, Value: v, Err: err}
+				if err != nil && opts.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range tasks {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			// Mark unfed tasks as cancelled.
+			for j := i; j < len(tasks); j++ {
+				select {
+				case indexes <- j:
+				default:
+					results[j] = Result[R]{Index: j, Err: ctx.Err()}
+				}
+			}
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sweep: task %d: %w", i, results[i].Err)
+		}
+	}
+	return results, ctx.Err()
+}
+
+// runTask isolates panics so one bad task cannot kill the pool.
+func runTask[R any](ctx context.Context, t Task[R]) (v R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: task panicked: %v", r)
+		}
+	}()
+	return t(ctx)
+}
+
+// Map builds tasks from a slice of inputs and a worker function, runs them,
+// and unwraps the outputs (first error aborts per Options).
+func Map[T, R any](ctx context.Context, inputs []T, fn func(ctx context.Context, in T) (R, error), opts Options) ([]R, error) {
+	tasks := make([]Task[R], len(inputs))
+	for i, in := range inputs {
+		in := in
+		tasks[i] = func(ctx context.Context) (R, error) { return fn(ctx, in) }
+	}
+	results, err := Run(ctx, tasks, opts)
+	out := make([]R, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+	}
+	return out, err
+}

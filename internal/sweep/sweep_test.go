@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	var tasks []Task[int]
+	for i := 0; i < 50; i++ {
+		i := i
+		tasks = append(tasks, func(context.Context) (int, error) { return i * i, nil })
+	}
+	results, err := Run(context.Background(), tasks, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Err != nil || r.Value != i*i {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var active, peak int64
+	var tasks []Task[struct{}]
+	for i := 0; i < 32; i++ {
+		tasks = append(tasks, func(context.Context) (struct{}, error) {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&active, -1)
+			return struct{}{}, nil
+		})
+	}
+	if _, err := Run(context.Background(), tasks, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 4 {
+		t.Errorf("peak concurrency %d, want ≤4", p)
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { return 0, boom },
+		func(context.Context) (int, error) { return 3, nil },
+	}
+	results, err := Run(context.Background(), tasks, Options{Workers: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy tasks reported errors")
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Error("failed task lost its error")
+	}
+}
+
+func TestRunFailFastCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	var tasks []Task[int]
+	tasks = append(tasks, func(context.Context) (int, error) {
+		return 0, boom
+	})
+	for i := 0; i < 64; i++ {
+		tasks = append(tasks, func(ctx context.Context) (int, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			atomic.AddInt64(&ran, 1)
+			time.Sleep(time.Millisecond)
+			return 1, nil
+		})
+	}
+	_, err := Run(context.Background(), tasks, Options{Workers: 1, FailFast: true})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt64(&ran); n > 4 {
+		t.Errorf("%d tasks ran after fail-fast, want ≈0", n)
+	}
+}
+
+func TestRunPanicIsolated(t *testing.T) {
+	tasks := []Task[int]{
+		func(context.Context) (int, error) { panic("kaboom") },
+		func(context.Context) (int, error) { return 7, nil },
+	}
+	results, err := Run(context.Background(), tasks, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	if results[1].Err != nil || results[1].Value != 7 {
+		t.Error("panic killed a sibling task")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tasks []Task[int]
+	for i := 0; i < 100; i++ {
+		i := i
+		tasks = append(tasks, func(ctx context.Context) (int, error) {
+			if i == 3 {
+				cancel()
+			}
+			return i, ctx.Err()
+		})
+	}
+	_, err := Run(ctx, tasks, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("cancellation not reported")
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	results, err := Run[int](context.Background(), nil, Options{})
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty run: %v, %v", results, err)
+	}
+	if _, err := Run[int](nil, nil, Options{}); err == nil { //nolint:staticcheck // deliberate nil ctx
+		t.Error("nil context accepted")
+	}
+}
+
+func TestMap(t *testing.T) {
+	inputs := []int{1, 2, 3, 4, 5}
+	out, err := Map(context.Background(), inputs,
+		func(_ context.Context, in int) (string, error) {
+			return fmt.Sprintf("v%d", in*10), nil
+		}, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"v10", "v20", "v30", "v40", "v50"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), []int{1, 2},
+		func(_ context.Context, in int) (int, error) {
+			if in == 2 {
+				return 0, boom
+			}
+			return in, nil
+		}, Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out := Render("title", []Series{s}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + 5 grid rows + axis + x labels + legend = 9
+	if len(lines) != 9 {
+		t.Errorf("rendered %d lines, want 9:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render("t", nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Error("empty render should say no data")
+	}
+	out = Render("t", []Series{{Name: "e"}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Error("series with no points should say no data")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}
+	out := Render("", []Series{s}, Options{Width: 10, Height: 3})
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	s := Series{Name: "log", X: []float64{0, 1, 2}, Y: []float64{1, 100, 10000}}
+	out := Render("", []Series{s}, Options{Width: 30, Height: 10, LogY: true})
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+	// Zero values must not panic under log.
+	z := Series{Name: "zeros", X: []float64{0, 1}, Y: []float64{0, 10}}
+	_ = Render("", []Series{z}, Options{LogY: true})
+}
+
+func TestRenderMultipleSeriesSymbols(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := Render("", []Series{a, b}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("per-series symbols missing:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("bars", []string{"x", "longer"}, []float64{1, 4}, 8)
+	if !strings.Contains(out, "bars") || !strings.Contains(out, "longer") {
+		t.Error("labels missing")
+	}
+	// The larger value gets the full width; the smaller a shorter bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Error("bar lengths not proportional")
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars("t", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Error("empty bars should say no data")
+	}
+	if out := Bars("t", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "no data") {
+		t.Error("mismatched lengths should say no data")
+	}
+	// All-zero values must not divide by zero.
+	out := Bars("t", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Error("zero-value bars missing label")
+	}
+}

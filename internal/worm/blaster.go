@@ -1,0 +1,157 @@
+package worm
+
+import (
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// Blaster models the MS03-026 worm's target selection, following the
+// decompiled source (Robert Graham's blaster.c, the paper's reference [21]):
+//
+//  1. srand(GetTickCount()) — the PRNG seed is the milliseconds-since-boot
+//     counter, the paper's canonical "bad source of entropy".
+//  2. With probability 12/20 the worm scans "locally": it keeps its own
+//     A.B /16 and backs the third octet off by rand()%20 when it exceeds 20.
+//  3. Otherwise it draws a start point A.B.C with A in [1,254], B and C in
+//     [0,253] from the same PRNG.
+//  4. From A.B.C.0 it scans strictly sequentially upward (20 hosts at a
+//     time in the real worm; sequential order is what matters here).
+//
+// Because the tick count at worm launch is tightly clustered (a reboot takes
+// ~30 s ± 1 s and the worm's registry Run key fires during startup), the
+// non-local start points collapse onto a small set of addresses: the Figure 1
+// hotspots. Sequential scanning then smears each cluster upward in address
+// space.
+type Blaster struct {
+	cur ipv4.Addr
+}
+
+// NewBlaster returns the generator for a host at own that launched the worm
+// when GetTickCount() returned tickCount.
+func NewBlaster(own ipv4.Addr, tickCount uint32) *Blaster {
+	return &Blaster{cur: BlasterStart(own, tickCount)}
+}
+
+// BlasterStart computes the worm's first target /24 base address for a host
+// at own seeding with tickCount. Exposed separately because the Figure 1
+// analysis inverts this map (address spike → plausible tick counts).
+func BlasterStart(own ipv4.Addr, tickCount uint32) ipv4.Addr {
+	r := rng.NewMSVCRT(tickCount)
+	a, b, c, _ := own.Octets()
+	local := r.Rand()%20 < 12
+	if local {
+		if c > 20 {
+			c -= byte(r.Rand() % 20)
+		}
+	} else {
+		a = byte(r.Rand()%254) + 1
+		b = byte(r.Rand() % 254)
+		c = byte(r.Rand() % 254)
+	}
+	return ipv4.AddrFromOctets(a, b, c, 0)
+}
+
+// Next returns the current target and advances sequentially.
+func (b *Blaster) Next() ipv4.Addr {
+	t := b.cur
+	b.cur++
+	return t
+}
+
+// TickModel draws the GetTickCount() value at worm launch. Implementations
+// model the paper's Section 4.2.2 measurement: boot takes ~30 s with a 1 s
+// standard deviation per hardware generation, and the observed seed spikes
+// map back to tick counts between about one and twenty minutes.
+type TickModel interface {
+	// DrawTick returns a tick count (milliseconds since boot) at launch.
+	DrawTick(r *rng.Xoshiro) uint32
+}
+
+// HardwareGeneration describes one machine class's boot-time distribution.
+type HardwareGeneration struct {
+	Name        string
+	MeanBootMS  float64
+	StdevBootMS float64
+}
+
+// DefaultGenerations models the paper's three measured Intel generations.
+// Means differ slightly by generation; all have ≈1 s standard deviation.
+func DefaultGenerations() []HardwareGeneration {
+	return []HardwareGeneration{
+		{Name: "PentiumII", MeanBootMS: 45000, StdevBootMS: 1000},
+		{Name: "PentiumIII", MeanBootMS: 35000, StdevBootMS: 1000},
+		{Name: "PentiumIV", MeanBootMS: 28000, StdevBootMS: 1000},
+	}
+}
+
+// RebootTickModel models worm launch after a reboot: the tick count is the
+// boot duration of a randomly chosen hardware generation plus a service
+// start-up delay. The delay term reproduces the paper's observation that
+// spikes map back to seeds of one to twenty minutes centered around 4–5
+// minutes (the worm's registry entry fires once the user session and
+// network come up, not at the instant the kernel finishes booting).
+type RebootTickModel struct {
+	Generations []HardwareGeneration
+	// MeanDelayMS is the mean of the exponential service-delay term;
+	// 240 000 (4 minutes) reproduces the paper's observed center.
+	MeanDelayMS float64
+	// MaxTickMS truncates the draw; the paper bounds its seed search at
+	// 10 000 000 (2.8 hours of uptime).
+	MaxTickMS uint32
+	// TickGranularityMS models GetTickCount()'s resolution: the counter
+	// advances with the timer interrupt (≈15.6 ms on the hardware of the
+	// era), so the effective seed space is far smaller than the
+	// millisecond range suggests. 0 means no quantization.
+	TickGranularityMS uint32
+}
+
+// DefaultRebootTickModel returns the model used by the Figure 1 experiment.
+func DefaultRebootTickModel() RebootTickModel {
+	return RebootTickModel{
+		Generations:       DefaultGenerations(),
+		MeanDelayMS:       240000,
+		MaxTickMS:         10000000,
+		TickGranularityMS: 16,
+	}
+}
+
+// DrawTick implements TickModel.
+func (m RebootTickModel) DrawTick(r *rng.Xoshiro) uint32 {
+	gen := m.Generations[r.Intn(len(m.Generations))]
+	boot := r.Normal(gen.MeanBootMS, gen.StdevBootMS)
+	if boot < 0 {
+		boot = 0
+	}
+	delay := r.Exponential(m.MeanDelayMS)
+	tick := boot + delay
+	if m.MaxTickMS > 0 && tick > float64(m.MaxTickMS) {
+		tick = float64(m.MaxTickMS)
+	}
+	t := uint32(tick)
+	if m.TickGranularityMS > 1 {
+		t -= t % m.TickGranularityMS
+	}
+	return t
+}
+
+// UniformTickModel is the ablation: tick counts drawn uniformly from the
+// full 32-bit range, i.e. a well-seeded PRNG. Start-address clustering —
+// and with it the Figure 1 hotspots — disappears.
+type UniformTickModel struct{}
+
+// DrawTick implements TickModel.
+func (UniformTickModel) DrawTick(r *rng.Xoshiro) uint32 { return r.Uint32() }
+
+// BlasterFactory builds Blaster scanners whose tick counts come from Ticks.
+type BlasterFactory struct {
+	Ticks TickModel
+}
+
+// New implements Factory. The per-host seed drives the tick-model draw.
+func (f BlasterFactory) New(addr ipv4.Addr, seed uint64) TargetGenerator {
+	r := rng.NewXoshiro(seed)
+	return NewBlaster(addr, f.Ticks.DrawTick(r))
+}
+
+// Name implements Factory.
+func (f BlasterFactory) Name() string { return "blaster" }

@@ -1,0 +1,126 @@
+package worm
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+func TestBlasterStartDeterministic(t *testing.T) {
+	own := ipv4.MustParseAddr("141.212.10.5")
+	for _, tick := range []uint32{1000, 30000, 140000, 10000000} {
+		a := BlasterStart(own, tick)
+		b := BlasterStart(own, tick)
+		if a != b {
+			t.Fatalf("tick %d: start not deterministic (%v vs %v)", tick, a, b)
+		}
+		if _, _, _, d := a.Octets(); d != 0 {
+			t.Errorf("tick %d: start %v not /24-aligned", tick, a)
+		}
+	}
+}
+
+func TestBlasterLocalBranchKeepsOwnSlash16(t *testing.T) {
+	own := ipv4.MustParseAddr("141.212.200.5")
+	var local, nonLocal int
+	for tick := uint32(0); tick < 4000; tick++ {
+		start := BlasterStart(own, tick)
+		if start.SameSlash16(own) {
+			local++
+			// The third octet only ever moves downward, by at most 19.
+			_, _, c, _ := start.Octets()
+			if c > 200 || c < 181 {
+				t.Fatalf("tick %d: local start octet %d outside [181,200]", tick, c)
+			}
+		} else {
+			nonLocal++
+			o1, _, _, _ := start.Octets()
+			if o1 < 1 || o1 > 254 {
+				t.Fatalf("tick %d: non-local first octet %d", tick, o1)
+			}
+		}
+	}
+	// rand()%20 < 12 → 60% local.
+	if local < 2200 || local > 2600 {
+		t.Errorf("local branch taken %d/4000, want ≈2400", local)
+	}
+	if nonLocal == 0 {
+		t.Error("non-local branch never taken")
+	}
+}
+
+func TestBlasterLowThirdOctetNotAdjusted(t *testing.T) {
+	// Hosts whose own third octet is ≤ 20 keep it unchanged in the local
+	// branch.
+	own := ipv4.MustParseAddr("10.9.8.200")
+	for tick := uint32(0); tick < 2000; tick++ {
+		start := BlasterStart(own, tick)
+		if start.SameSlash16(own) {
+			if _, _, c, _ := start.Octets(); c != 8 {
+				t.Fatalf("tick %d: third octet %d, want 8 (own octet ≤ 20)", tick, c)
+			}
+		}
+	}
+}
+
+func TestBlasterScansSequentially(t *testing.T) {
+	b := NewBlaster(ipv4.MustParseAddr("1.2.3.4"), 31234)
+	prev := b.Next()
+	for i := 0; i < 1000; i++ {
+		cur := b.Next()
+		if cur != prev+1 {
+			t.Fatalf("non-sequential scan: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestBlasterSeedClustering(t *testing.T) {
+	// The heart of Figure 1: hosts rebooting with tick counts inside a
+	// narrow window map to a small set of non-local start /24s, while a
+	// well-seeded PRNG spreads starts widely.
+	owns := make([]ipv4.Addr, 2000)
+	for i := range owns {
+		owns[i] = ipv4.Addr(0x20000000 + i*9973) // arbitrary public hosts
+	}
+
+	distinct := func(model TickModel, seedBase uint64) int {
+		starts := make(map[uint32]bool)
+		for i, own := range owns {
+			r := rng.NewXoshiro(seedBase + uint64(i))
+			tick := model.DrawTick(r)
+			start := BlasterStart(own, tick)
+			if !start.SameSlash16(own) { // only non-local starts cluster globally
+				starts[start.Slash24()] = true
+			}
+		}
+		return len(starts)
+	}
+
+	tight := RebootTickModel{
+		Generations:       []HardwareGeneration{{Name: "x", MeanBootMS: 30000, StdevBootMS: 1000}},
+		MeanDelayMS:       0,
+		MaxTickMS:         10000000,
+		TickGranularityMS: 16,
+	}
+	clustered := distinct(tight, 1)
+	spread := distinct(UniformTickModel{}, 1)
+	if clustered*2 >= spread {
+		t.Errorf("tick-seeded starts not clustered: %d distinct vs %d uniform", clustered, spread)
+	}
+}
+
+func TestRebootTickModelRange(t *testing.T) {
+	m := DefaultRebootTickModel()
+	r := rng.NewXoshiro(4)
+	for i := 0; i < 10000; i++ {
+		tick := m.DrawTick(r)
+		if tick > m.MaxTickMS {
+			t.Fatalf("tick %d exceeds cap %d", tick, m.MaxTickMS)
+		}
+		if tick < 20000 {
+			t.Fatalf("tick %d below any plausible boot time", tick)
+		}
+	}
+}

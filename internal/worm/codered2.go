@@ -1,0 +1,109 @@
+package worm
+
+import (
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// CodeRedII models the CRII worm's mask-based local preference, built from
+// the disassembled propagation code the paper's simulation platform also
+// used:
+//
+//   - with probability 4/8 the generated address keeps the host's first
+//     octet (same /8),
+//   - with probability 3/8 it keeps the first two octets (same /16),
+//   - with probability 1/8 it is completely random,
+//
+// and addresses in 127.0.0.0/8, multicast/reserved space, or equal to the
+// host's own address are rejected and redrawn.
+//
+// The environmental-factor interaction the paper demonstrates: a host NAT'd
+// at 192.168.x.y applies "same /8" preference to 192.0.0.0/8 — and since
+// 192.168.0.0/16 is the only private /16 in that /8, half of all its probes
+// leak to *public* 192/8 space, producing the Figure 4 hotspot at the M
+// block.
+type CodeRedII struct {
+	own ipv4.Addr
+	r   *rng.MSVCRT
+}
+
+// NewCodeRedII returns the generator for an infected host at own, seeded as
+// the worm seeds itself (tick-count-derived 32-bit value).
+func NewCodeRedII(own ipv4.Addr, seed uint32) *CodeRedII {
+	return &CodeRedII{own: own, r: rng.NewMSVCRT(seed)}
+}
+
+// Next returns the next probe target.
+func (c *CodeRedII) Next() ipv4.Addr {
+	for {
+		t := c.candidate()
+		if t.IsLoopback() || t.IsReserved() || t == c.own {
+			continue
+		}
+		return t
+	}
+}
+
+// candidate draws one raw target before exclusion rules.
+func (c *CodeRedII) candidate() ipv4.Addr {
+	// Assemble 32 random bits from three 15-bit rand() outputs, then apply
+	// the mask selection. CRII derives its randomness from the same MSVCRT
+	// generator family.
+	raw := uint32(c.r.Rand())<<17 | uint32(c.r.Rand())<<2 | uint32(c.r.Rand())&3
+	t := ipv4.Addr(raw)
+	switch c.r.Rand() % 8 {
+	case 0: // completely random: 1/8
+		return t
+	case 1, 2, 3: // same /16: 3/8
+		return ipv4.Addr(uint32(c.own)&0xffff0000 | raw&0x0000ffff)
+	default: // same /8: 4/8
+		return ipv4.Addr(uint32(c.own)&0xff000000 | raw&0x00ffffff)
+	}
+}
+
+// CodeRedIIFactory builds CodeRedII scanners.
+type CodeRedIIFactory struct{}
+
+// New implements Factory.
+func (CodeRedIIFactory) New(addr ipv4.Addr, seed uint64) TargetGenerator {
+	return NewCodeRedII(addr, uint32(rng.Mix64(seed)))
+}
+
+// Name implements Factory.
+func (CodeRedIIFactory) Name() string { return "codered2" }
+
+// CodeRedIIUniform is the ablation factory: CRII's exclusion rules without
+// its local preference (every candidate fully random). The Figure 4 M-block
+// hotspot disappears under it.
+type CodeRedIIUniform struct {
+	own ipv4.Addr
+	r   *rng.MSVCRT
+}
+
+// NewCodeRedIIUniform returns the ablation generator.
+func NewCodeRedIIUniform(own ipv4.Addr, seed uint32) *CodeRedIIUniform {
+	return &CodeRedIIUniform{own: own, r: rng.NewMSVCRT(seed)}
+}
+
+// Next returns the next probe target.
+func (c *CodeRedIIUniform) Next() ipv4.Addr {
+	for {
+		raw := uint32(c.r.Rand())<<17 | uint32(c.r.Rand())<<2 | uint32(c.r.Rand())&3
+		t := ipv4.Addr(raw)
+		if t.IsLoopback() || t.IsReserved() || t == c.own {
+			continue
+		}
+		return t
+	}
+}
+
+// CodeRedIIUniformFactory builds the ablation scanners.
+type CodeRedIIUniformFactory struct{}
+
+// New implements Factory.
+func (CodeRedIIUniformFactory) New(addr ipv4.Addr, seed uint64) TargetGenerator {
+	return NewCodeRedIIUniform(addr, uint32(rng.Mix64(seed)))
+}
+
+// Name implements Factory.
+func (CodeRedIIUniformFactory) Name() string { return "codered2-uniform" }

@@ -1,0 +1,123 @@
+package worm
+
+import (
+	"errors"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// Preference is a generic mask-based local-preference profile: with the
+// given probabilities the next target keeps the host's first one, two, or
+// three octets; with the remaining probability it is fully random. CRII and
+// Nimda are instances; the paper's Section 3.1 "Local Preference" factor in
+// general form.
+type Preference struct {
+	// Same8, Same16, Same24 are the probabilities of staying inside the
+	// host's /8, /16, and /24 respectively. Their sum must not exceed 1.
+	Same8, Same16, Same24 float64
+}
+
+// Validate checks the profile.
+func (p Preference) Validate() error {
+	for _, v := range []float64{p.Same8, p.Same16, p.Same24} {
+		if v < 0 || v > 1 {
+			return errors.New("worm: preference probabilities must be in [0,1]")
+		}
+	}
+	if p.Same8+p.Same16+p.Same24 > 1 {
+		return errors.New("worm: preference probabilities exceed 1")
+	}
+	return nil
+}
+
+// CodeRedIIPreference is CRII's measured profile (1/2 same /8, 3/8 same
+// /16, 1/8 random).
+func CodeRedIIPreference() Preference {
+	return Preference{Same8: 0.5, Same16: 0.375}
+}
+
+// NimdaPreference is Nimda's commonly reported profile: 50% same /16, 25%
+// same /8, 25% random.
+func NimdaPreference() Preference {
+	return Preference{Same8: 0.25, Same16: 0.5}
+}
+
+// LocalPreference is a generic local-preference scanner over a profile.
+type LocalPreference struct {
+	own   ipv4.Addr
+	prefs Preference
+	r     *rng.Xoshiro
+}
+
+// NewLocalPreference builds the scanner; the profile must validate.
+func NewLocalPreference(own ipv4.Addr, prefs Preference, seed uint64) (*LocalPreference, error) {
+	if err := prefs.Validate(); err != nil {
+		return nil, err
+	}
+	return &LocalPreference{own: own, prefs: prefs, r: rng.NewXoshiro(seed)}, nil
+}
+
+// Next returns the next target.
+func (l *LocalPreference) Next() ipv4.Addr {
+	raw := ipv4.Addr(l.r.Uint32())
+	u := l.r.Float64()
+	switch {
+	case u < l.prefs.Same24:
+		return l.own&0xffffff00 | raw&0x000000ff
+	case u < l.prefs.Same24+l.prefs.Same16:
+		return l.own&0xffff0000 | raw&0x0000ffff
+	case u < l.prefs.Same24+l.prefs.Same16+l.prefs.Same8:
+		return l.own&0xff000000 | raw&0x00ffffff
+	default:
+		return raw
+	}
+}
+
+// LocalPreferenceFactory builds LocalPreference scanners over one profile.
+type LocalPreferenceFactory struct {
+	Prefs Preference
+}
+
+// New implements Factory. An invalid profile panics: factories are
+// constructed once at configuration time and validated there.
+func (f LocalPreferenceFactory) New(addr ipv4.Addr, seed uint64) TargetGenerator {
+	g, err := NewLocalPreference(addr, f.Prefs, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Factory.
+func (f LocalPreferenceFactory) Name() string { return "local-preference" }
+
+// Sequential scans upward from a uniformly random starting point — the
+// generic form of Blaster-style sequential scanning without the tick-count
+// pathology (its well-seeded ablation).
+type Sequential struct {
+	cur ipv4.Addr
+}
+
+// NewSequential returns a sequential scanner starting at a random address.
+func NewSequential(seed uint64) *Sequential {
+	return &Sequential{cur: ipv4.Addr(rng.NewXoshiro(seed).Uint32())}
+}
+
+// Next returns the current target and advances by one.
+func (s *Sequential) Next() ipv4.Addr {
+	t := s.cur
+	s.cur++
+	return t
+}
+
+// SequentialFactory builds Sequential scanners.
+type SequentialFactory struct{}
+
+// New implements Factory.
+func (SequentialFactory) New(_ ipv4.Addr, seed uint64) TargetGenerator {
+	return NewSequential(seed)
+}
+
+// Name implements Factory.
+func (SequentialFactory) Name() string { return "sequential" }

@@ -1,0 +1,82 @@
+package worm
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+)
+
+func TestSlammerIncrementsMatchPaper(t *testing.T) {
+	// The paper prints 0x8831fa24 for the 0x77e89b18 IAT; the other two
+	// follow from the same XOR derivation.
+	got := SlammerIncrements()
+	want := [3]uint32{0x88215000, 0x8831fa24, 0x88336870}
+	if got != want {
+		t.Fatalf("SlammerIncrements() = %#x, want %#x", got, want)
+	}
+}
+
+func TestSlammerFollowsLCG(t *testing.T) {
+	const seed = 0xdeadbeef
+	s := NewSlammer(1, seed)
+	state := uint32(seed)
+	b := SlammerIncrements()[1]
+	for i := 0; i < 100; i++ {
+		state = state*SlammerMultiplier + b
+		if got := s.Next(); got != ipv4.Addr(state) {
+			t.Fatalf("step %d: Next() = %v, want %v", i, got, ipv4.Addr(state))
+		}
+	}
+}
+
+func TestSlammerShortCycleHostRepeats(t *testing.T) {
+	// A host seeded inside a short cycle revisits exactly the cycle's
+	// addresses — the paper's "targeted denial of service" behaviour.
+	m := SlammerMap(0)
+	prog, ok := m.StatesWithPeriodAtMost(1 << 8)
+	if !ok {
+		t.Fatal("no short cycles in Slammer variant 0")
+	}
+	seed := prog.Nth(1)
+	period := m.Period(seed)
+	if period > 1<<8 {
+		t.Fatalf("chosen seed has period %d", period)
+	}
+	s := NewSlammer(0, seed)
+	firstPass := make(map[ipv4.Addr]bool, period)
+	for i := uint64(0); i < period; i++ {
+		firstPass[s.Next()] = true
+	}
+	// The next `period` probes must revisit only those addresses.
+	for i := uint64(0); i < period; i++ {
+		if a := s.Next(); !firstPass[a] {
+			t.Fatalf("short-cycle host escaped its cycle at %v", a)
+		}
+	}
+	if uint64(len(firstPass)) != period {
+		t.Errorf("cycle visited %d distinct addresses, want %d", len(firstPass), period)
+	}
+}
+
+func TestSlammerMapCensusShape(t *testing.T) {
+	for v := 0; v < 3; v++ {
+		m := SlammerMap(v)
+		if got := m.TotalCycles(); got != 64 {
+			t.Errorf("variant %d: %d cycles, want 64", v, got)
+		}
+	}
+}
+
+func TestSlammerIntendedHasLongTrajectories(t *testing.T) {
+	// The ablation generator must not revisit any address within a short
+	// window from any seed (full-period LCG).
+	s := SlammerIntended(12345)
+	seen := make(map[ipv4.Addr]bool)
+	for i := 0; i < 100000; i++ {
+		a := s.Next()
+		if seen[a] {
+			t.Fatalf("intended-increment generator repeated %v at step %d", a, i)
+		}
+		seen[a] = true
+	}
+}

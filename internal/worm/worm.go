@@ -1,0 +1,129 @@
+// Package worm implements the target-selection algorithms of the
+// self-propagating threats the hotspots paper studies, plus the uniform and
+// permutation-scanning baselines they are compared against.
+//
+// Every scanner is a deterministic state machine over explicit seeds: the
+// same construction parameters always yield the same probe sequence. That
+// property is what makes hotspots analyzable at all — the paper's central
+// observation is that these "random" scanners are nothing of the sort.
+//
+// Implemented generators:
+//
+//   - Uniform: the idealized baseline of the simple epidemic model — every
+//     address equally likely.
+//   - Permutation: Staniford-style permutation scanning (a keyed bijection
+//     of the 32-bit space walked sequentially) — uniform coverage without
+//     repeats, used as a second baseline.
+//   - HitList: probes restricted to a pre-programmed address set, the
+//     algorithmic factor behind targeted bot propagation (Table 1, Fig 5a/b).
+//   - Slammer: the flawed LCG x' = 214013·x + b with the OR-corrupted
+//     increments — probes follow the LCG's cycle structure (Fig 2, 3).
+//   - Blaster: MSVCRT rand() seeded with GetTickCount(), picking a start
+//     point then scanning sequentially (Fig 1).
+//   - CodeRedII: mask-based local preference (1/8 random, 1/2 same /8,
+//     3/8 same /16) with exclusion rules (Fig 4).
+package worm
+
+import (
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// TargetGenerator produces the sequence of addresses a single infected host
+// probes. Implementations are not safe for concurrent use; the simulation
+// engine owns one generator per infected host.
+type TargetGenerator interface {
+	// Next returns the next target address.
+	Next() ipv4.Addr
+}
+
+// Factory builds a fresh TargetGenerator for a newly infected host. The
+// host's own address and a per-host seed are the only inputs a real worm
+// has; everything else must come from the generator's internal algorithm.
+type Factory interface {
+	// New returns the generator a host at addr, infected with per-host
+	// entropy seed, will use.
+	New(addr ipv4.Addr, seed uint64) TargetGenerator
+	// Name identifies the propagation algorithm in reports.
+	Name() string
+}
+
+// Uniform scans the full IPv4 space uniformly at random — the propagation
+// model assumed by the simple epidemic model and by early detection-system
+// analyses. It is the "no hotspots" baseline.
+type Uniform struct {
+	r *rng.Xoshiro
+}
+
+// NewUniform returns a uniform scanner driven by seed.
+func NewUniform(seed uint64) *Uniform {
+	return &Uniform{r: rng.NewXoshiro(seed)}
+}
+
+// Next returns a uniformly random address.
+func (u *Uniform) Next() ipv4.Addr { return ipv4.Addr(u.r.Uint32()) }
+
+// UniformFactory builds Uniform scanners.
+type UniformFactory struct{}
+
+// New implements Factory.
+func (UniformFactory) New(_ ipv4.Addr, seed uint64) TargetGenerator { return NewUniform(seed) }
+
+// Name implements Factory.
+func (UniformFactory) Name() string { return "uniform" }
+
+// Permutation walks a keyed pseudorandom permutation of the 32-bit address
+// space from a random offset, so a single instance never repeats a target
+// until it has covered the whole space (Staniford et al.'s permutation
+// scanning). The permutation is a 4-round balanced Feistel network over
+// 16-bit halves, which is a bijection for any round keys.
+type Permutation struct {
+	keys [4]uint32
+	idx  uint32
+}
+
+// NewPermutation returns a permutation scanner whose permutation and start
+// offset derive from seed.
+func NewPermutation(seed uint64) *Permutation {
+	sm := rng.NewSplitMix64(seed)
+	p := &Permutation{}
+	for i := range p.keys {
+		p.keys[i] = uint32(sm.Uint64())
+	}
+	p.idx = uint32(sm.Uint64())
+	return p
+}
+
+// Next returns the permutation image of the next index.
+func (p *Permutation) Next() ipv4.Addr {
+	v := p.permute(p.idx)
+	p.idx++
+	return ipv4.Addr(v)
+}
+
+func (p *Permutation) permute(x uint32) uint32 {
+	l, r := uint16(x>>16), uint16(x)
+	for _, k := range p.keys {
+		l, r = r, l^feistelRound(r, k)
+	}
+	return uint32(l)<<16 | uint32(r)
+}
+
+// feistelRound is a cheap mixing function; any function works for
+// bijectivity, this one just needs to diffuse bits.
+func feistelRound(r uint16, k uint32) uint16 {
+	v := (uint32(r) + k) * 2654435761 // Knuth multiplicative hash
+	v ^= v >> 13
+	return uint16(v ^ v>>16)
+}
+
+// PermutationFactory builds Permutation scanners.
+type PermutationFactory struct{}
+
+// New implements Factory.
+func (PermutationFactory) New(_ ipv4.Addr, seed uint64) TargetGenerator {
+	return NewPermutation(seed)
+}
+
+// Name implements Factory.
+func (PermutationFactory) Name() string { return "permutation" }

@@ -1,0 +1,162 @@
+package worm
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+)
+
+func TestUniformDeterminism(t *testing.T) {
+	a, b := NewUniform(42), NewUniform(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seeded uniform scanners diverged")
+		}
+	}
+}
+
+func TestUniformCoversOctets(t *testing.T) {
+	// Every /8 should be hit at roughly the uniform rate.
+	u := NewUniform(7)
+	var counts [256]int
+	const n = 256 * 1000
+	for i := 0; i < n; i++ {
+		counts[u.Next().Slash8()]++
+	}
+	for o, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("/8 %d hit %d times, want ≈1000", o, c)
+		}
+	}
+}
+
+func TestPermutationNoRepeats(t *testing.T) {
+	p := NewPermutation(3)
+	seen := make(map[ipv4.Addr]bool, 200000)
+	for i := 0; i < 200000; i++ {
+		a := p.Next()
+		if seen[a] {
+			t.Fatalf("permutation scanner repeated %v at step %d", a, i)
+		}
+		seen[a] = true
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	p := NewPermutation(9)
+	// Distinct inputs must map to distinct outputs on a sample window.
+	seen := make(map[uint32]uint32, 50000)
+	for x := uint32(0); x < 50000; x++ {
+		y := p.permute(x)
+		if prev, dup := seen[y]; dup {
+			t.Fatalf("permute collision: %d and %d both -> %d", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+func TestHitListStaysInside(t *testing.T) {
+	set := ipv4.SetOfPrefixes(
+		ipv4.MustParsePrefix("10.1.0.0/16"),
+		ipv4.MustParsePrefix("172.20.5.0/24"),
+	)
+	h := NewHitList(set, 5)
+	for i := 0; i < 10000; i++ {
+		if a := h.Next(); !set.Contains(a) {
+			t.Fatalf("hit-list scanner escaped: %v", a)
+		}
+	}
+}
+
+func TestHitListPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty hit-list accepted")
+		}
+	}()
+	NewHitList(&ipv4.Set{}, 1)
+}
+
+func TestHitListUniformWithin(t *testing.T) {
+	set := ipv4.SetOfPrefixes(
+		ipv4.MustParsePrefix("10.1.0.0/24"),
+		ipv4.MustParsePrefix("10.2.0.0/24"),
+	)
+	h := NewHitList(set, 11)
+	var first, second int
+	for i := 0; i < 20000; i++ {
+		if h.Next().Slash16() == ipv4.MustParseAddr("10.1.0.0").Slash16() {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first < 9000 || first > 11000 {
+		t.Errorf("first /24 drew %d of 20000, want ≈10000", first)
+	}
+	_ = second
+}
+
+func TestBuildGreedySlash16HitList(t *testing.T) {
+	var vulnerable []ipv4.Addr
+	// 100 hosts in 10.1/16, 10 hosts in 10.2/16, 1 host in 10.3/16.
+	for i := 0; i < 100; i++ {
+		vulnerable = append(vulnerable, ipv4.MustParseAddr("10.1.0.0")+ipv4.Addr(i))
+	}
+	for i := 0; i < 10; i++ {
+		vulnerable = append(vulnerable, ipv4.MustParseAddr("10.2.0.0")+ipv4.Addr(i))
+	}
+	vulnerable = append(vulnerable, ipv4.MustParseAddr("10.3.0.0"))
+
+	prefixes, cover := BuildGreedySlash16HitList(vulnerable, 1)
+	if len(prefixes) != 1 || prefixes[0].String() != "10.1.0.0/16" {
+		t.Fatalf("top-1 = %v, want [10.1.0.0/16]", prefixes)
+	}
+	if want := 100.0 / 111.0; cover < want-1e-9 || cover > want+1e-9 {
+		t.Errorf("coverage = %v, want %v", cover, want)
+	}
+
+	prefixes, cover = BuildGreedySlash16HitList(vulnerable, 10)
+	if len(prefixes) != 3 {
+		t.Fatalf("k beyond distinct /16s: got %d prefixes, want 3", len(prefixes))
+	}
+	if cover != 1 {
+		t.Errorf("full coverage = %v, want 1", cover)
+	}
+
+	if p, c := BuildGreedySlash16HitList(nil, 5); p != nil || c != 0 {
+		t.Errorf("empty population: %v, %v", p, c)
+	}
+	if p, c := BuildGreedySlash16HitList(vulnerable, 0); p != nil || c != 0 {
+		t.Errorf("k=0: %v, %v", p, c)
+	}
+}
+
+func TestFactoriesProduceIndependentDeterministicScanners(t *testing.T) {
+	set := ipv4.SetOfPrefixes(ipv4.MustParsePrefix("10.0.0.0/8"))
+	factories := []Factory{
+		UniformFactory{},
+		PermutationFactory{},
+		HitListFactory{ListSet: set},
+		SlammerFactory{Variant: 0},
+		SlammerIntendedFactory{},
+		BlasterFactory{Ticks: DefaultRebootTickModel()},
+		CodeRedIIFactory{},
+		CodeRedIIUniformFactory{},
+	}
+	own := ipv4.MustParseAddr("18.5.5.5")
+	for _, f := range factories {
+		t.Run(f.Name(), func(t *testing.T) {
+			g1 := f.New(own, 77)
+			g2 := f.New(own, 77)
+			for i := 0; i < 50; i++ {
+				if g1.Next() != g2.Next() {
+					t.Fatal("same-seed generators diverged")
+				}
+			}
+			if f.Name() == "" {
+				t.Error("empty factory name")
+			}
+		})
+	}
+}
