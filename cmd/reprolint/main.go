@@ -1,0 +1,120 @@
+// Command reprolint runs the repository's determinism and concurrency
+// lint suite (internal/lint) over one or more package trees and prints
+// findings as "file:line: rule: message", one per line.
+//
+// Usage:
+//
+//	reprolint [-rules rule1,rule2] [-list] [pattern ...]
+//
+// A pattern is a directory, or a directory followed by /... to include
+// everything below it; the default is ./... . The exit status is 0 when
+// the tree is clean, 1 when there are findings, and 2 on usage or parse
+// errors. Findings are suppressed with a justified directive on or
+// directly above the offending line:
+//
+//	//lint:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	var (
+		rules = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list  = fs.Bool("list", false, "list available rules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		return 2, err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	found := 0
+	for _, pat := range patterns {
+		root, recursive := splitPattern(pat)
+		prog, err := lint.Load(root)
+		if err != nil {
+			return 2, err
+		}
+		findings := lint.Run(prog, analyzers)
+		for _, f := range findings {
+			if !recursive {
+				// A non-recursive pattern covers only the named directory.
+				dir := strings.TrimPrefix(f.Pos.Filename, "./")
+				if i := strings.LastIndex(dir, "/"); i >= 0 {
+					dir = dir[:i]
+				} else {
+					dir = "."
+				}
+				if dir != strings.TrimPrefix(strings.TrimSuffix(root, "/"), "./") {
+					continue
+				}
+			}
+			fmt.Fprintln(out, f)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(out, "reprolint: %d finding(s)\n", found)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// selectAnalyzers resolves the -rules flag to the analyzer subset.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	if rules == "" {
+		return lint.Analyzers(), nil
+	}
+	var selected []*lint.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
+}
+
+// splitPattern separates a package pattern into its root directory and
+// whether it recurses.
+func splitPattern(pat string) (root string, recursive bool) {
+	if pat == "..." {
+		return ".", true
+	}
+	if strings.HasSuffix(pat, "/...") {
+		return strings.TrimSuffix(pat, "/..."), true
+	}
+	return pat, false
+}

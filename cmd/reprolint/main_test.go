@@ -1,0 +1,97 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// findingLine is the output contract: file:line: rule: message.
+var findingLine = regexp.MustCompile(`^testdata/src/dirty/dirty\.go:\d+: [a-z-]+: .+$`)
+
+func TestRunFindsViolations(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"testdata/src/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d output lines, want 2 findings + summary:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines[:2] {
+		if !findingLine.MatchString(line) {
+			t.Errorf("output line %q does not match file:line: rule: message", line)
+		}
+	}
+	for _, rule := range []string{"seed-literal", "float-eq"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("output missing %s finding:\n%s", rule, out.String())
+		}
+	}
+	if !strings.Contains(lines[2], "2 finding(s)") {
+		t.Errorf("summary line = %q", lines[2])
+	}
+}
+
+func TestRunCleanTreeExitsZero(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"testdata/src/clean"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("clean tree: code=%d output=%q, want 0 and empty", code, out.String())
+	}
+}
+
+func TestRunNonRecursivePatternSkipsSubdirs(t *testing.T) {
+	var out strings.Builder
+	// testdata/src itself has no Go files; without /... the violations in
+	// dirty/ must not be reported.
+	code, err := run([]string{"testdata/src"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("non-recursive: code=%d output=%q, want 0 and empty", code, out.String())
+	}
+}
+
+func TestRunRulesSubset(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-rules", "seed-literal", "testdata/src/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "float-eq") {
+		t.Errorf("-rules seed-literal still ran float-eq:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownRule(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-rules", "bogus"}, &out)
+	if err == nil || code != 2 {
+		t.Fatalf("unknown rule: code=%d err=%v, want 2 and error", code, err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-list: code=%d err=%v", code, err)
+	}
+	for _, rule := range []string{"banned-import", "no-wallclock", "float-eq", "goroutine-capture", "unchecked-error", "seed-literal"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}

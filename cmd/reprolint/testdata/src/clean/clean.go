@@ -1,0 +1,10 @@
+// Package clean is a reprolint smoke-test fixture with no violations.
+package clean
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,8 @@
+// Package dirty is a reprolint smoke-test fixture with known violations.
+package dirty
+
+import "repro/internal/rng"
+
+var r = rng.NewXoshiro(42)
+
+func close(a, b float64) bool { return a == b }

@@ -70,6 +70,7 @@ func Compare(a, b []uint64) (Delta, error) {
 		totalA += float64(a[i])
 		totalB += float64(b[i])
 	}
+	//lint:ignore float-eq totalB is an exact sum of whole uint64 counts, so zero means literally no observations
 	if totalB == 0 {
 		return Delta{}, errors.New("core: ablation distribution is empty")
 	}

@@ -100,6 +100,7 @@ func Gini(counts []uint64) float64 {
 		sorted[i] = float64(c)
 		total += float64(c)
 	}
+	//lint:ignore float-eq total is an exact sum of whole uint64 counts, so zero means literally no observations
 	if total == 0 {
 		return 0
 	}
@@ -149,7 +150,7 @@ type Hotspot struct {
 // spikes visible in the paper's figures.
 func FindHotspots(counts []uint64, ratio float64) []Hotspot {
 	med := medianPositive(counts)
-	if med == 0 {
+	if med <= 0 {
 		return nil
 	}
 	var out []Hotspot

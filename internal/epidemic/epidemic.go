@@ -97,6 +97,7 @@ func FitBeta(times, infected []float64, population float64) (float64, int, error
 		return 0, n, errors.New("epidemic: too few informative points to fit")
 	}
 	den := float64(n)*sxx - sx*sx
+	//lint:ignore float-eq tick times are integer-valued floats below 2^53, so den is exact and ==0 detects exact degeneracy
 	if den == 0 {
 		return 0, n, errors.New("epidemic: degenerate time series")
 	}

@@ -313,7 +313,7 @@ func RunExtPrevalence(cfg ExtPrevalenceConfig) (*Result, error) {
 	wormContent := payload.DefaultWormPayload("hitlist-worm")
 
 	var instance uint64
-	var firstAlarm float64
+	firstAlarm := -1.0 // sentinel: no alarm recorded yet
 	now := 0.0
 	_, err = sim.RunExact(sim.ExactConfig{
 		Pop:         pop,
@@ -329,7 +329,7 @@ func RunExtPrevalence(cfg ExtPrevalenceConfig) (*Result, error) {
 		OnProbe: func(src, dst ipv4.Addr) {
 			instance++
 			if inPrefix.Contains(dst) {
-				if fired := inSensor.Observe(src, dst, wormContent.Instance(instance)); len(fired) > 0 && firstAlarm == 0 {
+				if fired := inSensor.Observe(src, dst, wormContent.Instance(instance)); len(fired) > 0 && firstAlarm < 0 {
 					firstAlarm = now
 				}
 			}

@@ -263,7 +263,7 @@ func Fig1SpikeRatio(res *Result) (float64, error) {
 		}
 	}
 	med := medianPositive(all)
-	if med == 0 {
+	if med <= 0 {
 		return 0, errors.New("experiments: no observations")
 	}
 	return float64(maxV) / med, nil

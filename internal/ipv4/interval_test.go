@@ -1,9 +1,10 @@
 package ipv4
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/rng"
 )
 
 func TestIntervalBasics(t *testing.T) {
@@ -101,7 +102,7 @@ func TestSetIntersectInterval(t *testing.T) {
 // oracle for property tests of the set algebra.
 type refSet map[Addr]bool
 
-func randomSmallSet(r *rand.Rand) (*Set, refSet) {
+func randomSmallSet(r *rng.Xoshiro) (*Set, refSet) {
 	s := &Set{}
 	ref := make(refSet)
 	n := r.Intn(6)
@@ -120,7 +121,7 @@ func randomSmallSet(r *rand.Rand) (*Set, refSet) {
 }
 
 func TestSetAlgebraAgainstOracle(t *testing.T) {
-	r := rand.New(rand.NewSource(42))
+	r := rng.NewXoshiro(42)
 	for trial := 0; trial < 500; trial++ {
 		a, refA := randomSmallSet(r)
 		b, refB := randomSmallSet(r)

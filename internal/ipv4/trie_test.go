@@ -1,8 +1,9 @@
 package ipv4
 
 import (
-	"math/rand"
 	"testing"
+
+	"repro/internal/rng"
 )
 
 func TestTrieLongestPrefixMatch(t *testing.T) {
@@ -125,7 +126,7 @@ func TestTrieWalk(t *testing.T) {
 func TestTrieAgainstLinearScan(t *testing.T) {
 	// Oracle test: LPM lookups must match a brute-force longest-match scan
 	// over a random rule set.
-	r := rand.New(rand.NewSource(7))
+	r := rng.NewXoshiro(7)
 	tr := NewTrie[int]()
 	type rule struct {
 		p Prefix

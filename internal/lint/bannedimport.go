@@ -1,0 +1,39 @@
+package lint
+
+import "strings"
+
+// bannedImportPaths are the RNG packages that bypass internal/rng. Both
+// math/rand generations are banned (global state, version-dependent
+// streams); crypto/rand is banned because it is irreproducible by design.
+var bannedImportPaths = map[string]string{
+	"math/rand":    "global state and Go-version-dependent streams break reproducibility",
+	"math/rand/v2": "unseedable global functions break reproducibility",
+	"crypto/rand":  "irreproducible by design",
+}
+
+// rngDir is the one package allowed to import the banned packages: it is
+// the repo's deterministic RNG substrate and may wrap or cross-check them.
+const rngDir = "internal/rng"
+
+// BannedImport forbids math/rand and crypto/rand outside internal/rng and
+// _test.go files: every stream of randomness in the library must flow
+// through internal/rng so a single seed pins the whole computation.
+var BannedImport = &Analyzer{
+	Name: "banned-import",
+	Doc:  "math/rand and crypto/rand are forbidden outside internal/rng; use internal/rng",
+	Run:  runBannedImport,
+}
+
+func runBannedImport(pass *Pass) {
+	if pass.File.Test || underDir(pass.Package.Rel, rngDir) {
+		return
+	}
+	for _, imp := range pass.File.AST.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		why, banned := bannedImportPaths[path]
+		if !banned {
+			continue
+		}
+		pass.Report(imp, "import %q is banned outside %s (%s); draw randomness from internal/rng", path, rngDir, why)
+	}
+}

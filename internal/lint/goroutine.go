@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoroutineCapture flags two goroutine bug classes that -race only catches
+// when the schedule cooperates:
+//
+//   - a `go func(){...}` literal inside a loop that reads the loop
+//     variable instead of taking it as an argument (the classic
+//     internal/sweep bug class; per-iteration loop variables in Go 1.22
+//     mask it, but the explicit form keeps intent obvious and survives
+//     toolchain downgrades), and
+//   - writes to a map declared outside the literal, with no Lock call
+//     anywhere in the body to suggest synchronization.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutine-capture",
+	Doc:  "loop-variable capture and unsynchronized shared-map writes in go func literals",
+	Run:  runGoroutineCapture,
+}
+
+// loopScope records one enclosing for/range statement: the variables it
+// declares, its body extent, and same-name rebinds inside the body.
+type loopScope struct {
+	vars    map[string]bool
+	rebound map[string]bool
+	body    *ast.BlockStmt
+}
+
+func runGoroutineCapture(pass *Pass) {
+	for _, decl := range pass.File.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		loops := collectLoops(fd.Body)
+		mapVars := collectMapVars(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkLoopCapture(pass, gs, lit, loops)
+			checkSharedMapWrites(pass, lit, mapVars)
+			return true
+		})
+	}
+}
+
+// collectLoops gathers every for/range statement in body along with the
+// variables its header declares and any `x := x` rebinds in its body.
+func collectLoops(body *ast.BlockStmt) []loopScope {
+	var loops []loopScope
+	ast.Inspect(body, func(n ast.Node) bool {
+		scope := loopScope{vars: make(map[string]bool), rebound: make(map[string]bool)}
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						scope.vars[id.Name] = true
+					}
+				}
+			}
+			scope.body = s.Body
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						scope.vars[id.Name] = true
+					}
+				}
+			}
+			scope.body = s.Body
+		default:
+			return true
+		}
+		if len(scope.vars) == 0 {
+			return true
+		}
+		// `v := v` inside the body rebinds the name per iteration; closures
+		// then capture the copy, which is safe and not flagged.
+		ast.Inspect(scope.body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				l, lok := as.Lhs[i].(*ast.Ident)
+				r, rok := as.Rhs[i].(*ast.Ident)
+				if lok && rok && l.Name == r.Name && scope.vars[l.Name] {
+					scope.rebound[l.Name] = true
+				}
+			}
+			return true
+		})
+		loops = append(loops, scope)
+		return true
+	})
+	return loops
+}
+
+// checkLoopCapture reports loop variables read inside the go-literal body
+// without being passed as arguments or rebound.
+func checkLoopCapture(pass *Pass, gs *ast.GoStmt, lit *ast.FuncLit, loops []loopScope) {
+	captured := make(map[string]bool)
+	for _, scope := range loops {
+		if gs.Pos() < scope.body.Pos() || gs.End() > scope.body.End() {
+			continue
+		}
+		for name := range scope.vars {
+			if !scope.rebound[name] {
+				captured[name] = true
+			}
+		}
+	}
+	if len(captured) == 0 {
+		return
+	}
+	for name := range declaredIn(lit) {
+		delete(captured, name)
+	}
+	reported := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !captured[id.Name] || reported[id.Name] {
+			return true
+		}
+		reported[id.Name] = true
+		pass.Report(id, "go func literal captures loop variable %q; pass it as an argument (go func(%s ...) {...}(%s))", id.Name, id.Name, id.Name)
+		return true
+	})
+}
+
+// checkSharedMapWrites reports writes (index assignment or delete) to maps
+// declared outside the literal when nothing in the body takes a lock.
+func checkSharedMapWrites(pass *Pass, lit *ast.FuncLit, mapVars map[string]bool) {
+	if len(mapVars) == 0 {
+		return
+	}
+	local := declaredIn(lit)
+	locked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			locked = true
+		}
+		return true
+	})
+	if locked {
+		return
+	}
+	reportWrite := func(lhs ast.Expr) {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		if id, ok := ix.X.(*ast.Ident); ok && mapVars[id.Name] && !local[id.Name] {
+			pass.Report(ix, "write to shared map %q inside go func literal without synchronization; guard it with a mutex or use per-goroutine maps merged after Wait", id.Name)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				reportWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(s.X)
+		case *ast.CallExpr:
+			if fn, ok := s.Fun.(*ast.Ident); ok && fn.Name == "delete" && len(s.Args) > 0 {
+				if id, ok := s.Args[0].(*ast.Ident); ok && mapVars[id.Name] && !local[id.Name] {
+					pass.Report(s, "delete from shared map %q inside go func literal without synchronization", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectMapVars finds names bound to syntactically map-typed values in
+// body: explicit map var declarations, make(map[...]...), and map
+// composite literals.
+func collectMapVars(body *ast.BlockStmt) map[string]bool {
+	vars := make(map[string]bool)
+	isMapExpr := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if fn, ok := x.Fun.(*ast.Ident); ok && fn.Name == "make" && len(x.Args) > 0 {
+				_, isMap := x.Args[0].(*ast.MapType)
+				return isMap
+			}
+		case *ast.CompositeLit:
+			_, isMap := x.Type.(*ast.MapType)
+			return isMap
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ValueSpec:
+			if _, ok := s.Type.(*ast.MapType); ok {
+				for _, name := range s.Names {
+					vars[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isMapExpr(s.Rhs[i]) {
+					vars[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// declaredIn returns every name the literal declares itself: parameters
+// and any := / var declarations in its body.
+func declaredIn(lit *ast.FuncLit) map[string]bool {
+	names := make(map[string]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				names[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						names[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				names[name.Name] = true
+			}
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file plus the suppression directives it carries.
+type File struct {
+	// Path is the file path as given to the parser (relative to the
+	// loader's working directory).
+	Path string
+	// AST is the parsed file, with comments attached.
+	AST *ast.File
+	// Test reports whether the file name ends in _test.go.
+	Test bool
+
+	// ignores maps a source line to the rule names suppressed there. A
+	// directive on line L suppresses findings on L and L+1, so both keys
+	// are populated.
+	ignores map[int]map[string]bool
+}
+
+// suppressed reports whether rule is ignored at the given line.
+func (f *File) suppressed(rule string, line int) bool {
+	return f.ignores[line][rule]
+}
+
+// Package is one directory of source files.
+type Package struct {
+	// Dir is the directory path as walked.
+	Dir string
+	// Name is the package name of the first non-test file (or first file).
+	Name string
+	// Rel is Dir relative to the module root, slash-separated; "." for the
+	// root itself. Rules scope themselves with Rel so fixtures that mimic
+	// the repo layout behave identically to the real tree.
+	Rel string
+	// Files are the package's files, tests included, in name order.
+	Files []*File
+}
+
+// Program is a loaded source tree plus the syntactic signature index the
+// analyzers use in place of a type checker.
+type Program struct {
+	// Fset positions every loaded file.
+	Fset *token.FileSet
+	// Packages are the loaded directories in path order.
+	Packages []*Package
+	// Malformed collects ignore directives missing a rule or reason; they
+	// are reported as rule "lint-ignore" findings so every suppression in
+	// the tree stays justified.
+	Malformed []Finding
+
+	// funcResults maps "pkgName.FuncName" to the declared result type
+	// strings of that top-level function.
+	funcResults map[string][]string
+	// methodResults maps a method name to the result lists of every method
+	// with that name anywhere in the program.
+	methodResults map[string][][]string
+}
+
+// Load parses every Go file under root (recursively), skipping testdata,
+// vendor, hidden, and underscore-prefixed directories. The module root is
+// found by walking up from root to the nearest go.mod; package Rel paths
+// are computed against it so analyzers can scope rules by repo layout.
+func Load(root string) (*Program, error) {
+	return LoadAt(root, findModuleRoot(filepath.Clean(root)))
+}
+
+// LoadAt is Load with an explicit module root, used by fixture trees that
+// mimic the repo layout below a root that is not itself a module.
+func LoadAt(root, modRoot string) (*Program, error) {
+	root = filepath.Clean(root)
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("lint: %s is not a directory", root)
+	}
+
+	prog := &Program{
+		Fset:          token.NewFileSet(),
+		funcResults:   make(map[string][]string),
+		methodResults: make(map[string][][]string),
+	}
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := prog.loadDir(path, modRoot)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].Dir < prog.Packages[j].Dir
+	})
+	return prog, nil
+}
+
+// loadDir parses the Go files of a single directory; it returns nil when
+// the directory has none.
+func (prog *Program) loadDir(dir, modRoot string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		rel = dir
+	}
+	pkg := &Package{Dir: dir, Rel: filepath.ToSlash(rel)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		astFile, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		file := &File{
+			Path: path,
+			AST:  astFile,
+			Test: strings.HasSuffix(name, "_test.go"),
+		}
+		prog.collectIgnores(file)
+		if !file.Test {
+			prog.indexSignatures(astFile)
+		}
+		if pkg.Name == "" || !file.Test {
+			pkg.Name = astFile.Name.Name
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// collectIgnores parses //lint:ignore directives out of a file's comments.
+func (prog *Program) collectIgnores(f *File) {
+	f.ignores = make(map[int]map[string]bool)
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+			if len(fields) < 2 {
+				prog.Malformed = append(prog.Malformed, Finding{
+					Pos:     pos,
+					Rule:    "lint-ignore",
+					Message: "malformed directive: want //lint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			rule := fields[0]
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if f.ignores[line] == nil {
+					f.ignores[line] = make(map[string]bool)
+				}
+				f.ignores[line][rule] = true
+			}
+		}
+	}
+}
+
+// indexSignatures records the result types of every top-level function and
+// method declaration, keyed as described on Program.
+func (prog *Program) indexSignatures(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Type.Results == nil {
+			continue
+		}
+		var results []string
+		for _, field := range fd.Type.Results.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				results = append(results, typeString(field.Type))
+			}
+		}
+		if fd.Recv != nil {
+			prog.methodResults[fd.Name.Name] = append(prog.methodResults[fd.Name.Name], results)
+		} else {
+			prog.funcResults[f.Name.Name+"."+fd.Name.Name] = results
+		}
+	}
+}
+
+// FuncResults returns the declared result types of the top-level function
+// pkgName.funcName, or nil if it was not loaded.
+func (prog *Program) FuncResults(pkgName, funcName string) []string {
+	return prog.funcResults[pkgName+"."+funcName]
+}
+
+// MethodAlwaysReturns reports whether at least one loaded method has the
+// given name and every such method's result list satisfies pred. Lumping
+// methods by bare name is the price of running without a type checker;
+// rules that use this accept occasional suppressions.
+func (prog *Program) MethodAlwaysReturns(name string, pred func(results []string) bool) bool {
+	sigs := prog.methodResults[name]
+	if len(sigs) == 0 {
+		return false
+	}
+	for _, results := range sigs {
+		if !pred(results) {
+			return false
+		}
+	}
+	return true
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing
+// go.mod; it falls back to dir itself (fixture trees have no go.mod).
+func findModuleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for probe := abs; ; {
+		if _, err := os.Stat(filepath.Join(probe, "go.mod")); err == nil {
+			// Return the root in the same (possibly relative) form the
+			// caller used so file paths in findings stay short.
+			rel, err := filepath.Rel(abs, probe)
+			if err != nil {
+				return probe
+			}
+			return filepath.Join(dir, rel)
+		}
+		parent := filepath.Dir(probe)
+		if parent == probe {
+			return dir
+		}
+		probe = parent
+	}
+}
+
+// typeString renders a type expression compactly: enough to recognize
+// "error", "float64", map types, and qualified names.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		return "[]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.ChanType:
+		return "chan " + typeString(t.Value)
+	case *ast.FuncType:
+		return "func"
+	case *ast.InterfaceType:
+		return "interface"
+	case *ast.StructType:
+		return "struct"
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.IndexExpr:
+		return typeString(t.X)
+	case *ast.IndexListExpr:
+		return typeString(t.X)
+	case *ast.ParenExpr:
+		return typeString(t.X)
+	default:
+		return ""
+	}
+}

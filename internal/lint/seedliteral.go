@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// seedConstructors are the internal/rng constructors whose final argument
+// is a seed.
+var seedConstructors = map[string]bool{
+	"NewLCG32":      true,
+	"NewMSVCRT":     true,
+	"NewSplitMix64": true,
+	"NewXoshiro":    true,
+}
+
+// seedMethods are reseeding methods whose single argument is a seed.
+var seedMethods = map[string]bool{
+	"Seed":  true,
+	"Srand": true,
+}
+
+// SeedLiteral flags RNG construction or reseeding with a hard-coded
+// integer seed outside tests and examples. A literal seed in library or
+// command code silently de-randomizes every sweep built on top of it; the
+// seed must arrive through configuration so callers control replication.
+var SeedLiteral = &Analyzer{
+	Name: "seed-literal",
+	Doc:  "hard-coded RNG seed outside tests/examples; plumb the seed through configuration",
+	Run:  runSeedLiteral,
+}
+
+func runSeedLiteral(pass *Pass) {
+	if pass.File.Test || underDir(pass.Package.Rel, "examples") {
+		return
+	}
+	ast.Inspect(pass.File.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			name = fn.Name
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		default:
+			return true
+		}
+		switch {
+		case seedConstructors[name]:
+			seed := call.Args[len(call.Args)-1]
+			if isIntLiteral(seed) {
+				pass.Report(seed, "%s called with hard-coded seed %s; take the seed from configuration so runs stay replicable", name, litText(seed))
+			}
+		case seedMethods[name] && len(call.Args) == 1:
+			if _, isMethod := call.Fun.(*ast.SelectorExpr); isMethod && isIntLiteral(call.Args[0]) {
+				pass.Report(call.Args[0], "%s called with hard-coded seed %s; take the seed from configuration so runs stay replicable", name, litText(call.Args[0]))
+			}
+		}
+		return true
+	})
+}
+
+// isIntLiteral reports whether e is an integer literal, possibly wrapped
+// in a sign, parentheses, or an integer conversion like uint32(5).
+func isIntLiteral(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.INT
+	case *ast.ParenExpr:
+		return isIntLiteral(x.X)
+	case *ast.UnaryExpr:
+		return isIntLiteral(x.X)
+	case *ast.CallExpr:
+		if fn, ok := x.Fun.(*ast.Ident); ok && len(x.Args) == 1 {
+			switch fn.Name {
+			case "int", "int8", "int16", "int32", "int64",
+				"uint", "uint8", "uint16", "uint32", "uint64", "uintptr":
+				return isIntLiteral(x.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// litText renders the literal core of e for the finding message.
+func litText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.ParenExpr:
+		return litText(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + litText(x.X)
+	case *ast.CallExpr:
+		if len(x.Args) == 1 {
+			return litText(x.Args[0])
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,13 @@
+package sim
+
+import (
+	"crypto/rand" // want "banned outside internal/rng"
+	"fmt"
+	mrand "math/rand" // want "banned outside internal/rng"
+	v2 "math/rand/v2" // want "banned outside internal/rng"
+)
+
+var _ = rand.Read
+var _ = mrand.Int
+var _ = v2.Int
+var _ = fmt.Println

@@ -1,0 +1,5 @@
+package sim
+
+import "math/rand"
+
+var _ = rand.Int

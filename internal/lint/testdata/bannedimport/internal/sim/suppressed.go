@@ -1,0 +1,8 @@
+package sim
+
+import (
+	//lint:ignore banned-import fixture proves the suppression path works
+	xrand "math/rand"
+)
+
+var _ = xrand.Int

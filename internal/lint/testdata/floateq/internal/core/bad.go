@@ -1,0 +1,33 @@
+package core
+
+import "math"
+
+type sample struct{}
+
+func (sample) Value() float64 { return 1 }
+
+func compare(a, b float64, i, j int, s sample) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != 1.5 { // want "floating-point != comparison"
+		return true
+	}
+	if math.Sqrt(b) == 2 { // want "floating-point == comparison"
+		return true
+	}
+	if s.Value() == 0 { // want "floating-point == comparison"
+		return true
+	}
+	total := 0.0
+	for k := 0; k < j; k++ {
+		total += a
+	}
+	if total == 0 { // want "floating-point == comparison"
+		return true
+	}
+	if float64(i) == b { // want "floating-point == comparison"
+		return true
+	}
+	return i == j
+}

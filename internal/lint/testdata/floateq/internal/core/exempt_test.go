@@ -1,0 +1,3 @@
+package core
+
+func eq(a, b float64) bool { return a == b }

@@ -1,0 +1,9 @@
+package core
+
+func exactZero(total float64) bool {
+	//lint:ignore float-eq fixture proves the above-line suppression path works
+	if total == 0 {
+		return true
+	}
+	return total == 1 //lint:ignore float-eq fixture proves the same-line suppression path works
+}

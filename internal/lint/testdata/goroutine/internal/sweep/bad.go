@@ -1,0 +1,31 @@
+package sweep
+
+import "sync"
+
+func fanout(xs []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(i) // want "captures loop variable"
+			sink(x) // want "captures loop variable"
+		}()
+	}
+	wg.Wait()
+}
+
+func tally(xs []int) map[int]int {
+	counts := make(map[int]int)
+	var wg sync.WaitGroup
+	for idx := 0; idx < len(xs); idx++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counts[i]++         // want "write to shared map"
+			delete(counts, i+1) // want "delete from shared map"
+		}(idx)
+	}
+	wg.Wait()
+	return counts
+}

@@ -1,0 +1,10 @@
+package sweep
+
+func capture(xs []int, sink func(int)) {
+	for i := range xs {
+		go func() {
+			//lint:ignore goroutine-capture fixture proves the suppression path works
+			sink(i)
+		}()
+	}
+}

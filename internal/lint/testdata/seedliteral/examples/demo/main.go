@@ -1,0 +1,7 @@
+// Package main is an example; fixed seeds keep example output stable and
+// are allowed here.
+package main
+
+import "repro/internal/rng"
+
+var demo = rng.NewXoshiro(1)

@@ -1,0 +1,15 @@
+package worm
+
+import "repro/internal/rng"
+
+func build() {
+	_ = rng.NewXoshiro(42)                // want "NewXoshiro called with hard-coded seed 42"
+	_ = rng.NewMSVCRT(uint32(5))          // want "NewMSVCRT called with hard-coded seed 5"
+	_ = rng.NewLCG32(214013, 2531011, 99) // want "NewLCG32 called with hard-coded seed 99"
+	r := rng.NewSplitMix64(7)             // want "NewSplitMix64 called with hard-coded seed 7"
+	_ = r
+}
+
+func reseed(r *rng.LCG32) {
+	r.Seed(1) // want "Seed called with hard-coded seed 1"
+}

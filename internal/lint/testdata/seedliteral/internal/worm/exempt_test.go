@@ -1,0 +1,5 @@
+package worm
+
+import "repro/internal/rng"
+
+var fixed = rng.NewXoshiro(1)

@@ -1,0 +1,12 @@
+package worm
+
+import "repro/internal/rng"
+
+func buildOK(seed uint64) {
+	_ = rng.NewXoshiro(seed)
+	_ = rng.NewXoshiro(rng.Mix64(seed ^ 0xb5e1))
+}
+
+func reseedOK(r *rng.LCG32, seed uint32) {
+	r.Seed(seed)
+}

@@ -1,0 +1,8 @@
+package worm
+
+import "repro/internal/rng"
+
+func pinned() {
+	//lint:ignore seed-literal fixture proves the suppression path works
+	_ = rng.NewXoshiro(1)
+}

@@ -1,0 +1,15 @@
+package app
+
+import "repro/internal/dep"
+
+type conn struct{}
+
+func (conn) Flush() error { return nil }
+
+func fail() error { return nil }
+
+func use(c conn) {
+	fail()    // want "call to fail drops its error result"
+	dep.Do()  // want "call to dep.Do drops its error result"
+	c.Flush() // want "call to method Flush drops its error result"
+}

@@ -1,0 +1,13 @@
+package app
+
+import "repro/internal/dep"
+
+func handled(c conn) error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = dep.Do()
+	_ = c.Flush()
+	dep.Pure()
+	return nil
+}

@@ -1,0 +1,6 @@
+package app
+
+func best(c conn) {
+	//lint:ignore unchecked-error fixture proves the suppression path works
+	c.Flush()
+}

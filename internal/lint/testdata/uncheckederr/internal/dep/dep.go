@@ -1,0 +1,6 @@
+// Package dep provides a cross-package error-returning callee.
+package dep
+
+func Do() error { return nil }
+
+func Pure() int { return 1 }

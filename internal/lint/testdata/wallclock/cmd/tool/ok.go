@@ -1,0 +1,7 @@
+// Package main is outside the simulated-time packages; the wall clock is
+// allowed here.
+package main
+
+import "time"
+
+var started = time.Now()

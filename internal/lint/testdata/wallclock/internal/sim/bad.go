@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+func tick() time.Duration {
+	start := time.Now()          // want "wall-clock call time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	return time.Since(start)     // want "wall-clock call time.Since"
+}

@@ -1,0 +1,5 @@
+package sim
+
+import "time"
+
+var now = time.Now()

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// UncheckedError flags statement-position calls that drop an error
+// returned by a function or method declared in the loaded tree. Stdlib
+// calls are not flagged (their signatures are never loaded) unless they
+// collide with a repo method name, in which case a suppression with a
+// reason is the escape hatch. Deferred calls are deliberately exempt:
+// `defer f.Close()` on a read path is idiomatic.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "dropped error results from repo functions; handle the error or assign it to _",
+	Run:  runUncheckedError,
+}
+
+func lastIsError(results []string) bool {
+	return len(results) > 0 && results[len(results)-1] == "error"
+}
+
+func runUncheckedError(pass *Pass) {
+	if pass.File.Test {
+		return
+	}
+	ast.Inspect(pass.File.AST, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			// Unqualified call: a top-level function of this package.
+			if lastIsError(pass.Program.FuncResults(pass.File.AST.Name.Name, fn.Name)) {
+				pass.Report(call, "call to %s drops its error result; handle it or assign to _ explicitly", fn.Name)
+			}
+		case *ast.SelectorExpr:
+			if id, ok := fn.X.(*ast.Ident); ok {
+				if pkgName, imported := importedPackageName(pass.File.AST, id.Name); imported {
+					if lastIsError(pass.Program.FuncResults(pkgName, fn.Sel.Name)) {
+						pass.Report(call, "call to %s.%s drops its error result; handle it or assign to _ explicitly", id.Name, fn.Sel.Name)
+					}
+					return true
+				}
+			}
+			// Method call: flag only when every loaded method with this
+			// name returns an error, so name lumping stays conservative.
+			if pass.Program.MethodAlwaysReturns(fn.Sel.Name, lastIsError) {
+				pass.Report(call, "call to method %s drops its error result; handle it or assign to _ explicitly", fn.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// importedPackageName maps a local import name used in f to the imported
+// package's name (assumed to equal the import path's last element, which
+// holds throughout this repo). The bool reports whether localName refers
+// to an import at all.
+func importedPackageName(f *ast.File, localName string) (string, bool) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		base := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			base = path[i+1:]
+		}
+		name := base
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == localName {
+			return base, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,67 @@
+package lint
+
+import "go/ast"
+
+// wallclockDirs are the packages that must run on simulated time only:
+// reading the wall clock there makes runs irreproducible and couples
+// results to host speed.
+var wallclockDirs = []string{
+	"internal/sim",
+	"internal/worm",
+	"internal/epidemic",
+	"internal/detect",
+}
+
+// wallclockFuncs are the package time functions that observe or depend on
+// the wall clock. Pure constructors like time.Duration arithmetic are fine.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallclock forbids wall-clock reads in the simulation packages; those
+// packages advance time only through their tick loops.
+var NoWallclock = &Analyzer{
+	Name: "no-wallclock",
+	Doc:  "time.Now/Since/etc. are forbidden in simulation packages (simulated time only)",
+	Run:  runNoWallclock,
+}
+
+func runNoWallclock(pass *Pass) {
+	if pass.File.Test {
+		return
+	}
+	restricted := false
+	for _, dir := range wallclockDirs {
+		if underDir(pass.Package.Rel, dir) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	timeName := importName(pass.File.AST, "time")
+	if timeName == "" {
+		return
+	}
+	ast.Inspect(pass.File.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != timeName || !wallclockFuncs[sel.Sel.Name] {
+			return true
+		}
+		pass.Report(sel, "wall-clock call time.%s in simulation package %s; use the simulation's tick counter", sel.Sel.Name, pass.Package.Rel)
+		return true
+	})
+}

@@ -135,6 +135,7 @@ func (x *Xoshiro) Normal(mean, stddev float64) float64 {
 		u := 2*x.Float64() - 1
 		v := 2*x.Float64() - 1
 		s := u*u + v*v
+		//lint:ignore float-eq the polar method's rejection step requires the exact s==0 test; a tolerance would bias the tails
 		if s >= 1 || s == 0 {
 			continue
 		}

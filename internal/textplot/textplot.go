@@ -157,7 +157,7 @@ func Bars(title string, labels []string, values []float64, width int) string {
 			maxL = len(labels[i])
 		}
 	}
-	if maxV == 0 {
+	if maxV <= 0 {
 		maxV = 1
 	}
 	for i, v := range values {

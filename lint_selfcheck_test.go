@@ -1,0 +1,34 @@
+package hotspots_test
+
+// This test makes the determinism and concurrency invariants
+// self-enforcing: the full internal/lint suite runs over the repository on
+// every `go test ./...`, so a regression in any rule — a stray math/rand
+// import, a wall-clock read in a simulation package, a float ==, an
+// unsynchronized goroutine write, a dropped error, a hard-coded seed —
+// fails the build. Suppressions require a written justification
+// (//lint:ignore <rule> <reason>); reasonless directives are themselves
+// findings.
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestRepositoryPassesLintSuite(t *testing.T) {
+	prog, err := lint.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) < 20 {
+		// Guard against silently linting an empty or truncated tree.
+		t.Fatalf("loaded only %d packages; the loader is missing the repo", len(prog.Packages))
+	}
+	findings := lint.Run(prog, lint.Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Log("fix the findings or add //lint:ignore <rule> <reason> where the heuristic is wrong; see README \"Static analysis & determinism guarantees\"")
+	}
+}

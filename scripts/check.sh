@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, vet, the repo's own determinism/concurrency lint
+# suite, the full test suite, and the race detector over the concurrent
+# packages. CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/reprolint ./..."
+go run ./cmd/reprolint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sweep ./internal/sim ./internal/detect"
+go test -race ./internal/sweep ./internal/sim ./internal/detect
+
+echo "==> all checks passed"
