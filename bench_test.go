@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/ipv4"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/sim"
 	"repro/internal/worm"
@@ -213,6 +214,77 @@ func BenchmarkFastDriverEpidemic(b *testing.B) {
 		}
 		_ = res
 	}
+}
+
+// Snapshot benchmarks: the standard CodeRedII configurations tracked across
+// PRs by scripts/bench.sh → BENCH_<date>.json. The *Metrics variants attach
+// a live obs.Registry so the snapshot also prices the telemetry hot path.
+
+func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	pop, err := population.Synthesize(population.DefaultCodeRedII(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFast(sim.FastConfig{
+			Pop:         pop,
+			Model:       sim.NewCodeRedIIModel(),
+			ScanRate:    10,
+			TickSeconds: 1,
+			MaxSeconds:  2000,
+			SeedHosts:   25,
+			Seed:        uint64(i) + 1,
+			Metrics:     reg,
+			Clock:       &obs.SimClock{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkRunFastCodeRedII(b *testing.B) { benchRunFastCodeRedII(b, nil) }
+func BenchmarkRunFastCodeRedIIMetrics(b *testing.B) {
+	benchRunFastCodeRedII(b, obs.NewRegistry())
+}
+
+func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	// A CodeRedII-shaped population small enough for the probe-exact
+	// driver; StopWhenInfected caps the saturated tail.
+	pop, err := population.Synthesize(population.Config{
+		Size: 2000, Slash8s: 8, Slash16s: 40, Include192Slash8: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunExact(sim.ExactConfig{
+			Pop:              pop,
+			Factory:          worm.CodeRedIIFactory{},
+			ScanRate:         50,
+			TickSeconds:      1,
+			MaxSeconds:       30,
+			SeedHosts:        10,
+			Seed:             uint64(i) + 1,
+			StopWhenInfected: pop.Size() / 2,
+			Metrics:          reg,
+			Clock:            &obs.SimClock{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkRunExactCodeRedII(b *testing.B) { benchRunExactCodeRedII(b, nil) }
+func BenchmarkRunExactCodeRedIIMetrics(b *testing.B) {
+	benchRunExactCodeRedII(b, obs.NewRegistry())
 }
 
 func BenchmarkExactDriverProbes(b *testing.B) {

@@ -1,0 +1,144 @@
+// Command benchsnap parses `go test -bench` output from stdin and writes a
+// JSON benchmark snapshot — the machine-readable record scripts/bench.sh
+// commits as BENCH_<date>.json so performance regressions are visible in
+// review diffs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CodeRedII' -benchmem . | benchsnap -date 2026-08-05 -o BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem (0 otherwise).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the committed benchmark record.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	var (
+		out  = fs.String("o", "", "output file (default stdout)")
+		date = fs.String("date", "", "snapshot date (default today, UTC)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	snap := Snapshot{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin (run with `go test -bench`)")
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkRunFastCodeRedII-8   1   1234567890 ns/op   64 B/op   2 allocs/op
+//
+// Non-benchmark lines (headers, PASS, ok) report ok=false.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	hasNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			hasNs = true
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if !hasNs {
+		return Benchmark{}, false
+	}
+	return b, true
+}

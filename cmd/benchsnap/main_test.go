@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkRunFastCodeRedII-8         	       2	 251234567 ns/op	11847040 B/op	   28927 allocs/op
+BenchmarkRunExactCodeRedII-8        	       3	    504098 ns/op	   25904 B/op	      48 allocs/op
+BenchmarkNoMem-8                    	     100	      1234 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-date", "2026-08-05"}, strings.NewReader(sampleBenchOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Date != "2026-08-05" {
+		t.Errorf("date = %q", snap.Date)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	first := snap.Benchmarks[0]
+	if first.Name != "BenchmarkRunFastCodeRedII" {
+		t.Errorf("name = %q (suffix should be stripped)", first.Name)
+	}
+	if first.Iterations != 2 || first.NsPerOp != 251234567 {
+		t.Errorf("iterations/ns = %d/%v", first.Iterations, first.NsPerOp)
+	}
+	if first.BytesPerOp != 11847040 || first.AllocsPerOp != 28927 {
+		t.Errorf("mem stats = %v/%v", first.BytesPerOp, first.AllocsPerOp)
+	}
+	noMem := snap.Benchmarks[2]
+	if noMem.BytesPerOp != 0 || noMem.AllocsPerOp != 0 {
+		t.Errorf("benchmem-less line should have zero mem stats, got %v/%v",
+			noMem.BytesPerOp, noMem.AllocsPerOp)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\nok repro 0.1s\n"), &out); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"Benchmark",                     // no fields
+		"BenchmarkX notanumber 5 ns/op", // bad iteration count
+		"BenchmarkX 5 12 B/op",          // no ns/op pair
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) unexpectedly succeeded", line)
+		}
+	}
+}

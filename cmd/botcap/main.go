@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"repro/cmd/internal/obsflags"
 	"repro/internal/botcmd"
 )
 
@@ -33,17 +34,26 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		noise    = fs.Int("noise", 40, "noise lines in the synthetic capture")
 		seed     = fs.Uint64("seed", 1, "generation seed")
 	)
+	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	if *generate {
 		cfg := botcmd.GeneratorConfig{
 			Bots: *bots, CommandsPerBot: 2, NoiseLines: *noise, Seed: *seed,
 		}
-		for _, line := range botcmd.Generate(cfg) {
+		lines := botcmd.Generate(cfg)
+		sess.Progressf("generated %d capture lines (%d bots)", len(lines), *bots)
+		sess.Registry.Counter("botcap_lines_total", "kind", "generated").Add(uint64(len(lines)))
+		for _, line := range lines {
 			fmt.Fprintln(out, line)
 		}
-		return nil
+		return sess.Close()
 	}
 
 	var capture []string
@@ -54,7 +64,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	sess.Progressf("parsing %d capture lines", len(capture))
 	cmds := botcmd.ExtractCommands(capture)
+	sess.Registry.Counter("botcap_lines_total", "kind", "parsed").Add(uint64(len(capture)))
+	sess.Registry.Counter("botcap_commands_total").Add(uint64(len(cmds)))
 	fmt.Fprintf(out, "capture: %d lines, %d propagation commands\n", len(capture), len(cmds))
 	for _, c := range cmds {
 		hl := "unrestricted"
@@ -66,5 +79,5 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	agg := botcmd.AggregateHitLists(cmds)
 	fmt.Fprintf(out, "aggregate hit-list space: %d addresses (%.4f%% of IPv4)\n",
 		agg.Size(), 100*float64(agg.Size())/float64(uint64(1)<<32))
-	return nil
+	return sess.Close()
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/cmd/internal/obsflags"
 	"repro/internal/cycle"
 	"repro/internal/textplot"
 	"repro/internal/worm"
@@ -35,19 +36,27 @@ func run(args []string) error {
 		bFlag   = fs.Uint("b", 0, "custom increment (with -a)")
 		verify  = fs.Bool("verify", false, "brute-force verify the census at modulus 2^16")
 	)
+	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	if *aFlag != 0 {
 		m, err := cycle.NewMap(uint32(*aFlag), uint32(*bFlag), 32)
 		if err != nil {
 			return err
 		}
-		printCensus(fmt.Sprintf("custom map a=%d b=%#x", *aFlag, *bFlag), m)
+		printCensus(sess, fmt.Sprintf("custom map a=%d b=%#x", *aFlag, *bFlag), "custom", m)
 		if *verify {
-			return verifyCensus(uint32(*aFlag), uint32(*bFlag))
+			if err := verifyCensus(uint32(*aFlag), uint32(*bFlag)); err != nil {
+				return err
+			}
 		}
-		return nil
+		return sess.Close()
 	}
 	variants := []int{0, 1, 2}
 	if *variant >= 0 {
@@ -56,20 +65,22 @@ func run(args []string) error {
 		}
 		variants = []int{*variant}
 	}
-	for _, v := range variants {
+	for i, v := range variants {
+		sess.Progressf("variant %d (%d/%d)", v, i+1, len(variants))
 		b := worm.SlammerIncrements()[v]
 		m := worm.SlammerMap(v)
-		printCensus(fmt.Sprintf("Slammer variant %d (IAT %#x → b=%#x)", v, worm.SqlsortIATs[v], b), m)
+		printCensus(sess, fmt.Sprintf("Slammer variant %d (IAT %#x → b=%#x)", v, worm.SqlsortIATs[v], b),
+			fmt.Sprintf("variant%d", v), m)
 		if *verify {
 			if err := verifyCensus(worm.SlammerMultiplier, b); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	return sess.Close()
 }
 
-func printCensus(title string, m cycle.Map) {
+func printCensus(sess *obsflags.Session, title, metricMap string, m cycle.Map) {
 	fmt.Printf("%s\n", title)
 	census := m.Census()
 	var labels []string
@@ -78,8 +89,11 @@ func printCensus(title string, m cycle.Map) {
 	for _, c := range census {
 		labels = append(labels, fmt.Sprintf("len 2^%2d ×%d", log2(c.Length), c.Cycles))
 		values = append(values, float64(c.States))
+		sess.Registry.Gauge("cycle_states", "map", metricMap,
+			"length", fmt.Sprintf("%d", c.Length)).Set(float64(c.States))
 		total += c.Cycles
 	}
+	sess.Registry.Gauge("cycle_total_cycles", "map", metricMap).Set(float64(total))
 	fmt.Printf("  total cycles: %d (α=%d, β=%d)\n", total, m.Alpha(), m.Beta())
 	fmt.Println(textplot.Bars("  states per cycle-length class:", labels, values, 40))
 	fmt.Println()

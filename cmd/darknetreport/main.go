@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"repro/cmd/internal/obsflags"
 	"repro/internal/core"
 	"repro/internal/ipv4"
 	"repro/internal/sensor"
@@ -42,6 +43,7 @@ func run(args []string) error {
 		jsonOut  = fs.String("json", "", "write the observation snapshot as JSON to this file ('-' for stdout)")
 		binOut   = fs.String("snapshot", "", "write the observation snapshot in binary form to this file")
 	)
+	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	var gen worm.TargetGenerator
 	switch *wormName {
@@ -70,15 +77,28 @@ func run(args []string) error {
 	}
 
 	fleet := sensor.MustNewFleet(sensor.DefaultIMSBlocks())
+	probesCtr := sess.Registry.Counter("darknet_probes_total", "worm", *wormName)
+	monitoredCtr := sess.Registry.Counter("darknet_probes_monitored_total", "worm", *wormName)
+	privateCtr := sess.Registry.Counter("darknet_probes_private_total", "worm", *wormName)
+	every := *probes / 10
+	if every == 0 {
+		every = 1
+	}
 	var monitored, private uint64
 	for i := uint64(0); i < *probes; i++ {
 		dst := gen.Next()
+		probesCtr.Inc()
+		if (i+1)%every == 0 {
+			sess.Progressf("probes %d/%d monitored=%d", i+1, *probes, monitored)
+		}
 		if dst.IsPrivate() {
 			private++
+			privateCtr.Inc()
 			continue
 		}
 		if fleet.Observe(ownAddr, dst) {
 			monitored++
+			monitoredCtr.Inc()
 		}
 	}
 
@@ -93,6 +113,8 @@ func run(args []string) error {
 	for _, s := range fleet.Sensors() {
 		labels = append(labels, s.Block().String())
 		values = append(values, float64(s.TotalAttempts()))
+		sess.Registry.Gauge("darknet_block_attempts", "block", s.Block().String()).
+			Set(float64(s.TotalAttempts()))
 		for _, st := range s.PerSlash24() {
 			concat = append(concat, st.Attempts)
 		}
@@ -114,14 +136,14 @@ func run(args []string) error {
 			return err
 		}
 		if err := fleet.Snapshot().WriteBinary(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return sess.Close()
 }
 
 func writeJSONSnapshot(snap sensor.Snapshot, path string) error {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/obsflags"
 	"repro/internal/experiments"
 	"repro/internal/textplot"
 )
@@ -36,6 +37,7 @@ func run(args []string) error {
 		list   = fs.Bool("list", false, "list experiment ids and exit")
 		md     = fs.String("md", "", "write a Markdown report to this file instead of stdout text")
 	)
+	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +59,16 @@ func run(args []string) error {
 	if *runID != "all" {
 		ids = strings.Split(*runID, ",")
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	eobs := &experiments.Obs{
+		Registry: sess.Registry,
+		Tracer:   sess.Tracer,
+		Progress: sess.ProgressFunc(),
+	}
 	var report *os.File
 	if *md != "" {
 		var err error
@@ -67,9 +79,10 @@ func run(args []string) error {
 		defer report.Close()
 		fmt.Fprintf(report, "# Hotspots experiment report (seed %d, scale %s)\n\n", *seed, *scale)
 	}
-	for _, id := range ids {
+	for i, id := range ids {
 		id = strings.TrimSpace(id)
-		res, err := experiments.Run(id, *seed, sc)
+		sess.Progressf("experiment %s (%d/%d)", id, i+1, len(ids))
+		res, err := experiments.RunObserved(id, *seed, sc, eobs)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -81,7 +94,7 @@ func run(args []string) error {
 		}
 		printResult(id, res, *plot, *width, *height)
 	}
-	return nil
+	return sess.Close()
 }
 
 func printResult(id string, res *experiments.Result, plot bool, width, height int) {

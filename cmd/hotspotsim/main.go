@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/obsflags"
 	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/ipv4"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/sim"
 	"repro/internal/textplot"
@@ -49,9 +51,15 @@ func run(args []string) error {
 		containDrop = fs.Float64("contain-drop", 0.95, "probe drop probability once containment engages")
 		plot        = fs.Bool("plot", false, "render ASCII chart")
 	)
+	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	popCfg := population.DefaultCodeRedII(*seed)
 	if *popSize != popCfg.Size {
@@ -82,6 +90,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown worm %q (uniform|hitlist|codered2)", *wormName)
 	}
 
+	clock := &obs.SimClock{}
 	cfg := sim.FastConfig{
 		Pop:         pop,
 		Model:       model,
@@ -90,6 +99,8 @@ func run(args []string) error {
 		MaxSeconds:  *maxSeconds,
 		SeedHosts:   *seeds,
 		Seed:        *seed,
+		Metrics:     sess.Registry,
+		Clock:       clock,
 	}
 
 	var fleet *detect.ThresholdFleet
@@ -101,6 +112,9 @@ func run(args []string) error {
 		fleet, err = detect.NewThresholdFleet(prefixes, *threshold)
 		if err != nil {
 			return err
+		}
+		if sess.Registry != nil {
+			fleet.Instrument(sess.Registry, clock)
 		}
 		cfg.Sensors = fleet
 		cfg.SensorSet = fleet.Union()
@@ -120,12 +134,16 @@ func run(args []string) error {
 
 	infected := textplot.Series{Name: "% infected"}
 	alerted := textplot.Series{Name: "% sensors alerted"}
+	tickProgress := sess.TickProgress(*maxSeconds / 10)
 	cfg.OnTick = func(ti sim.TickInfo) bool {
 		infected.X = append(infected.X, ti.Time)
 		infected.Y = append(infected.Y, 100*float64(ti.Infected)/float64(pop.Size()))
 		if fleet != nil {
 			alerted.X = append(alerted.X, ti.Time)
 			alerted.Y = append(alerted.Y, 100*fleet.AlertedFraction())
+		}
+		if tickProgress != nil {
+			tickProgress(ti.Time, ti.Infected)
 		}
 		return true
 	}
@@ -134,9 +152,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if fleet != nil {
+		fleet.ExportMetrics(sess.Registry)
+	}
 	fmt.Printf("worm=%s pop=%d infected=%d (%.1f%%) after %.0fs\n",
 		model.Name(), pop.Size(), result.Final.Infected,
 		100*result.FractionInfected(), result.Final.Time)
+	fmt.Printf("probes=%d outcomes: %s\n", result.Outcomes.Total(), result.Outcomes)
 	if t50, ok := result.TimeToFraction(0.5); ok {
 		fmt.Printf("time to 50%% infected: %.0fs\n", t50)
 	}
@@ -160,7 +182,7 @@ func run(args []string) error {
 		}
 		fmt.Println(textplot.Render("outbreak", series, textplot.Options{}))
 	}
-	return nil
+	return sess.Close()
 }
 
 func buildPlacement(name string, n int, seed uint64, pop *population.Population) ([]ipv4.Prefix, error) {

@@ -1,0 +1,174 @@
+// Package obsflags wires the shared observability surface into every CLI:
+// -metrics (Prometheus-text or JSON snapshot on exit), -progress (stderr
+// progress lines), and -pprof (CPU profile). The simulation packages stay
+// wall-clock-free; this package is where wall time is allowed to exist, so
+// tracers built here measure real elapsed seconds.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the parsed shared observability flag values.
+type Flags struct {
+	Metrics  string
+	JSON     bool
+	Progress bool
+	PProf    string
+}
+
+// Register installs -metrics, -metrics-json, -progress, and -pprof on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a metric snapshot to this file on exit ('-' for stderr)")
+	fs.BoolVar(&f.JSON, "metrics-json", false, "write the -metrics snapshot as JSON instead of Prometheus text")
+	fs.BoolVar(&f.Progress, "progress", false, "print progress lines to stderr")
+	fs.StringVar(&f.PProf, "pprof", "", "write a CPU profile to this file")
+	return f
+}
+
+// wallClock measures wall time since session start. It lives here — and
+// not in internal/ — on purpose: the simulation tree is lint-enforced
+// wall-clock-free, and CLIs are the only layer allowed to observe real
+// time.
+type wallClock struct{ start time.Time }
+
+func (c wallClock) Seconds() float64 { return time.Since(c.start).Seconds() }
+
+// Session is the active observability state of one CLI run. The zero
+// Registry/Tracer case (no -metrics) makes every downstream hook inert.
+type Session struct {
+	flags *Flags
+	// Registry is non-nil when -metrics was given; pass it to sim/detect/
+	// experiments configs.
+	Registry *obs.Registry
+	// Tracer is non-nil when -metrics was given; it spans wall time.
+	Tracer *obs.Tracer
+
+	mu        sync.Mutex
+	pprofFile *os.File
+	closed    bool
+}
+
+// Start opens the session: creates the registry and wall-clock tracer when
+// -metrics is set, and starts CPU profiling when -pprof is set. Callers
+// should `defer sess.Close()` for early-error cleanup and `return
+// sess.Close()` on the success path — Close is idempotent.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: f}
+	if f.Metrics != "" {
+		s.Registry = obs.NewRegistry()
+		s.Tracer = obs.NewTracer(wallClock{start: time.Now()}, s.Registry)
+	}
+	if f.PProf != "" {
+		file, err := os.Create(f.PProf)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			_ = file.Close()
+			return nil, err
+		}
+		s.pprofFile = file
+	}
+	return s, nil
+}
+
+// Close stops profiling and writes the metric snapshot. Idempotent: the
+// second and later calls return nil, so it is safe to both defer it and
+// call it explicitly.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.pprofFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.pprofFile.Close(); err != nil {
+			return err
+		}
+	}
+	if s.Registry == nil {
+		return nil
+	}
+	var w io.Writer = os.Stderr
+	var file *os.File
+	if s.flags.Metrics != "-" {
+		var err error
+		file, err = os.Create(s.flags.Metrics)
+		if err != nil {
+			return err
+		}
+		w = file
+	}
+	var err error
+	if s.flags.JSON {
+		err = s.Registry.WriteJSON(w)
+	} else {
+		err = s.Registry.WritePrometheus(w)
+	}
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Progressf prints one progress line to stderr when -progress is on. Safe
+// for concurrent use.
+func (s *Session) Progressf(format string, args ...any) {
+	if s == nil || !s.flags.Progress {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "progress: "+format+"\n", args...)
+}
+
+// ProgressFunc returns a stage-progress callback (the shape
+// internal/experiments.Obs.Progress expects), or nil when -progress is
+// off — so configs stay zero-cost.
+func (s *Session) ProgressFunc() func(stage string, done, total int) {
+	if s == nil || !s.flags.Progress {
+		return nil
+	}
+	return func(stage string, done, total int) {
+		s.Progressf("%s %d/%d", stage, done, total)
+	}
+}
+
+// TickProgress returns a per-tick progress reporter that prints every
+// interval simulated seconds (and at t=0 the first time), for wiring into
+// sim OnTick callbacks; it returns nil when -progress is off.
+func (s *Session) TickProgress(interval float64) func(t float64, infected int) {
+	if s == nil || !s.flags.Progress {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 1
+	}
+	next := 0.0
+	return func(t float64, infected int) {
+		if t < next {
+			return
+		}
+		for next <= t {
+			next += interval
+		}
+		s.Progressf("t=%.0fs infected=%d", t, infected)
+	}
+}

@@ -48,6 +48,22 @@ func TestRunCleanTreeExitsZero(t *testing.T) {
 	}
 }
 
+// TestRunObsClockFixtureIsClean pins the injected-clock idiom: the
+// fixture module root at testdata/src places this package at internal/obs
+// — a directory where no-wallclock is in force — and the full rule set
+// still exits clean, because simulated time arrives through an injected
+// Clock instead of the time package.
+func TestRunObsClockFixtureIsClean(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"testdata/src/internal/obs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("obs clock fixture: code=%d output=%q, want 0 and empty", code, out.String())
+	}
+}
+
 func TestRunNonRecursivePatternSkipsSubdirs(t *testing.T) {
 	var out strings.Builder
 	// testdata/src itself has no Go files; without /... the violations in

@@ -45,6 +45,7 @@ func run() error {
 		pop.Size(), len(slash16s), len(prefixes))
 	fmt.Printf("%-22s %-12s %-12s %-10s\n", "hit-list size", "% infected", "% alerted", "quorum?")
 
+	var lastOutcomes hotspots.ProbeOutcomeCounts
 	for _, k := range []int{5, 40, 250, 900} {
 		list, _ := hotspots.BuildHitList(pop.Addrs(false), k)
 		fleet, err := hotspots.NewDetectorFleet(prefixes, 5)
@@ -71,7 +72,14 @@ func run() error {
 		}
 		fmt.Printf("%-22d %-12.1f %-12.1f %s\n",
 			k, 100*res.FractionInfected(), 100*fleet.AlertedFraction(), quorum)
+		lastOutcomes = res.Outcomes
 	}
+
+	// Probe-outcome accounting explains the blindness: the k=900 worm's
+	// probes overwhelmingly land inside the population (infection) rather
+	// than on the monitored darknet (sensor-hit).
+	fmt.Printf("\nprobe accounting, k=900: %d probes — %s\n",
+		lastOutcomes.Total(), lastOutcomes)
 
 	fmt.Println("\nEven with pre-knowledge of the vulnerable population and ubiquitous")
 	fmt.Println("detectors, hit-list hotspots blind a quorum-based global detector;")

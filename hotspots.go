@@ -37,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ipv4"
 	"repro/internal/netenv"
+	"repro/internal/obs"
 	"repro/internal/payload"
 	"repro/internal/population"
 	"repro/internal/rng"
@@ -257,6 +258,28 @@ func CodeRedIIRateModel() RateModel { return sim.NewCodeRedIIModel() }
 func LocalPreferenceRateModel(prefs Preference) (RateModel, error) {
 	return sim.NewLocalPrefModel(prefs)
 }
+
+// Observability. A MetricsRegistry threaded through SimConfig.Metrics or
+// ExactSimConfig.Metrics meters a run without perturbing it: telemetry
+// consumes no randomness, so a metered run is byte-identical to an
+// unmetered one with the same seed.
+type (
+	// MetricsRegistry collects counters, gauges and fixed-bucket
+	// histograms; snapshot it with WritePrometheus or WriteJSON.
+	MetricsRegistry = obs.Registry
+	// SimClock is simulated time advanced by the drivers; detection
+	// latencies and spans are stamped from it, never the wall clock.
+	SimClock = obs.SimClock
+	// ProbeOutcome classifies the fate of one probe (delivered, filtered,
+	// private-dropped, nat-blocked, sensor-hit, self-hit, infection).
+	ProbeOutcome = sim.ProbeOutcome
+	// ProbeOutcomeCounts tallies probes by outcome; SimResult.Outcomes
+	// always sums to the run's emitted probe total.
+	ProbeOutcomeCounts = sim.OutcomeCounts
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // SI is the closed-form simple-epidemic (logistic) model.
 type SI = epidemic.SI

@@ -27,6 +27,7 @@ type ThresholdFleet struct {
 	threshold uint64
 	firstHit  []bool
 	union     *ipv4.Set
+	metrics   fleetMetrics // see Instrument; zero value is inert
 }
 
 // NewThresholdFleet builds a fleet. Prefixes must not overlap; threshold
@@ -78,9 +79,11 @@ func (f *ThresholdFleet) RecordHit(dst ipv4.Addr) {
 	}
 	f.counts[i]++
 	f.firstHit[i] = true
+	f.metrics.hits.Inc()
 	if !f.alerted[i] && f.counts[i] >= f.threshold {
 		f.alerted[i] = true
 		f.nAlerted++
+		f.metrics.recordAlert(f.nAlerted)
 	}
 }
 

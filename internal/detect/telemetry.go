@@ -1,0 +1,58 @@
+package detect
+
+import (
+	"repro/internal/obs"
+)
+
+// firstAlarmBuckets bound the first-alarm latency histogram in (simulated)
+// seconds, covering sub-minute local detection out to the paper's
+// 2000-second outbreak horizon.
+var firstAlarmBuckets = []float64{10, 30, 60, 120, 300, 600, 1200, 2000, 3600}
+
+// fleetMetrics are the hot-path telemetry handles of a ThresholdFleet.
+// All handles are nil-safe, so an un-instrumented fleet pays one nil
+// check per hit.
+type fleetMetrics struct {
+	hits       *obs.Counter   // detect_sensor_hits_total
+	alerts     *obs.Counter   // detect_sensor_alerts_total
+	alerted    *obs.Gauge     // detect_sensors_alerted
+	firstAlarm *obs.Histogram // detect_first_alarm_seconds
+	clock      obs.Clock
+}
+
+// Instrument attaches telemetry to the fleet: aggregate hit and alert
+// counters, an alerted-sensor gauge, and a first-alarm latency histogram
+// observing each sensor's first alert at clock time (inject the
+// simulation's obs.SimClock so latencies are in simulated seconds; clock
+// may be nil to skip latency recording). Counters are cumulative across
+// Reset — Reset clears the fleet's own per-sensor state, not the registry.
+func (f *ThresholdFleet) Instrument(reg *obs.Registry, clock obs.Clock) {
+	f.metrics = fleetMetrics{
+		hits:       reg.Counter("detect_sensor_hits_total"),
+		alerts:     reg.Counter("detect_sensor_alerts_total"),
+		alerted:    reg.Gauge("detect_sensors_alerted"),
+		firstAlarm: reg.Histogram("detect_first_alarm_seconds", firstAlarmBuckets),
+		clock:      clock,
+	}
+}
+
+// recordAlert publishes one sensor crossing its threshold.
+func (m *fleetMetrics) recordAlert(nAlerted int) {
+	m.alerts.Inc()
+	m.alerted.Set(float64(nAlerted))
+	if m.clock != nil {
+		m.firstAlarm.Observe(m.clock.Seconds())
+	}
+}
+
+// ExportMetrics publishes the per-sensor hit counters as
+// detect_sensor_hits{prefix=…} gauges. It walks every sensor, so call it
+// at exposition time (end of run), never on the hot path.
+func (f *ThresholdFleet) ExportMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, p := range f.prefixes {
+		reg.Gauge("detect_sensor_hits", "prefix", p.String()).Set(float64(f.counts[i]))
+	}
+}

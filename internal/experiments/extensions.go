@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/detect"
 	"repro/internal/ipv4"
@@ -65,6 +66,7 @@ func RunExtThreshold(cfg ExtThresholdConfig) (*Result, error) {
 		alerted   float64
 		infected  float64
 	}
+	var done atomic.Int64
 	outcomes, err := sweep.Map(context.Background(), cfg.Thresholds,
 		func(_ context.Context, threshold uint64) (outcome, error) {
 			fleet, err := detect.NewThresholdFleet(placements, threshold)
@@ -81,10 +83,12 @@ func RunExtThreshold(cfg ExtThresholdConfig) (*Result, error) {
 				Seed:        cfg.Fig5.Seed + 31,
 				Sensors:     fleet,
 				SensorSet:   fleet.Union(),
+				Metrics:     cfg.Fig5.Metrics,
 			})
 			if err != nil {
 				return outcome{}, err
 			}
+			cfg.Fig5.progress(int(done.Add(1)), len(cfg.Thresholds))
 			return outcome{
 				threshold: threshold,
 				alerted:   fleet.AlertedFraction(),
@@ -146,6 +150,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 		random   placementOutcome
 		timeTo20 float64
 	}
+	var done atomic.Int64
 	outcomes, err := sweep.Map(context.Background(), cfg.NATFractions,
 		func(_ context.Context, nat float64) (outcome, error) {
 			pop, err := population.Synthesize(cfg.Fig5.Pop)
@@ -173,6 +178,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 					Seed:        cfg.Fig5.Seed + 9,
 					Sensors:     fleet,
 					SensorSet:   fleet.Union(),
+					Metrics:     cfg.Fig5.Metrics,
 					OnTick: func(ti sim.TickInfo) bool {
 						series.X = append(series.X, ti.Time)
 						series.Y = append(series.Y, 100*fleet.AlertedFraction())
@@ -204,6 +210,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 			if err != nil {
 				return outcome{}, err
 			}
+			cfg.Fig5.progress(int(done.Add(1)), len(cfg.NATFractions))
 			return outcome{nat: nat, sweep: sweepOut, random: randomOut, timeTo20: t20}, nil
 		}, sweep.Options{})
 	if err != nil {

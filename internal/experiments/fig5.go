@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/ipv4"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/sim"
 	"repro/internal/worm"
@@ -35,6 +36,27 @@ type Fig5Config struct {
 	MaxSeconds float64
 	// Seed drives all randomness.
 	Seed uint64
+	// OnProgress, when non-nil, is called after each completed sub-run
+	// (hit-list size, placement, sweep point). Concurrent sweeps call it
+	// from multiple goroutines.
+	OnProgress func(done, total int)
+	// Metrics, when non-nil, is attached to every simulation run and
+	// sensor fleet (see DESIGN.md for the metric-name contract). Telemetry
+	// never perturbs a run.
+	Metrics *obs.Registry
+}
+
+// attachObs wires an experiment Obs into the config's callback fields.
+func (c *Fig5Config) attachObs(o *Obs, stage string) {
+	c.OnProgress = o.progressFunc(stage)
+	c.Metrics = o.registry()
+}
+
+// progress reports a completed sub-run, if a handler is installed.
+func (c *Fig5Config) progress(done, total int) {
+	if c.OnProgress != nil {
+		c.OnProgress(done, total)
+	}
 }
 
 // DefaultFig5 returns the paper's configuration.
@@ -100,7 +122,11 @@ func runFig5HitLists(cfg Fig5Config, withSensors bool) (*Result, error) {
 		}
 	}
 
-	for _, k := range cfg.HitListSizes {
+	clock := &obs.SimClock{}
+	if fleet != nil && cfg.Metrics != nil {
+		fleet.Instrument(cfg.Metrics, clock)
+	}
+	for ki, k := range cfg.HitListSizes {
 		prefixes, cover := worm.BuildGreedySlash16HitList(addrs, k)
 		set := ipv4.SetOfPrefixes(prefixes...)
 		var series Series
@@ -113,6 +139,8 @@ func runFig5HitLists(cfg Fig5Config, withSensors bool) (*Result, error) {
 			MaxSeconds:  cfg.MaxSeconds,
 			SeedHosts:   cfg.SeedHosts,
 			Seed:        cfg.Seed + uint64(k),
+			Metrics:     cfg.Metrics,
+			Clock:       clock,
 		}
 		if withSensors {
 			fleet.Reset()
@@ -152,6 +180,7 @@ func runFig5HitLists(cfg Fig5Config, withSensors bool) (*Result, error) {
 			res.Notef("%d-prefix list: covers %.2f%% of the vulnerable population; infected %.1f%% by t=%.0fs",
 				k, 100*cover, 100*result.FractionInfected(), result.Final.Time)
 		}
+		cfg.progress(ki+1, len(cfg.HitListSizes))
 	}
 	res.Figures = append(res.Figures, fig)
 	return res, nil
@@ -192,7 +221,7 @@ func RunFig5c(cfg Fig5Config) (*Result, error) {
 		XLabel: "time (seconds)",
 		YLabel: "% of sensors alerting",
 	}
-	for _, pl := range placements {
+	for pi, pl := range placements {
 		prefixes, err := pl.build()
 		if err != nil {
 			return nil, err
@@ -200,6 +229,10 @@ func RunFig5c(cfg Fig5Config) (*Result, error) {
 		fleet, err := detect.NewThresholdFleet(prefixes, cfg.AlertThreshold)
 		if err != nil {
 			return nil, err
+		}
+		clock := &obs.SimClock{}
+		if cfg.Metrics != nil {
+			fleet.Instrument(cfg.Metrics, clock)
 		}
 		series := Series{Name: pl.name}
 		var infectedCurve Series
@@ -215,6 +248,8 @@ func RunFig5c(cfg Fig5Config) (*Result, error) {
 			Seed:      cfg.Seed + 9,
 			Sensors:   fleet,
 			SensorSet: fleet.Union(),
+			Metrics:   cfg.Metrics,
+			Clock:     clock,
 			OnTick: func(ti sim.TickInfo) bool {
 				series.X = append(series.X, ti.Time)
 				series.Y = append(series.Y, 100*fleet.AlertedFraction())
@@ -248,6 +283,7 @@ func RunFig5c(cfg Fig5Config) (*Result, error) {
 		res.SetMetric("fig5c."+pl.name+".final_alerted", fleet.AlertedFraction())
 		res.Notef("%s (%d sensors): final alerted %.1f%%; at 20%% infected (t=%.0fs, reached=%v) alerted=%.1f%%",
 			pl.name, fleet.Size(), 100*fleet.AlertedFraction(), t20, ok20, 100*alertedAt20)
+		cfg.progress(pi+1, len(placements))
 	}
 	res.Figures = append(res.Figures, fig)
 	return res, nil

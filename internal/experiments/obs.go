@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Obs carries the observability context for an experiment run: a metric
+// registry, a tracer, and a progress callback. A nil *Obs (and any nil
+// field) disables the corresponding facility — runners call the helper
+// methods unconditionally.
+type Obs struct {
+	// Registry receives experiment and simulation metrics.
+	Registry *obs.Registry
+	// Tracer records one span per experiment (and any sub-spans runners
+	// choose to open).
+	Tracer *obs.Tracer
+	// Progress receives coarse completion updates: stage names an
+	// experiment-specific unit of work ("fig5a", "ext-threshold"), done and
+	// total count completed sub-runs. Sweeps that run concurrently invoke
+	// it from multiple goroutines; handlers must be safe for that.
+	Progress func(stage string, done, total int)
+}
+
+// registry returns the metric registry, or nil.
+func (o *Obs) registry() *obs.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// span opens a tracer span, or returns a nil (inert) span.
+func (o *Obs) span(name string) *obs.Span {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.Start(name)
+}
+
+// progress reports a completed unit of work.
+func (o *Obs) progress(stage string, done, total int) {
+	if o == nil || o.Progress == nil {
+		return
+	}
+	o.Progress(stage, done, total)
+}
+
+// progressFunc curries progress for config callbacks (Fig5Config.OnProgress
+// and friends); it returns nil when no handler is installed so configs stay
+// zero-cost.
+func (o *Obs) progressFunc(stage string) func(done, total int) {
+	if o == nil || o.Progress == nil {
+		return nil
+	}
+	return func(done, total int) { o.progress(stage, done, total) }
+}
+
+// RunObserved executes one registered experiment by id with observability:
+// the run is wrapped in an "experiment/<id>" span, counted in
+// experiments_runs_total{id}, and threaded with o so sweep-style runners
+// report progress and attach the registry to their simulations. A nil o is
+// equivalent to Run.
+func RunObserved(id string, seed uint64, scale Scale, o *Obs) (*Result, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
+	o.registry().Counter("experiments_runs_total", "id", id).Inc()
+	sp := o.span("experiment/" + id)
+	res, err := r(seed, scale, o)
+	sp.End()
+	return res, err
+}

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/population"
 )
 
@@ -18,19 +16,19 @@ const (
 	Full
 )
 
-// Runner executes one experiment.
-type Runner func(seed uint64, scale Scale) (*Result, error)
+// Runner executes one experiment. o may be nil (no observability).
+type Runner func(seed uint64, scale Scale, o *Obs) (*Result, error)
 
 // Registry maps experiment ids ("table1", "fig5c", …) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"table1": func(seed uint64, _ Scale) (*Result, error) {
+		"table1": func(seed uint64, _ Scale, _ *Obs) (*Result, error) {
 			return RunTable1(DefaultTable1(seed))
 		},
-		"table2": func(seed uint64, _ Scale) (*Result, error) {
+		"table2": func(seed uint64, _ Scale, _ *Obs) (*Result, error) {
 			return RunTable2(DefaultTable2(seed))
 		},
-		"fig1": func(seed uint64, scale Scale) (*Result, error) {
+		"fig1": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultFig1(seed)
 			if scale == Quick {
 				cfg.Hosts = 800
@@ -38,7 +36,7 @@ func Registry() map[string]Runner {
 			}
 			return RunFig1(cfg)
 		},
-		"fig2": func(seed uint64, scale Scale) (*Result, error) {
+		"fig2": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultFig2(seed)
 			if scale == Quick {
 				cfg.Hosts = 8000
@@ -46,14 +44,14 @@ func Registry() map[string]Runner {
 			}
 			return RunFig2(cfg)
 		},
-		"fig3": func(seed uint64, scale Scale) (*Result, error) {
+		"fig3": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultFig3(seed)
 			if scale == Quick {
 				cfg.WindowProbes = 1 << 20
 			}
 			return RunFig3(cfg)
 		},
-		"fig4": func(seed uint64, scale Scale) (*Result, error) {
+		"fig4": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultFig4(seed)
 			if scale == Quick {
 				cfg.Pop = quickPopulation(seed)
@@ -63,62 +61,68 @@ func Registry() map[string]Runner {
 			}
 			return RunFig4(cfg)
 		},
-		"fig5a": func(seed uint64, scale Scale) (*Result, error) {
+		"fig5a": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultFig5(seed)
 			if scale == Quick {
 				quickFig5(&cfg, seed)
 			}
+			cfg.attachObs(o, "fig5a")
 			return RunFig5a(cfg)
 		},
-		"fig5b": func(seed uint64, scale Scale) (*Result, error) {
+		"fig5b": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultFig5(seed)
 			if scale == Quick {
 				quickFig5(&cfg, seed)
 			}
+			cfg.attachObs(o, "fig5b")
 			return RunFig5b(cfg)
 		},
-		"fig5c": func(seed uint64, scale Scale) (*Result, error) {
+		"fig5c": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultFig5(seed)
 			if scale == Quick {
 				quickFig5(&cfg, seed)
 			}
+			cfg.attachObs(o, "fig5c")
 			return RunFig5c(cfg)
 		},
-		"ext-threshold": func(seed uint64, scale Scale) (*Result, error) {
+		"ext-threshold": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultExtThreshold(seed)
 			if scale == Quick {
 				quickFig5(&cfg.Fig5, seed)
 				cfg.HitListSize = 200
 			}
+			cfg.Fig5.attachObs(o, "ext-threshold")
 			return RunExtThreshold(cfg)
 		},
-		"ext-natsweep": func(seed uint64, scale Scale) (*Result, error) {
+		"ext-natsweep": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultExtNATSweep(seed)
 			if scale == Quick {
 				quickFig5(&cfg.Fig5, seed)
 				cfg.Fig5.RandomSensors = 1000
 			}
+			cfg.Fig5.attachObs(o, "ext-natsweep")
 			return RunExtNATSweep(cfg)
 		},
-		"ext-containment": func(seed uint64, scale Scale) (*Result, error) {
+		"ext-containment": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
 			cfg := DefaultExtContainment(seed)
 			if scale == Quick {
 				quickFig5(&cfg.Fig5, seed)
 				cfg.Fig5.RandomSensors = 1000
 			}
+			cfg.Fig5.attachObs(o, "ext-containment")
 			return RunExtContainment(cfg)
 		},
-		"ext-witty": func(seed uint64, _ Scale) (*Result, error) {
+		"ext-witty": func(seed uint64, _ Scale, _ *Obs) (*Result, error) {
 			return RunExtWitty(DefaultExtWitty(seed))
 		},
-		"ext-ims": func(seed uint64, scale Scale) (*Result, error) {
+		"ext-ims": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultExtIMS(seed)
 			if scale == Quick {
 				cfg.Probes = 600000
 			}
 			return RunExtIMS(cfg)
 		},
-		"ext-prevalence": func(seed uint64, scale Scale) (*Result, error) {
+		"ext-prevalence": func(seed uint64, scale Scale, _ *Obs) (*Result, error) {
 			cfg := DefaultExtPrevalence(seed)
 			if scale == Quick {
 				cfg.PopSize = 1000
@@ -134,13 +138,9 @@ func Names() []string {
 	return sortedKeys(Registry())
 }
 
-// Run executes one registered experiment by id.
+// Run executes one registered experiment by id, without observability.
 func Run(id string, seed uint64, scale Scale) (*Result, error) {
-	r, ok := Registry()[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
-	}
-	return r(seed, scale)
+	return RunObserved(id, seed, scale, nil)
 }
 
 // quickPopulation is a ~20k-host population with the same clustering shape

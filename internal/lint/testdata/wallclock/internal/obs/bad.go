@@ -1,0 +1,15 @@
+// Package obs mirrors the real internal/obs: telemetry runs on injected
+// clocks, so wall-clock reads are findings here too.
+package obs
+
+import "time"
+
+type span struct{ start time.Time }
+
+func begin() span { // trailing annotations pin the finding lines
+	return span{start: time.Now()} // want "wall-clock call time.Now"
+}
+
+func (s span) seconds() float64 {
+	return time.Since(s.start).Seconds() // want "wall-clock call time.Since"
+}

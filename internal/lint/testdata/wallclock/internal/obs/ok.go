@@ -1,0 +1,15 @@
+package obs
+
+// Clock is the injected-time seam the real internal/obs uses: the
+// simulation tick loop advances it, so spans and histograms never need
+// the time package at all.
+type Clock interface{ Seconds() float64 }
+
+type okSpan struct {
+	clock Clock
+	start float64
+}
+
+func startSpan(c Clock) okSpan { return okSpan{clock: c, start: c.Seconds()} }
+
+func (s okSpan) elapsed() float64 { return s.clock.Seconds() - s.start }

@@ -10,6 +10,7 @@ var wallclockDirs = []string{
 	"internal/worm",
 	"internal/epidemic",
 	"internal/detect",
+	"internal/obs",
 }
 
 // wallclockFuncs are the package time functions that observe or depend on

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// formatFloat renders a float in the shortest exact form, matching the
+// Prometheus text exposition convention.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format, series sorted by family then label set, one # TYPE line per
+// family. Histograms expose cumulative _bucket{le=…} series plus _sum and
+// _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, e := range r.sorted() {
+		if e.base != lastBase {
+			if _, err := bw.WriteString("# TYPE " + e.base + " " + e.kind.String() + "\n"); err != nil {
+				return err
+			}
+			lastBase = e.base
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := bw.WriteString(e.key + " " + strconv.FormatUint(e.ctr.Value(), 10) + "\n"); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := bw.WriteString(e.key + " " + formatFloat(e.gauge.Value()) + "\n"); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if err := writePromHistogram(bw, e); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits one histogram series family.
+func writePromHistogram(bw *bufio.Writer, e *entry) error {
+	h := e.hist
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	labelPart := e.key[len(e.base):] // "" or "{...}"
+	bucketBase := e.base + "_bucket" + labelPart
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		line := labeledKey(bucketBase, "le", le) + " " + strconv.FormatUint(cum, 10) + "\n"
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(e.base + "_sum" + labelPart + " " + formatFloat(h.Sum()) + "\n"); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(e.base + "_count" + labelPart + " " + strconv.FormatUint(h.Count(), 10) + "\n")
+	return err
+}
+
+// histJSON is the JSON shape of one histogram.
+type histJSON struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"` // non-cumulative; last is +Inf
+}
+
+// snapshotJSON is the JSON exposition shape.
+type snapshotJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON writes the registry as one JSON object with counters, gauges,
+// and histograms keyed by series (map keys are emitted sorted, so output
+// is deterministic). A nil registry writes an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := snapshotJSON{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histJSON{},
+	}
+	if r != nil {
+		for _, e := range r.sorted() {
+			switch e.kind {
+			case kindCounter:
+				snap.Counters[e.key] = e.ctr.Value()
+			case kindGauge:
+				snap.Gauges[e.key] = e.gauge.Value()
+			case kindHistogram:
+				snap.Histograms[e.key] = histJSON{
+					Count:   e.hist.Count(),
+					Sum:     e.hist.Sum(),
+					Bounds:  e.hist.Bounds(),
+					Buckets: e.hist.BucketCounts(),
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

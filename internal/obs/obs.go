@@ -1,0 +1,201 @@
+// Package obs is the simulation telemetry substrate: a stdlib-only,
+// deterministic-safe metrics registry (counters, gauges, fixed-bucket
+// histograms), Prometheus-text and JSON exposition, and a span/trace
+// facility keyed on an injected Clock.
+//
+// Two properties shape the design:
+//
+//   - Determinism. Nothing in this package reads the wall clock or draws
+//     randomness; time flows in through the Clock interface, which inside
+//     internal/ is always a simulated clock advanced by the tick loop
+//     (cmd/ binaries may inject a wall clock). Attaching a registry to a
+//     simulation must never perturb its RNG stream — recording is pure
+//     arithmetic on atomics.
+//
+//   - Hot-path cost. Metric handles (*Counter, *Gauge, *Histogram) are
+//     resolved once by name through the registry's mutex and then updated
+//     lock-free with atomics, so per-probe and per-tick increments are a
+//     single atomic add. All handle methods are nil-receiver-safe: an
+//     un-instrumented call site holds nil handles and pays one branch.
+//
+// Metric names follow the Prometheus convention (snake_case families,
+// _total suffix on counters) and are a stability contract documented in
+// DESIGN.md: dashboards and the bench snapshot pipeline key on them.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered series: a family name plus a fixed label set.
+type entry struct {
+	base  string // family name, e.g. "sim_probes_total"
+	key   string // canonical series key, e.g. `sim_probes_total{outcome="delivered"}`
+	kind  metricKind
+	ctr   *Counter
+	gauge *Gauge
+	hist  *Histogram
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. Lookup is mutex-guarded, updates via the returned
+// handles are lock-free. Safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Counter returns the counter registered under name and the given label
+// pairs ("k1", "v1", "k2", "v2", …), creating it on first use. It panics
+// when the same series was registered as a different kind or the label
+// list has odd length — both are programmer errors, not runtime states.
+// Calling on a nil registry returns a nil handle, whose methods no-op.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindCounter, labels)
+	if e.ctr == nil {
+		e.ctr = &Counter{}
+	}
+	return e.ctr
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use. Nil registries return nil handles.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindGauge, labels)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram returns the fixed-bucket histogram registered under name and
+// labels, creating it with the given upper bounds (ascending; a +Inf
+// bucket is implicit) on first use. Later calls may pass nil bounds to
+// reuse the registered ones; passing a different bound count panics. Nil
+// registries return nil handles.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kindHistogram, labels)
+	if e.hist == nil {
+		e.hist = newHistogram(bounds)
+	} else if bounds != nil && len(bounds) != len(e.hist.bounds) {
+		panic(fmt.Sprintf("obs: histogram %s re-registered with %d bounds, have %d",
+			e.key, len(bounds), len(e.hist.bounds)))
+	}
+	return e.hist
+}
+
+// lookup finds or creates the entry for (name, labels), enforcing kind
+// consistency.
+func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{base: name, key: key, kind: kind}
+	r.entries[key] = e
+	return e
+}
+
+// sorted returns the entries ordered by (family, series key) for stable
+// exposition.
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].base != out[j].base {
+			return out[i].base < out[j].base
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+// labelEscaper escapes Prometheus label values.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// seriesKey canonicalizes a family name plus label pairs into the
+// Prometheus series form, with label names sorted so ("a","1","b","2")
+// and ("b","2","a","1") address the same series.
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s has odd label list %q", name, labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labeledKey renders a series key with one extra label appended (used for
+// histogram le buckets).
+func labeledKey(key, extraK, extraV string) string {
+	if i := strings.LastIndexByte(key, '}'); i >= 0 {
+		return key[:i] + "," + extraK + `="` + labelEscaper.Replace(extraV) + `"}`
+	}
+	return key + "{" + extraK + `="` + labelEscaper.Replace(extraV) + `"}`
+}

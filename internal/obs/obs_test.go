@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("probes_total", "outcome", "delivered")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same name+labels (any order) resolves to the same series.
+	if r.Counter("probes_total", "outcome", "delivered") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	g := r.Gauge("infected")
+	g.Set(10)
+	g.Add(2.5)
+	if got := g.Value(); math.Abs(got-12.5) > 1e-12 {
+		t.Fatalf("gauge = %v, want 12.5", got)
+	}
+}
+
+func TestNilHandlesAndRegistryNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 1} // ≤1: {0.5,1}; ≤10: {2}; ≤100: {50}; +Inf: {1000}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-1053.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1053.5", h.Sum())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_probes_total", "outcome", "delivered").Add(7)
+	r.Counter("sim_probes_total", "outcome", "filtered").Add(3)
+	r.Gauge("sim_infected_hosts").Set(25)
+	h := r.Histogram("tick_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_probes_total counter\n",
+		`sim_probes_total{outcome="delivered"} 7` + "\n",
+		`sim_probes_total{outcome="filtered"} 3` + "\n",
+		"# TYPE sim_infected_hosts gauge\nsim_infected_hosts 25\n",
+		"# TYPE tick_seconds histogram\n",
+		`tick_seconds_bucket{le="1"} 1` + "\n",
+		`tick_seconds_bucket{le="10"} 1` + "\n",
+		`tick_seconds_bucket{le="+Inf"} 2` + "\n",
+		"tick_seconds_sum 20.5\n",
+		"tick_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Two expositions of a quiescent registry are byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v").Add(5)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{2}).Observe(1)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64    `json:"count"`
+			Sum     float64   `json:"sum"`
+			Bounds  []float64 `json:"bounds"`
+			Buckets []uint64  `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if snap.Counters[`c{k="v"}`] != 5 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if math.Abs(snap.Gauges["g"]-1.5) > 1e-12 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	hs, ok := snap.Histograms["h"]
+	if !ok || hs.Count != 1 || len(hs.Buckets) != 2 || hs.Buckets[0] != 1 {
+		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total")
+			g := r.Gauge("level")
+			h := r.Histogram("obs", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("level").Value(); math.Abs(got-workers*perWorker) > 1e-6 {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 10, 4)
+	wantExp := []float64{1, 10, 100, 1000}
+	for i := range wantExp {
+		if math.Abs(exp[i]-wantExp[i]) > 1e-9 {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(10, 10, 3)
+	wantLin := []float64{10, 20, 30}
+	for i := range wantLin {
+		if math.Abs(lin[i]-wantLin[i]) > 1e-9 {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsSimTime(t *testing.T) {
+	clock := &SimClock{}
+	reg := NewRegistry()
+	tr := NewTracer(clock, reg)
+
+	clock.Set(10)
+	sp := tr.Start("experiment/fig5c")
+	clock.Set(250)
+	sp.End()
+
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "experiment/fig5c" || r.Start != 10 || r.End != 250 {
+		t.Fatalf("record = %+v", r)
+	}
+	if d := r.Duration(); d != 240 {
+		t.Fatalf("duration = %v, want 240", d)
+	}
+	h := reg.Histogram("obs_span_seconds", nil, "name", "experiment/fig5c")
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d, want 1", h.Count())
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Start("x").End() // must not panic
+	if tr.Records() != nil {
+		t.Fatal("nil tracer must return nil records")
+	}
+	// A tracer with no clock and no registry still works, pinned at 0.
+	tr2 := NewTracer(nil, nil)
+	tr2.Start("y").End()
+	if len(tr2.Records()) != 1 {
+		t.Fatal("clockless tracer lost its span")
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	clock := &SimClock{}
+	tr := NewTracer(clock, nil)
+	clock.Set(1)
+	sp := tr.Start("a")
+	clock.Set(3)
+	sp.End()
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "a"`, `"start": 1`, `"end": 3`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/worm"
 )
 
@@ -42,6 +44,66 @@ func TestRunExactIsDeterministic(t *testing.T) {
 	first, second := runOnce(), runOnce()
 	if first != second {
 		t.Errorf("two RunExact runs with the same seed diverged:\nrun1:\n%srun2:\n%s", first, second)
+	}
+}
+
+// TestTelemetryDoesNotPerturbRuns pins the tentpole guarantee of the obs
+// layer: attaching a metrics registry and a clock consumes no randomness
+// and changes no arithmetic, so a telemetry-on run is byte-identical to a
+// telemetry-off run with the same seed — for both drivers — and two
+// telemetry-on runs produce byte-identical metric snapshots.
+func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
+	pop := smallPop(t, 400, 31)
+	exact := func(reg *obs.Registry) string {
+		cfg := ExactConfig{
+			Pop: pop, Factory: worm.UniformFactory{},
+			ScanRate: 2000, TickSeconds: 1, MaxSeconds: 60, SeedHosts: 8, Seed: 1234,
+			Metrics: reg,
+		}
+		if reg != nil {
+			cfg.Clock = &obs.SimClock{}
+		}
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSeries(t, res)
+	}
+	fast := func(reg *obs.Registry) string {
+		cfg := FastConfig{
+			Pop: pop, Model: NewCodeRedIIModel(),
+			ScanRate: 300, TickSeconds: 1, MaxSeconds: 300, SeedHosts: 8, Seed: 5678,
+			Metrics: reg,
+		}
+		if reg != nil {
+			cfg.Clock = &obs.SimClock{}
+		}
+		res, err := RunFast(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSeries(t, res)
+	}
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	if off, on := exact(nil), exact(regA); off != on {
+		t.Errorf("RunExact diverged with telemetry attached:\noff:\n%son:\n%s", off, on)
+	}
+	if off, on := fast(nil), fast(regA); off != on {
+		t.Errorf("RunFast diverged with telemetry attached:\noff:\n%son:\n%s", off, on)
+	}
+	exact(regB)
+	fast(regB)
+
+	snapshot := func(reg *obs.Registry) string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := snapshot(regA), snapshot(regB); a != b {
+		t.Errorf("two same-seed runs produced different metric snapshots:\nA:\n%s\nB:\n%s", a, b)
 	}
 }
 

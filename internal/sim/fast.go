@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/ipv4"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
 )
@@ -42,6 +43,14 @@ type FastConfig struct {
 	// quarantine): once Trigger returns true the policy engages and every
 	// subsequent probe is dropped with probability Drop.
 	Containment *Containment
+	// Metrics, when non-nil, receives per-tick probe-outcome counters and
+	// run gauges (see DESIGN.md for the metric-name contract). Attaching a
+	// registry never perturbs the run: telemetry draws no randomness.
+	Metrics *obs.Registry
+	// Clock, when non-nil, is set to the tick's simulated time at the
+	// start of each tick, so observers (sensor fleets, tracers) timestamp
+	// events in simulated seconds.
+	Clock *obs.SimClock
 }
 
 // Containment is a global response policy: detection-triggered filtering
@@ -183,6 +192,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	}
 
 	res := &Result{InfectionTime: infTime}
+	metrics := newSimMetrics(cfg.Metrics, "fast")
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	baseDeliver := 1 - cfg.LossRate
 	deliver := baseDeliver
@@ -196,6 +206,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	var snaps []snap
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
+		cfg.Clock.Set(t)
 		snaps = snaps[:0]
 		var probes float64
 		for _, g := range st.groupList {
@@ -207,6 +218,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 			snaps = append(snaps, snap{g: g, p: p})
 		}
 		var newInf int
+		var sensorDraws uint64
 		for _, s := range snaps {
 			for ci := range s.g.comps {
 				comp := &s.g.comps[ci]
@@ -222,6 +234,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 				}
 				if cfg.Sensors != nil && comp.pSensor > 0 {
 					hits := st.r.Poisson(s.p * comp.pSensor * deliver)
+					sensorDraws += hits
 					for i := uint64(0); i < hits; i++ {
 						dst := comp.sensors.Select(st.r.Uint64n(comp.sensors.Size()))
 						cfg.Sensors.RecordHit(dst)
@@ -229,9 +242,32 @@ func RunFast(cfg FastConfig) (*Result, error) {
 				}
 			}
 		}
-		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: uint64(probes)}
+		// Outcome accounting. Infections and sensor hits are the actual
+		// draws above; the loss/containment share is closed with its
+		// expectation, and delivered absorbs the residual so the categories
+		// sum exactly to Probes (the Poisson means are tiny fractions of
+		// the tick's probes, so the residual cannot realistically go
+		// negative; it saturates at 0 if it ever does).
+		var outcomes OutcomeCounts
+		probesEmitted := uint64(probes)
+		outcomes[OutcomeInfection] = uint64(newInf)
+		outcomes[OutcomeSensorHit] = sensorDraws
+		used := outcomes[OutcomeInfection] + outcomes[OutcomeSensorHit]
+		var rest uint64
+		if probesEmitted > used {
+			rest = probesEmitted - used
+		}
+		filtered := uint64(probes*(1-deliver) + 0.5)
+		if filtered > rest {
+			filtered = rest
+		}
+		outcomes[OutcomeFiltered] = filtered
+		outcomes[OutcomeDelivered] = rest - filtered
+		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: probesEmitted, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info
+		res.Outcomes.Merge(outcomes)
+		metrics.flushTick(info)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
 			break
 		}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ProbeOutcome classifies the fate of one probe. The taxonomy is the
+// paper's Sections 4–5 failure modes made countable: a run that silently
+// loses probes to egress filtering must be distinguishable from one that
+// doesn't, because *where probes go and why they don't arrive* is the
+// whole result.
+//
+// Every probe gets exactly one outcome, so per-tick outcome counts sum to
+// TickInfo.Probes (the conservation invariant the tests enforce).
+type ProbeOutcome uint8
+
+// Outcomes, in classification precedence order within each branch.
+const (
+	// OutcomeDelivered: the probe crossed the network and landed on
+	// unmonitored, non-vulnerable (or already-infected) address space.
+	OutcomeDelivered ProbeOutcome = iota
+	// OutcomeFiltered: dropped by environment policy — egress/ingress
+	// filters, containment, or random loss.
+	OutcomeFiltered
+	// OutcomePrivateDropped: an RFC 1918 destination probed from a public
+	// host; private space never crosses the Internet.
+	OutcomePrivateDropped
+	// OutcomeNATBlocked: the destination matched a vulnerable private host
+	// on a different NAT site, unreachable by topology.
+	OutcomeNATBlocked
+	// OutcomeSensorHit: delivered onto monitored (darknet) address space.
+	OutcomeSensorHit
+	// OutcomeSelfHit: the host probed its own address.
+	OutcomeSelfHit
+	// OutcomeInfection: the probe infected at least one new host.
+	OutcomeInfection
+
+	// NumOutcomes is the number of outcome categories.
+	NumOutcomes = int(iota)
+)
+
+// outcomeNames are the stable label values used in metrics and output.
+var outcomeNames = [NumOutcomes]string{
+	"delivered", "filtered", "private-dropped", "nat-blocked",
+	"sensor-hit", "self-hit", "infection",
+}
+
+// String returns the stable metric-label name of the outcome.
+func (o ProbeOutcome) String() string {
+	if int(o) < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// OutcomeCounts tallies probes by outcome.
+type OutcomeCounts [NumOutcomes]uint64
+
+// Total returns the sum over all outcomes.
+func (c OutcomeCounts) Total() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Merge adds d into c.
+func (c *OutcomeCounts) Merge(d OutcomeCounts) {
+	for i, v := range d {
+		c[i] += v
+	}
+}
+
+// String renders the non-zero tallies as "name=count" pairs in outcome
+// order, e.g. "delivered=120 filtered=30 infection=2".
+func (c OutcomeCounts) String() string {
+	var b strings.Builder
+	for i, v := range c {
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", ProbeOutcome(i), v)
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// newInfectionBuckets bound the per-tick new-infection histogram.
+var newInfectionBuckets = obs.ExpBuckets(1, 10, 6)
+
+// simMetrics holds the pre-resolved registry handles a driver updates once
+// per tick. A nil *simMetrics (registry absent) makes every flush a no-op,
+// so the drivers call it unconditionally.
+type simMetrics struct {
+	outcomes [NumOutcomes]*obs.Counter
+	emitted  *obs.Counter
+	ticks    *obs.Counter
+	infected *obs.Gauge
+	newInf   *obs.Histogram
+}
+
+// newSimMetrics resolves the driver's metric handles; the driver label is
+// "exact" or "fast" so both drivers can run against one registry.
+func newSimMetrics(reg *obs.Registry, driver string) *simMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &simMetrics{
+		emitted:  reg.Counter("sim_probes_emitted_total", "driver", driver),
+		ticks:    reg.Counter("sim_ticks_total", "driver", driver),
+		infected: reg.Gauge("sim_infected_hosts", "driver", driver),
+		newInf:   reg.Histogram("sim_tick_new_infections", newInfectionBuckets, "driver", driver),
+	}
+	for i := range m.outcomes {
+		m.outcomes[i] = reg.Counter("sim_probes_total",
+			"driver", driver, "outcome", ProbeOutcome(i).String())
+	}
+	return m
+}
+
+// flushTick publishes one completed tick.
+func (m *simMetrics) flushTick(ti TickInfo) {
+	if m == nil {
+		return
+	}
+	for i, v := range ti.Outcomes {
+		m.outcomes[i].Add(v)
+	}
+	m.emitted.Add(ti.Probes)
+	m.ticks.Inc()
+	m.infected.Set(float64(ti.Infected))
+	m.newInf.Observe(float64(ti.NewInfections))
+}

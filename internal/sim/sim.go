@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/ipv4"
 	"repro/internal/netenv"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/worm"
@@ -49,6 +50,10 @@ type TickInfo struct {
 	NewInfections int
 	// Probes is the number of probes emitted during this tick.
 	Probes uint64
+	// Outcomes tallies this tick's probes by fate; the categories sum to
+	// Probes (exactly in the exact driver; the fast driver closes the sum
+	// with an expectation-based delivered/filtered split).
+	Outcomes OutcomeCounts
 }
 
 // Result is a completed simulation run.
@@ -60,6 +65,9 @@ type Result struct {
 	// InfectionTime[i] is the simulated second host i became infected, or
 	// a negative value if it never was.
 	InfectionTime []float64
+	// Outcomes is the run-cumulative probe-outcome tally (the sum of every
+	// tick's TickInfo.Outcomes).
+	Outcomes OutcomeCounts
 }
 
 // FractionInfected returns the final infected fraction of the population.
@@ -74,6 +82,12 @@ func (r *Result) FractionInfected() float64 {
 // fraction reached f, and whether it ever did.
 func (r *Result) TimeToFraction(f float64) (float64, bool) {
 	target := int(f * float64(len(r.InfectionTime)))
+	if target < 1 {
+		// Tiny fractions round to zero hosts, which every tick satisfies
+		// vacuously — even one with no infections at all. Reaching a
+		// positive fraction means at least one host is infected.
+		target = 1
+	}
 	for _, ti := range r.Series {
 		if ti.Infected >= target {
 			return ti.Time, true
@@ -109,6 +123,17 @@ type ExactConfig struct {
 	OnTick func(TickInfo) bool
 	// StopWhenInfected stops once this many hosts are infected (0 = never).
 	StopWhenInfected int
+	// SensorSet, when non-nil, is the monitored (darknet) address space;
+	// delivered probes landing in it are classified OutcomeSensorHit.
+	SensorSet *ipv4.Set
+	// Metrics, when non-nil, receives per-tick probe-outcome counters and
+	// run gauges (see DESIGN.md for the metric-name contract). Attaching a
+	// registry never perturbs the run: telemetry draws no randomness.
+	Metrics *obs.Registry
+	// Clock, when non-nil, is set to the tick's simulated time at the
+	// start of each tick, so observers (sensor fleets, tracers) timestamp
+	// events in simulated seconds.
+	Clock *obs.SimClock
 }
 
 func (c *ExactConfig) validate() error {
@@ -169,11 +194,14 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 	}
 
 	res := &Result{InfectionTime: infTime}
+	metrics := newSimMetrics(cfg.Metrics, "exact")
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
+		cfg.Clock.Set(t)
 		var newInf int
 		var probes uint64
+		var outcomes OutcomeCounts
 		// Agents infected during this tick start probing next tick.
 		nAgents := len(agents)
 		for ai := 0; ai < nAgents; ai++ {
@@ -186,35 +214,68 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 					// Private destinations never cross the Internet: they
 					// can only reach hosts on the same NAT site.
 					if !srcHost.IsNATed() {
+						outcomes[OutcomePrivateDropped]++
 						continue
 					}
+					hit, blocked := false, false
 					for _, vid := range pop.Lookup(dst) {
 						v := pop.Host(vid)
-						if !infected[vid] && netenv.CanReach(srcHost, v) {
+						if infected[vid] {
+							continue
+						}
+						if netenv.CanReach(srcHost, v) {
 							infect(vid, t)
 							newInf++
+							hit = true
+						} else {
+							blocked = true
 						}
+					}
+					switch {
+					case hit:
+						outcomes[OutcomeInfection]++
+					case blocked:
+						outcomes[OutcomeNATBlocked]++
+					case dst == srcHost.Addr:
+						outcomes[OutcomeSelfHit]++
+					default:
+						outcomes[OutcomeDelivered]++
 					}
 					continue
 				}
 				if !env.Delivered(srcHost.Addr, dst, r) {
+					outcomes[OutcomeFiltered]++
 					continue
 				}
 				if cfg.OnProbe != nil {
 					cfg.OnProbe(srcHost.Addr, dst)
 				}
+				hit := false
 				for _, vid := range pop.Lookup(dst) {
 					v := pop.Host(vid)
 					if !infected[vid] && netenv.CanReach(srcHost, v) {
 						infect(vid, t)
 						newInf++
+						hit = true
 					}
+				}
+				switch {
+				case hit:
+					outcomes[OutcomeInfection]++
+				case dst == srcHost.Addr:
+					outcomes[OutcomeSelfHit]++
+				case cfg.SensorSet != nil && cfg.SensorSet.Contains(dst):
+					outcomes[OutcomeSensorHit]++
+				default:
+					outcomes[OutcomeDelivered]++
 				}
 			}
 		}
-		info := TickInfo{Time: t, Infected: len(agents), NewInfections: newInf, Probes: probes}
+		info := TickInfo{Time: t, Infected: len(agents), NewInfections: newInf, Probes: probes, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info
+		res.Outcomes.Merge(outcomes)
+		metrics.flushTick(info)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
 			break
 		}

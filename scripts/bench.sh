@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmark snapshot pipeline: run the standard CodeRedII driver benchmarks
+# (and any extra pattern given as $1) with -benchmem, parse the output with
+# cmd/benchsnap, and write BENCH_<date>.json at the repo root. Commit the
+# file so performance changes show up in review diffs. Non-blocking in CI.
+#
+# Usage:
+#   scripts/bench.sh                      # the snapshot set
+#   scripts/bench.sh 'Benchmark.*Driver'  # custom pattern
+#   BENCHTIME=3x COUNT=2 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-BenchmarkRun(Exact|Fast)CodeRedII}"
+date="$(date -u +%F)"
+out="BENCH_${date}.json"
+
+go test -run '^$' -bench "$pattern" -benchmem \
+  -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" . |
+  tee /dev/stderr |
+  go run ./cmd/benchsnap -date "$date" -o "$out"
+
+echo "wrote $out"

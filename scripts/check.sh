@@ -17,7 +17,7 @@ go run ./cmd/reprolint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sweep ./internal/sim ./internal/detect"
-go test -race ./internal/sweep ./internal/sim ./internal/detect
+echo "==> go test -race ./internal/sweep ./internal/sim ./internal/detect ./internal/obs"
+go test -race ./internal/sweep ./internal/sim ./internal/detect ./internal/obs
 
 echo "==> all checks passed"
