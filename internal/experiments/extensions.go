@@ -84,6 +84,9 @@ func RunExtThreshold(cfg ExtThresholdConfig) (*Result, error) {
 				Sensors:     fleet,
 				SensorSet:   fleet.Union(),
 				Metrics:     cfg.Fig5.Metrics,
+				// Sweep points run concurrently against one registry; the
+				// label keeps each point's series distinct.
+				MetricLabels: []string{"threshold", fmt.Sprintf("%d", threshold)},
 			})
 			if err != nil {
 				return outcome{}, err
@@ -161,7 +164,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 				return outcome{}, err
 			}
 			var t20 float64
-			run := func(prefixes []ipv4.Prefix) (placementOutcome, error) {
+			run := func(placement string, prefixes []ipv4.Prefix) (placementOutcome, error) {
 				fleet, err := detect.NewThresholdFleet(prefixes, cfg.Fig5.AlertThreshold)
 				if err != nil {
 					return placementOutcome{}, err
@@ -179,6 +182,12 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 					Sensors:     fleet,
 					SensorSet:   fleet.Union(),
 					Metrics:     cfg.Fig5.Metrics,
+					// NAT points run concurrently against one registry, and
+					// each point runs two placements; both labels are needed
+					// to keep the series distinct.
+					MetricLabels: []string{
+						"nat", fmt.Sprintf("%.2f", nat), "placement", placement,
+					},
 					OnTick: func(ti sim.TickInfo) bool {
 						series.X = append(series.X, ti.Time)
 						series.Y = append(series.Y, 100*fleet.AlertedFraction())
@@ -198,7 +207,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 					firstAlert: first,
 				}, nil
 			}
-			sweepOut, err := run(detect.Slash16SweepOfSlash8(192, []uint32{168}, cfg.Fig5.Seed+8))
+			sweepOut, err := run("192-8", detect.Slash16SweepOfSlash8(192, []uint32{168}, cfg.Fig5.Seed+8))
 			if err != nil {
 				return outcome{}, err
 			}
@@ -206,7 +215,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			randomOut, err := run(randomPrefixes)
+			randomOut, err := run("random", randomPrefixes)
 			if err != nil {
 				return outcome{}, err
 			}

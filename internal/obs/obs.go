@@ -82,11 +82,7 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, kindCounter, labels)
-	if e.ctr == nil {
-		e.ctr = &Counter{}
-	}
-	return e.ctr
+	return r.lookup(name, kindCounter, nil, labels).ctr
 }
 
 // Gauge returns the gauge registered under name and labels, creating it on
@@ -95,11 +91,7 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, kindGauge, labels)
-	if e.gauge == nil {
-		e.gauge = &Gauge{}
-	}
-	return e.gauge
+	return r.lookup(name, kindGauge, nil, labels).gauge
 }
 
 // Histogram returns the fixed-bucket histogram registered under name and
@@ -111,19 +103,15 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, kindHistogram, labels)
-	if e.hist == nil {
-		e.hist = newHistogram(bounds)
-	} else if bounds != nil && len(bounds) != len(e.hist.bounds) {
-		panic(fmt.Sprintf("obs: histogram %s re-registered with %d bounds, have %d",
-			e.key, len(bounds), len(e.hist.bounds)))
-	}
-	return e.hist
+	return r.lookup(name, kindHistogram, bounds, labels).hist
 }
 
 // lookup finds or creates the entry for (name, labels), enforcing kind
-// consistency.
-func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry {
+// consistency. The handle is created while r.mu is held, so concurrent
+// first resolutions of one series always return the same handle — creating
+// it after the lock is released would let two goroutines each build one,
+// losing the other's updates from exposition.
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) *entry {
 	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -131,9 +119,21 @@ func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry 
 		if e.kind != kind {
 			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, e.kind, kind))
 		}
+		if kind == kindHistogram && bounds != nil && len(bounds) != len(e.hist.bounds) {
+			panic(fmt.Sprintf("obs: histogram %s re-registered with %d bounds, have %d",
+				e.key, len(bounds), len(e.hist.bounds)))
+		}
 		return e
 	}
 	e := &entry{base: name, key: key, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.ctr = &Counter{}
+	case kindGauge:
+		e.gauge = &Gauge{}
+	case kindHistogram:
+		e.hist = newHistogram(bounds)
+	}
 	r.entries[key] = e
 	return e
 }

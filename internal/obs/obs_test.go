@@ -181,6 +181,47 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+func TestConcurrentFirstResolutionSharesOneHandle(t *testing.T) {
+	// Regression: handle creation used to happen after lookup() released
+	// the registry mutex, so two goroutines resolving a fresh series could
+	// each build a handle and one's increments vanished from exposition.
+	// Every worker resolves the same three fresh series and records one
+	// update; the registry totals must account for all of them.
+	const workers = 8
+	r := NewRegistry()
+	ctrs := make([]*Counter, workers)
+	gauges := make([]*Gauge, workers)
+	hists := make([]*Histogram, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			ctrs[w] = r.Counter("fresh_total", "w", "shared")
+			gauges[w] = r.Gauge("fresh_level")
+			hists[w] = r.Histogram("fresh_obs", []float64{1})
+			ctrs[w].Inc()
+			gauges[w].Add(1)
+			hists[w].Observe(0.5)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ctrs[w] != ctrs[0] || gauges[w] != gauges[0] || hists[w] != hists[0] {
+			t.Fatalf("worker %d got distinct handles for the same series", w)
+		}
+	}
+	if got := r.Counter("fresh_total", "w", "shared").Value(); got != workers {
+		t.Errorf("counter = %d, want %d (updates lost to a duplicate handle)", got, workers)
+	}
+	if got := r.Histogram("fresh_obs", nil).Count(); got != workers {
+		t.Errorf("histogram count = %d, want %d", got, workers)
+	}
+}
+
 func TestBucketHelpers(t *testing.T) {
 	exp := ExpBuckets(1, 10, 4)
 	wantExp := []float64{1, 10, 100, 1000}

@@ -47,6 +47,12 @@ type FastConfig struct {
 	// run gauges (see DESIGN.md for the metric-name contract). Attaching a
 	// registry never perturbs the run: telemetry draws no randomness.
 	Metrics *obs.Registry
+	// MetricLabels are extra label pairs ("k1", "v1", …) appended to every
+	// series this run registers. Runs sharing one registry — concurrent
+	// sweep points in particular — must set distinct labels here, or their
+	// counters aggregate indistinguishably and gauges become
+	// last-writer-wins.
+	MetricLabels []string
 	// Clock, when non-nil, is set to the tick's simulated time at the
 	// start of each tick, so observers (sensor fleets, tracers) timestamp
 	// events in simulated seconds.
@@ -192,7 +198,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	}
 
 	res := &Result{InfectionTime: infTime}
-	metrics := newSimMetrics(cfg.Metrics, "fast")
+	metrics := newSimMetrics(cfg.Metrics, "fast", cfg.MetricLabels)
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	baseDeliver := 1 - cfg.LossRate
 	deliver := baseDeliver
@@ -242,27 +248,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 				}
 			}
 		}
-		// Outcome accounting. Infections and sensor hits are the actual
-		// draws above; the loss/containment share is closed with its
-		// expectation, and delivered absorbs the residual so the categories
-		// sum exactly to Probes (the Poisson means are tiny fractions of
-		// the tick's probes, so the residual cannot realistically go
-		// negative; it saturates at 0 if it ever does).
-		var outcomes OutcomeCounts
-		probesEmitted := uint64(probes)
-		outcomes[OutcomeInfection] = uint64(newInf)
-		outcomes[OutcomeSensorHit] = sensorDraws
-		used := outcomes[OutcomeInfection] + outcomes[OutcomeSensorHit]
-		var rest uint64
-		if probesEmitted > used {
-			rest = probesEmitted - used
-		}
-		filtered := uint64(probes*(1-deliver) + 0.5)
-		if filtered > rest {
-			filtered = rest
-		}
-		outcomes[OutcomeFiltered] = filtered
-		outcomes[OutcomeDelivered] = rest - filtered
+		probesEmitted, outcomes := closeFastTickOutcomes(probes, newInf, sensorDraws, deliver)
 		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: probesEmitted, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info
@@ -281,6 +267,32 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// closeFastTickOutcomes closes one fast-driver tick's probe accounting.
+// Infections and sensor hits are the realized draws from the tick loop;
+// the loss/containment share is closed with its expectation, and delivered
+// absorbs the residual. Realized Poisson draws are not bounded by the
+// tick's expected probe count — in a small-probes tick they can overshoot
+// it — so the probe total widens to the realized sum in that case, keeping
+// the conservation invariant Outcomes.Total() == Probes unconditional.
+func closeFastTickOutcomes(probes float64, newInf int, sensorDraws uint64, deliver float64) (uint64, OutcomeCounts) {
+	var outcomes OutcomeCounts
+	outcomes[OutcomeInfection] = uint64(newInf)
+	outcomes[OutcomeSensorHit] = sensorDraws
+	probesEmitted := uint64(probes)
+	used := outcomes[OutcomeInfection] + outcomes[OutcomeSensorHit]
+	if used > probesEmitted {
+		probesEmitted = used
+	}
+	rest := probesEmitted - used
+	filtered := uint64(probes*(1-deliver) + 0.5)
+	if filtered > rest {
+		filtered = rest
+	}
+	outcomes[OutcomeFiltered] = filtered
+	outcomes[OutcomeDelivered] = rest - filtered
+	return probesEmitted, outcomes
 }
 
 // indexHosts builds the sorted public-address index and per-site pools.

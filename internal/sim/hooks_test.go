@@ -98,6 +98,37 @@ func TestFastProbeConservation(t *testing.T) {
 	}
 }
 
+func TestFastTickOutcomesConserveOnOvershoot(t *testing.T) {
+	// Regression: realized Poisson infection/sensor draws are not bounded
+	// by the tick's expected probe count. When they overshoot it, the
+	// probe total must widen to the realized sum instead of silently
+	// breaking Outcomes.Total() == Probes.
+	cases := []struct {
+		name        string
+		probes      float64
+		newInf      int
+		sensorDraws uint64
+		deliver     float64
+	}{
+		{"overshoot small tick", 1.4, 2, 1, 0.5},
+		{"overshoot zero expectation", 0.4, 1, 0, 1},
+		{"normal tick", 1000, 3, 2, 0.8},
+		{"all filtered", 100, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		probes, outcomes := closeFastTickOutcomes(tc.probes, tc.newInf, tc.sensorDraws, tc.deliver)
+		if got := outcomes.Total(); got != probes {
+			t.Errorf("%s: outcomes sum to %d, probes %d (%s)", tc.name, got, probes, outcomes)
+		}
+		if outcomes[OutcomeInfection] != uint64(tc.newInf) || outcomes[OutcomeSensorHit] != tc.sensorDraws {
+			t.Errorf("%s: realized draws must be kept as counted, got %s", tc.name, outcomes)
+		}
+		if want := uint64(tc.probes); probes < want {
+			t.Errorf("%s: probe total %d shrank below emitted %d", tc.name, probes, want)
+		}
+	}
+}
+
 func TestExactOnProbeSeesExactlyPublicDeliveredProbes(t *testing.T) {
 	// Without NAT'd hosts every private destination is dropped before
 	// OnProbe, and the only other pre-OnProbe drop is the environment

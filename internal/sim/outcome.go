@@ -109,20 +109,28 @@ type simMetrics struct {
 }
 
 // newSimMetrics resolves the driver's metric handles; the driver label is
-// "exact" or "fast" so both drivers can run against one registry.
-func newSimMetrics(reg *obs.Registry, driver string) *simMetrics {
+// "exact" or "fast" so both drivers can run against one registry, and the
+// config's extra label pairs keep runs sharing one registry (concurrent
+// sweep points) on distinct series instead of colliding.
+func newSimMetrics(reg *obs.Registry, driver string, extra []string) *simMetrics {
 	if reg == nil {
 		return nil
 	}
+	labels := func(more ...string) []string {
+		l := make([]string, 0, 2+len(extra)+len(more))
+		l = append(l, "driver", driver)
+		l = append(l, extra...)
+		return append(l, more...)
+	}
 	m := &simMetrics{
-		emitted:  reg.Counter("sim_probes_emitted_total", "driver", driver),
-		ticks:    reg.Counter("sim_ticks_total", "driver", driver),
-		infected: reg.Gauge("sim_infected_hosts", "driver", driver),
-		newInf:   reg.Histogram("sim_tick_new_infections", newInfectionBuckets, "driver", driver),
+		emitted:  reg.Counter("sim_probes_emitted_total", labels()...),
+		ticks:    reg.Counter("sim_ticks_total", labels()...),
+		infected: reg.Gauge("sim_infected_hosts", labels()...),
+		newInf:   reg.Histogram("sim_tick_new_infections", newInfectionBuckets, labels()...),
 	}
 	for i := range m.outcomes {
 		m.outcomes[i] = reg.Counter("sim_probes_total",
-			"driver", driver, "outcome", ProbeOutcome(i).String())
+			labels("outcome", ProbeOutcome(i).String())...)
 	}
 	return m
 }

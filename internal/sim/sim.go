@@ -130,6 +130,12 @@ type ExactConfig struct {
 	// run gauges (see DESIGN.md for the metric-name contract). Attaching a
 	// registry never perturbs the run: telemetry draws no randomness.
 	Metrics *obs.Registry
+	// MetricLabels are extra label pairs ("k1", "v1", …) appended to every
+	// series this run registers. Runs sharing one registry — concurrent
+	// sweep points in particular — must set distinct labels here, or their
+	// counters aggregate indistinguishably and gauges become
+	// last-writer-wins.
+	MetricLabels []string
 	// Clock, when non-nil, is set to the tick's simulated time at the
 	// start of each tick, so observers (sensor fleets, tracers) timestamp
 	// events in simulated seconds.
@@ -194,7 +200,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 	}
 
 	res := &Result{InfectionTime: infTime}
-	metrics := newSimMetrics(cfg.Metrics, "exact")
+	metrics := newSimMetrics(cfg.Metrics, "exact", cfg.MetricLabels)
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
