@@ -7,13 +7,19 @@ package hotspots
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/detect"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/ipv4"
 	"repro/internal/obs"
 	"repro/internal/population"
+	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/worm"
 )
 
@@ -66,6 +72,7 @@ func BenchmarkExtPrevalence(b *testing.B)  { benchExperiment(b, "ext-prevalence"
 func BenchmarkExtContainment(b *testing.B) { benchExperiment(b, "ext-containment") }
 func BenchmarkExtWitty(b *testing.B)       { benchExperiment(b, "ext-witty") }
 func BenchmarkExtIMS(b *testing.B)         { benchExperiment(b, "ext-ims") }
+func BenchmarkExtFaults(b *testing.B)      { benchExperiment(b, "ext-faults") }
 
 // Ablation benchmarks: each isolates one root cause by removing it.
 
@@ -309,5 +316,99 @@ func BenchmarkExactDriverProbes(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = res
+	}
+}
+
+// benchFleetObserve drives the detection-fleet hit path — per-probe
+// RecordHit plus the per-tick service accounting — optionally under a fault
+// plan that withdraws half the blocks (the down-mask and the per-probe
+// SensorDown query the fast driver issues).
+func benchFleetObserve(b *testing.B, withFaults bool) {
+	b.Helper()
+	prefixes := make([]ipv4.Prefix, 0, 255)
+	for i := 1; i <= 255; i++ {
+		prefixes = append(prefixes, ipv4.MustParsePrefix(fmt.Sprintf("192.%d.0.0/16", i)))
+	}
+	var plan *faults.Plan
+	if withFaults {
+		cfg := faults.Config{Seed: 1}
+		for i := 0; i < len(prefixes); i += 2 {
+			cfg.Outages = append(cfg.Outages, faults.OutageConfig{
+				Block: prefixes[i].String(), Start: 0, End: 1e9,
+			})
+		}
+		var err error
+		plan, err = faults.Compile(cfg, 1e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A fixed probe stream, ~half landing inside the fleet.
+	r := rng.NewXoshiro(7)
+	probes := make([]ipv4.Addr, 4096)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = ipv4.Addr(0xC0000000 | r.Uint64n(1<<24)) // 192.0.0.0/8
+		} else {
+			probes[i] = ipv4.Addr(r.Uint64n(1 << 32))
+		}
+	}
+	fleet := detect.MustNewThresholdFleet(prefixes, 25)
+	if plan != nil {
+		fleet.SetDownSet(plan.DownSpace())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i)
+		for _, dst := range probes {
+			if plan.SensorDown(dst, t) {
+				continue
+			}
+			fleet.RecordHit(dst)
+		}
+		if fleet.NumUp() == 0 || fleet.AlertedFractionOfUp() < 0 {
+			b.Fatal("fleet accounting broke")
+		}
+	}
+}
+
+func BenchmarkFleetObserve(b *testing.B)       { benchFleetObserve(b, false) }
+func BenchmarkFleetObserveFaults(b *testing.B) { benchFleetObserve(b, true) }
+
+// BenchmarkSweepResume measures the checkpoint replay path: every task is
+// already in the store, so one iteration is a full resume — open the file,
+// map the grid, serve all results from cache without running a task.
+func BenchmarkSweepResume(b *testing.B) {
+	const tasks = 256
+	inputs := make([]int, tasks)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	key := func(i, in int) string { return fmt.Sprintf("bench|task=%d", in) }
+	path := b.TempDir() + "/resume.ckpt"
+	cp, err := sweep.OpenCheckpoint(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := func(_ context.Context, in int) (int, error) { return in * in, nil }
+	if _, err := sweep.MapCheckpointed(context.Background(), inputs, key, warm, cp, sweep.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	cold := func(_ context.Context, in int) (int, error) {
+		return 0, fmt.Errorf("task %d not served from cache", in)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := sweep.OpenCheckpoint(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := sweep.MapCheckpointed(context.Background(), inputs, key, cold, cp, sweep.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != tasks || out[3] != 9 {
+			b.Fatal("resume returned wrong results")
+		}
 	}
 }

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/cmd/internal/obsflags"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 )
 
@@ -36,6 +38,11 @@ func run(args []string) error {
 		height = fs.Int("height", 18, "plot height")
 		list   = fs.Bool("list", false, "list experiment ids and exit")
 		md     = fs.String("md", "", "write a Markdown report to this file instead of stdout text")
+
+		checkpoint  = fs.String("checkpoint", "", "checkpoint file: sweep experiments resume from it instead of recomputing finished grid points")
+		retries     = fs.Int("retries", 0, "retry failed sweep tasks this many times (deterministic exponential backoff)")
+		taskTimeout = fs.Duration("task-timeout", 0, "per-task deadline for sweep tasks (0 = none)")
+		salvage     = fs.Bool("salvage", false, "keep completed sweep results when some tasks fail")
 	)
 	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +75,21 @@ func run(args []string) error {
 		Registry: sess.Registry,
 		Tracer:   sess.Tracer,
 		Progress: sess.ProgressFunc(),
+		Sweep: sweep.Options{
+			Retries:     *retries,
+			TaskTimeout: *taskTimeout,
+			Salvage:     *salvage,
+		},
+	}
+	if *retries > 0 {
+		eobs.Sweep.Backoff = sweep.ExpBackoff(time.Second, 30*time.Second)
+	}
+	if *checkpoint != "" {
+		cp, err := sweep.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		eobs.Checkpoint = cp
 	}
 	var report *os.File
 	if *md != "" {

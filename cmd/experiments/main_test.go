@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 func TestRunListAndSingleExperiment(t *testing.T) {
@@ -39,6 +43,48 @@ func TestRunMarkdownReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+// TestRunExtFaultsCheckpointed runs the fault-injection sweep twice against
+// one checkpoint file: the second pass replays every grid point from the
+// cache and the Markdown reports must match byte for byte.
+func TestRunExtFaultsCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "faults.ckpt")
+	md1 := filepath.Join(dir, "report1.md")
+	md2 := filepath.Join(dir, "report2.md")
+	if err := run([]string{"-run", "ext-faults", "-md", md1, "-checkpoint", ckpt, "-retries", "1", "-salvage"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "ext-faults", "-md", md2, "-checkpoint", ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(md1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(md2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("checkpointed rerun diverged:\n--- first\n%s--- second\n%s", first, second)
+	}
+	cp, err := sweep.OpenCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick-scale grid: 2 burst levels x 4 outage fractions.
+	if cp.Len() != 8 {
+		t.Errorf("checkpoint holds %d grid points, want 8", cp.Len())
+	}
+	corrupt := filepath.Join(dir, "corrupt.ckpt")
+	if err := os.WriteFile(corrupt, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "table1", "-checkpoint", corrupt}); err == nil {
+		t.Error("corrupt checkpoint accepted")
 	}
 }
 

@@ -8,9 +8,13 @@
 //	hotspotsim -worm hitlist -hitlist-size 100
 //	hotspotsim -worm codered2 -nat 0.15 -sensors 5000 -placement top20
 //	hotspotsim -worm codered2 -placement 192sweep -plot
+//	hotspotsim -worm codered2 -placement 192sweep -outage 0.3 -burst 0.6
+//	hotspotsim -worm codered2 -checkpoint run.ckpt   # rerun replays the cache
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +22,13 @@ import (
 	"repro/cmd/internal/obsflags"
 	"repro/internal/detect"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/ipv4"
 	"repro/internal/obs"
 	"repro/internal/population"
+	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 	"repro/internal/worm"
 )
@@ -31,6 +38,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hotspotsim:", err)
 		os.Exit(1)
 	}
+}
+
+// seriesData is one printed curve, stored so a checkpointed rerun can
+// replot it without re-simulating.
+type seriesData struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+// fleetSummary is the sensor-fleet section of a run summary.
+type fleetSummary struct {
+	Size           int     `json:"size"`
+	Placement      string  `json:"placement"`
+	Alerted        int     `json:"alerted"`
+	Fraction       float64 `json:"fraction"`
+	Quorum         bool    `json:"quorum"`
+	Down           int     `json:"down"`
+	NumUp          int     `json:"num_up"`
+	FractionOfUp   float64 `json:"fraction_of_up"`
+	QuorumDegraded bool    `json:"quorum_degraded"`
+}
+
+// containSummary is the containment section of a run summary.
+type containSummary struct {
+	Engaged bool    `json:"engaged"`
+	At      float64 `json:"at"`
+	Drop    float64 `json:"drop"`
+}
+
+// runSummary is everything the CLI prints about one completed simulation.
+// It round-trips through the sweep checkpoint, so a rerun with identical
+// parameters replays the cached summary byte for byte instead of
+// re-simulating.
+type runSummary struct {
+	Notes         []string        `json:"notes,omitempty"`
+	Worm          string          `json:"worm"`
+	Pop           int             `json:"pop"`
+	Infected      int             `json:"infected"`
+	FinalTime     float64         `json:"final_time"`
+	Probes        uint64          `json:"probes"`
+	Outcomes      string          `json:"outcomes"`
+	T50           float64         `json:"t50"`
+	HasT50        bool            `json:"has_t50"`
+	Fleet         *fleetSummary   `json:"fleet,omitempty"`
+	Containment   *containSummary `json:"containment,omitempty"`
+	InfectedCurve seriesData      `json:"infected_curve"`
+	AlertedCurve  seriesData      `json:"alerted_curve"`
 }
 
 func run(args []string) error {
@@ -49,69 +103,178 @@ func run(args []string) error {
 		threshold   = fs.Uint64("threshold", 5, "alert threshold (probes per sensor)")
 		containAt   = fs.Float64("contain-at", 0, "engage containment once this fraction of sensors alert (0 = off)")
 		containDrop = fs.Float64("contain-drop", 0.95, "probe drop probability once containment engages")
+		outage      = fs.Float64("outage", 0, "withdraw this fraction of the sensor fleet for the whole run")
+		burstLoss   = fs.Float64("burst", 0, "Gilbert–Elliott bad-state loss probability (0 = no burst channel)")
+		burstGood   = fs.Float64("burst-good", 30, "burst channel mean good-state dwell (seconds)")
+		burstBad    = fs.Float64("burst-bad", 10, "burst channel mean bad-state dwell (seconds)")
+		faultsFile  = fs.String("faults", "", "JSON fault-plan config file (see internal/faults)")
+		checkpoint  = fs.String("checkpoint", "", "cache the completed run in this JSON file; a rerun with identical parameters replays it without re-simulating")
 		plot        = fs.Bool("plot", false, "render ASCII chart")
 	)
 	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *outage < 0 || *outage > 1 {
+		return fmt.Errorf("-outage %v outside [0,1]", *outage)
+	}
+	if *burstLoss < 0 || *burstLoss > 1 {
+		return fmt.Errorf("-burst %v outside [0,1]", *burstLoss)
+	}
+
+	// Resolve the fault config up front: its canonical JSON is part of the
+	// checkpoint key, so a changed plan never replays a stale cache entry.
+	var fcfg faults.Config
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			return err
+		}
+		if fcfg, err = faults.ParseConfig(data); err != nil {
+			return err
+		}
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = *seed + 41
+	}
+	if *burstLoss > 0 {
+		fcfg.Burst = &faults.BurstConfig{
+			MeanGood: *burstGood,
+			MeanBad:  *burstBad,
+			LossGood: 0,
+			LossBad:  *burstLoss,
+		}
+	}
+
 	sess, err := obsFlags.Start()
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
 
-	popCfg := population.DefaultCodeRedII(*seed)
-	if *popSize != popCfg.Size {
-		popCfg = scaledPopulation(*popSize, *seed)
+	simulate := func() (runSummary, error) {
+		return simulateRun(simParams{
+			wormName:    *wormName,
+			hitListSize: *hitListSize,
+			popSize:     *popSize,
+			nat:         *nat,
+			scanRate:    *scanRate,
+			seeds:       *seeds,
+			maxSeconds:  *maxSeconds,
+			seed:        *seed,
+			sensors:     *sensors,
+			placement:   *placement,
+			threshold:   *threshold,
+			containAt:   *containAt,
+			containDrop: *containDrop,
+			outage:      *outage,
+			faults:      fcfg,
+		}, sess)
+	}
+
+	var summary runSummary
+	if *checkpoint != "" {
+		cp, err := sweep.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return err
+		}
+		fjson, err := json.Marshal(fcfg)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("hotspotsim|worm=%s|hl=%d|pop=%d|nat=%g|rate=%g|seeds=%d|t=%g|seed=%d|sensors=%d|placement=%s|thr=%d|contain=%g/%g|outage=%g|faults=%s",
+			*wormName, *hitListSize, *popSize, *nat, *scanRate, *seeds, *maxSeconds,
+			*seed, *sensors, *placement, *threshold, *containAt, *containDrop, *outage, fjson)
+		vals, err := sweep.MapCheckpointed(context.Background(), []int{0},
+			func(int, int) string { return key },
+			func(context.Context, int) (runSummary, error) { return simulate() },
+			cp, sweep.Options{})
+		if err != nil {
+			return err
+		}
+		summary = vals[0]
+	} else {
+		if summary, err = simulate(); err != nil {
+			return err
+		}
+	}
+	printSummary(summary, *plot)
+	return sess.Close()
+}
+
+// simParams carries the resolved flag values into one simulation.
+type simParams struct {
+	wormName    string
+	hitListSize int
+	popSize     int
+	nat         float64
+	scanRate    float64
+	seeds       int
+	maxSeconds  float64
+	seed        uint64
+	sensors     int
+	placement   string
+	threshold   uint64
+	containAt   float64
+	containDrop float64
+	outage      float64
+	faults      faults.Config
+}
+
+func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
+	var summary runSummary
+	popCfg := population.DefaultCodeRedII(p.seed)
+	if p.popSize != popCfg.Size {
+		popCfg = scaledPopulation(p.popSize, p.seed)
 	}
 	pop, err := population.Synthesize(popCfg)
 	if err != nil {
-		return err
+		return summary, err
 	}
-	if *nat > 0 {
-		if err := pop.AssignNAT(*nat, 0, *seed+1); err != nil {
-			return err
+	if p.nat > 0 {
+		if err := pop.AssignNAT(p.nat, 0, p.seed+1); err != nil {
+			return summary, err
 		}
 	}
 
 	var model sim.RateModel
-	switch *wormName {
+	switch p.wormName {
 	case "uniform":
 		model = sim.NewUniformModel()
 	case "hitlist":
-		prefixes, cover := worm.BuildGreedySlash16HitList(pop.Addrs(false), *hitListSize)
-		fmt.Printf("hit-list: %d /16s covering %.2f%% of the vulnerable population\n",
-			len(prefixes), 100*cover)
+		prefixes, cover := worm.BuildGreedySlash16HitList(pop.Addrs(false), p.hitListSize)
+		summary.Notes = append(summary.Notes, fmt.Sprintf(
+			"hit-list: %d /16s covering %.2f%% of the vulnerable population",
+			len(prefixes), 100*cover))
 		model = &sim.HitListModel{List: ipv4.SetOfPrefixes(prefixes...)}
 	case "codered2":
 		model = sim.NewCodeRedIIModel()
 	default:
-		return fmt.Errorf("unknown worm %q (uniform|hitlist|codered2)", *wormName)
+		return summary, fmt.Errorf("unknown worm %q (uniform|hitlist|codered2)", p.wormName)
 	}
 
 	clock := &obs.SimClock{}
 	cfg := sim.FastConfig{
 		Pop:         pop,
 		Model:       model,
-		ScanRate:    *scanRate,
+		ScanRate:    p.scanRate,
 		TickSeconds: 1,
-		MaxSeconds:  *maxSeconds,
-		SeedHosts:   *seeds,
-		Seed:        *seed,
+		MaxSeconds:  p.maxSeconds,
+		SeedHosts:   p.seeds,
+		Seed:        p.seed,
 		Metrics:     sess.Registry,
 		Clock:       clock,
 	}
 
 	var fleet *detect.ThresholdFleet
-	if *sensors > 0 || *placement == "192sweep" {
-		prefixes, err := buildPlacement(*placement, *sensors, *seed, pop)
+	if p.sensors > 0 || p.placement == "192sweep" {
+		prefixes, err := buildPlacement(p.placement, p.sensors, p.seed, pop)
 		if err != nil {
-			return err
+			return summary, err
 		}
-		fleet, err = detect.NewThresholdFleet(prefixes, *threshold)
+		fleet, err = detect.NewThresholdFleet(prefixes, p.threshold)
 		if err != nil {
-			return err
+			return summary, err
 		}
 		if sess.Registry != nil {
 			fleet.Instrument(sess.Registry, clock)
@@ -119,28 +282,70 @@ func run(args []string) error {
 		cfg.Sensors = fleet
 		cfg.SensorSet = fleet.Union()
 	}
-	var containment *sim.Containment
-	if *containAt > 0 {
+
+	// Fault plan: the -outage knob withdraws a seed-pinned random fraction
+	// of the fleet on top of whatever the -faults file and -burst configured.
+	fcfg := p.faults
+	withdrawn := 0
+	if p.outage > 0 {
 		if fleet == nil {
-			return fmt.Errorf("-contain-at requires a sensor fleet (-sensors or -placement 192sweep)")
+			return summary, fmt.Errorf("-outage requires a sensor fleet (-sensors or -placement 192sweep)")
 		}
-		trigger := *containAt
+		prefixes := fleet.Prefixes()
+		withdrawn = int(p.outage*float64(len(prefixes)) + 0.5)
+		orderRNG := rng.NewXoshiro(rng.Mix64(fcfg.Seed ^ 0x6f7574616765)) // "outage"
+		order := orderRNG.SampleWithoutReplacement(len(prefixes), len(prefixes))
+		for _, idx := range order[:withdrawn] {
+			fcfg.Outages = append(fcfg.Outages, faults.OutageConfig{
+				Block: prefixes[idx].String(),
+				Start: 0,
+				End:   p.maxSeconds + 1,
+			})
+		}
+	}
+	var plan *faults.Plan
+	if !fcfg.Empty() {
+		// The last tick lands exactly on MaxSeconds; pad the horizon so
+		// whole-run windows cover it (spans are half-open).
+		plan, err = faults.Compile(fcfg, p.maxSeconds+1)
+		if err != nil {
+			return summary, err
+		}
+		cfg.Faults = plan
+		if fleet != nil {
+			fleet.SetDownSet(plan.DownSpace())
+		}
+		if withdrawn > 0 {
+			summary.Notes = append(summary.Notes, fmt.Sprintf(
+				"faults: withdrew %d/%d sensor blocks for the whole run", withdrawn, fleet.Size()))
+		}
+		if b := fcfg.Burst; b != nil {
+			summary.Notes = append(summary.Notes, fmt.Sprintf(
+				"faults: burst channel %gs good (loss %g) / %gs bad (loss %g), mean loss %.3f",
+				b.MeanGood, b.LossGood, b.MeanBad, b.LossBad, b.MeanLoss()))
+		}
+	}
+
+	var containment *sim.Containment
+	if p.containAt > 0 {
+		if fleet == nil {
+			return summary, fmt.Errorf("-contain-at requires a sensor fleet (-sensors or -placement 192sweep)")
+		}
+		trigger := p.containAt
 		containment = &sim.Containment{
 			Trigger: func() bool { return fleet.AlertedFraction() >= trigger },
-			Drop:    *containDrop,
+			Drop:    p.containDrop,
 		}
 		cfg.Containment = containment
 	}
 
-	infected := textplot.Series{Name: "% infected"}
-	alerted := textplot.Series{Name: "% sensors alerted"}
-	tickProgress := sess.TickProgress(*maxSeconds / 10)
+	tickProgress := sess.TickProgress(p.maxSeconds / 10)
 	cfg.OnTick = func(ti sim.TickInfo) bool {
-		infected.X = append(infected.X, ti.Time)
-		infected.Y = append(infected.Y, 100*float64(ti.Infected)/float64(pop.Size()))
+		summary.InfectedCurve.X = append(summary.InfectedCurve.X, ti.Time)
+		summary.InfectedCurve.Y = append(summary.InfectedCurve.Y, 100*float64(ti.Infected)/float64(pop.Size()))
 		if fleet != nil {
-			alerted.X = append(alerted.X, ti.Time)
-			alerted.Y = append(alerted.Y, 100*fleet.AlertedFraction())
+			summary.AlertedCurve.X = append(summary.AlertedCurve.X, ti.Time)
+			summary.AlertedCurve.Y = append(summary.AlertedCurve.Y, 100*fleet.AlertedFraction())
 		}
 		if tickProgress != nil {
 			tickProgress(ti.Time, ti.Infected)
@@ -150,39 +355,75 @@ func run(args []string) error {
 
 	result, err := sim.RunFast(cfg)
 	if err != nil {
-		return err
+		return summary, err
 	}
 	if fleet != nil {
 		fleet.ExportMetrics(sess.Registry)
 	}
-	fmt.Printf("worm=%s pop=%d infected=%d (%.1f%%) after %.0fs\n",
-		model.Name(), pop.Size(), result.Final.Infected,
-		100*result.FractionInfected(), result.Final.Time)
-	fmt.Printf("probes=%d outcomes: %s\n", result.Outcomes.Total(), result.Outcomes)
-	if t50, ok := result.TimeToFraction(0.5); ok {
-		fmt.Printf("time to 50%% infected: %.0fs\n", t50)
-	}
+	summary.Worm = model.Name()
+	summary.Pop = pop.Size()
+	summary.Infected = result.Final.Infected
+	summary.FinalTime = result.Final.Time
+	summary.Probes = result.Outcomes.Total()
+	summary.Outcomes = result.Outcomes.String()
+	summary.T50, summary.HasT50 = result.TimeToFraction(0.5)
 	if fleet != nil {
-		fmt.Printf("sensors: %d placed (%s), %d alerted (%.1f%%), quorum(50%%)=%v\n",
-			fleet.Size(), *placement, fleet.NumAlerted(), 100*fleet.AlertedFraction(),
-			detect.QuorumReached(fleet, 0.5))
+		summary.Fleet = &fleetSummary{
+			Size:           fleet.Size(),
+			Placement:      p.placement,
+			Alerted:        fleet.NumAlerted(),
+			Fraction:       fleet.AlertedFraction(),
+			Quorum:         detect.QuorumReached(fleet, 0.5),
+			Down:           withdrawn,
+			NumUp:          fleet.NumUp(),
+			FractionOfUp:   fleet.AlertedFractionOfUp(),
+			QuorumDegraded: detect.QuorumReachedDegraded(fleet, 0.5),
+		}
 	}
 	if containment != nil {
-		if containment.Engaged() {
-			fmt.Printf("containment: engaged at t=%.0fs (drop %.0f%%)\n",
-				containment.EngagedAt, 100**containDrop)
+		summary.Containment = &containSummary{
+			Engaged: containment.Engaged(),
+			At:      containment.EngagedAt,
+			Drop:    p.containDrop,
+		}
+	}
+	return summary, nil
+}
+
+func printSummary(s runSummary, plot bool) {
+	for _, n := range s.Notes {
+		fmt.Println(n)
+	}
+	fmt.Printf("worm=%s pop=%d infected=%d (%.1f%%) after %.0fs\n",
+		s.Worm, s.Pop, s.Infected, 100*float64(s.Infected)/float64(s.Pop), s.FinalTime)
+	fmt.Printf("probes=%d outcomes: %s\n", s.Probes, s.Outcomes)
+	if s.HasT50 {
+		fmt.Printf("time to 50%% infected: %.0fs\n", s.T50)
+	}
+	if f := s.Fleet; f != nil {
+		fmt.Printf("sensors: %d placed (%s), %d alerted (%.1f%%), quorum(50%%)=%v\n",
+			f.Size, f.Placement, f.Alerted, 100*f.Fraction, f.Quorum)
+		if f.Down > 0 {
+			fmt.Printf("degraded fleet: %d/%d in service, %.1f%% of them alerted, degraded quorum(50%%)=%v\n",
+				f.NumUp, f.Size, 100*f.FractionOfUp, f.QuorumDegraded)
+		}
+	}
+	if c := s.Containment; c != nil {
+		if c.Engaged {
+			fmt.Printf("containment: engaged at t=%.0fs (drop %.0f%%)\n", c.At, 100*c.Drop)
 		} else {
 			fmt.Println("containment: never engaged — the fleet's visibility never reached the trigger")
 		}
 	}
-	if *plot {
+	if plot {
+		infected := textplot.Series{Name: "% infected", X: s.InfectedCurve.X, Y: s.InfectedCurve.Y}
 		series := []textplot.Series{downsample(infected, 72)}
-		if fleet != nil {
+		if s.Fleet != nil {
+			alerted := textplot.Series{Name: "% sensors alerted", X: s.AlertedCurve.X, Y: s.AlertedCurve.Y}
 			series = append(series, downsample(alerted, 72))
 		}
 		fmt.Println(textplot.Render("outbreak", series, textplot.Options{}))
 	}
-	return sess.Close()
 }
 
 func buildPlacement(name string, n int, seed uint64, pop *population.Population) ([]ipv4.Prefix, error) {

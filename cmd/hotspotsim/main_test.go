@@ -1,6 +1,38 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(data)
+}
 
 func TestRunWorms(t *testing.T) {
 	common := []string{"-pop", "5000", "-t", "100", "-rate", "200", "-seed", "2"}
@@ -38,6 +70,73 @@ func TestRunWithContainment(t *testing.T) {
 		"-worm", "uniform", "-pop", "2000", "-t", "20", "-contain-at", "0.1",
 	}); err == nil {
 		t.Error("containment without sensors accepted")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{
+			"-worm", "codered2", "-pop", "5000", "-t", "100", "-rate", "200",
+			"-placement", "192sweep", "-outage", "0.5", "-burst", "0.6",
+		})
+	})
+	for _, want := range []string{"withdrew 128/255 sensor blocks", "burst channel", "degraded fleet: 127/255 in service", "sensor-down"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithFaultsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	cfg := `{"seed": 7, "burst": {"mean_good": 20, "mean_bad": 5, "loss_good": 0, "loss_bad": 0.8}}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-worm", "uniform", "-pop", "3000", "-t", "60", "-rate", "200", "-faults", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"burst": {"mean_good": -1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-worm", "uniform", "-pop", "3000", "-t", "60", "-faults", path}); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+}
+
+// TestCheckpointedRerunIsByteIdentical is the CLI resume contract: a rerun
+// with identical parameters against the same checkpoint file replays the
+// cached summary byte for byte instead of re-simulating.
+func TestCheckpointedRerunIsByteIdentical(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{
+		"-worm", "codered2", "-pop", "5000", "-t", "100", "-rate", "200",
+		"-placement", "192sweep", "-outage", "0.3", "-plot",
+		"-checkpoint", ckpt,
+	}
+	first := captureStdout(t, func() error { return run(args) })
+	second := captureStdout(t, func() error { return run(args) })
+	if first != second {
+		t.Errorf("checkpointed rerun diverged:\n--- first\n%s--- second\n%s", first, second)
+	}
+	cp, err := sweep.OpenCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 1 {
+		t.Errorf("checkpoint holds %d entries, want 1", cp.Len())
+	}
+	// Changing a parameter is a different key: the cache must not serve it.
+	third := captureStdout(t, func() error {
+		return run(append([]string{"-seed", "9"}, args...))
+	})
+	if third == first {
+		t.Error("different seed replayed the cached run")
+	}
+	if cp, err = sweep.OpenCheckpoint(ckpt); err != nil || cp.Len() != 2 {
+		t.Errorf("checkpoint after second key: len=%d err=%v, want 2 entries", cp.Len(), err)
 	}
 }
 

@@ -173,8 +173,8 @@ func TestSensorFleetFacade(t *testing.T) {
 
 func TestExperimentRegistryFacade(t *testing.T) {
 	names := hotspots.ExperimentNames()
-	if len(names) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(names))
+	if len(names) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(names))
 	}
 	res, err := hotspots.RunExperiment("table1", 1, hotspots.QuickScale)
 	if err != nil {

@@ -28,6 +28,7 @@ type ThresholdFleet struct {
 	firstHit  []bool
 	union     *ipv4.Set
 	metrics   fleetMetrics // see Instrument; zero value is inert
+	downSet   *ipv4.Set    // see SetDownSet; nil means every detector is up
 }
 
 // NewThresholdFleet builds a fleet. Prefixes must not overlap; threshold
@@ -145,6 +146,49 @@ func (f *ThresholdFleet) TouchedFraction() float64 {
 // Union returns the fleet's monitored address space.
 func (f *ThresholdFleet) Union() *ipv4.Set { return f.union }
 
+// SetDownSet marks address space whose detectors are out of service (a
+// faults.Plan's DownSpace). It is an accounting mask, not a traffic gate:
+// the simulation already withholds hits to withdrawn space, and this mask
+// lets quorum renormalize over the detectors an operator knows are up. A
+// detector counts as down when its first address lies in the set; nil
+// clears the mask.
+func (f *ThresholdFleet) SetDownSet(down *ipv4.Set) { f.downSet = down }
+
+// detectorDown reports whether detector i is masked out of service.
+func (f *ThresholdFleet) detectorDown(i int) bool {
+	return f.downSet != nil && f.downSet.Contains(f.prefixes[i].First())
+}
+
+// NumUp returns how many detectors are in service under the down mask.
+func (f *ThresholdFleet) NumUp() int {
+	n := 0
+	for i := range f.prefixes {
+		if !f.detectorDown(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// AlertedFractionOfUp returns the alerted share of the in-service
+// detectors (0 when none are up).
+func (f *ThresholdFleet) AlertedFractionOfUp() float64 {
+	up, alerted := 0, 0
+	for i := range f.prefixes {
+		if f.detectorDown(i) {
+			continue
+		}
+		up++
+		if f.alerted[i] {
+			alerted++
+		}
+	}
+	if up == 0 {
+		return 0
+	}
+	return float64(alerted) / float64(up)
+}
+
 // Reset clears all counts and alerts.
 func (f *ThresholdFleet) Reset() {
 	for i := range f.counts {
@@ -161,6 +205,15 @@ func (f *ThresholdFleet) Reset() {
 // zero false positives and instantaneous communication.
 func QuorumReached(f *ThresholdFleet, fraction float64) bool {
 	return f.AlertedFraction() >= fraction
+}
+
+// QuorumReachedDegraded is QuorumReached renormalized over the in-service
+// detectors: an operator who knows which blocks are withdrawn (SetDownSet)
+// asks for a quorum of the detectors that can still answer. The naive
+// quorum silently counts down detectors as "not alerted"; comparing the
+// two is how ext-faults quantifies the cost of not tracking fleet health.
+func QuorumReachedDegraded(f *ThresholdFleet, fraction float64) bool {
+	return f.AlertedFractionOfUp() >= fraction
 }
 
 // PrevalenceDetector is the content-prevalence baseline (Autograph /

@@ -215,3 +215,55 @@ func TestSlash16SweepOfSlash8(t *testing.T) {
 		}
 	}
 }
+
+func TestDegradedQuorum(t *testing.T) {
+	prefixes := []ipv4.Prefix{
+		ipv4.MustParsePrefix("10.0.0.0/24"),
+		ipv4.MustParsePrefix("10.0.1.0/24"),
+		ipv4.MustParsePrefix("10.0.2.0/24"),
+		ipv4.MustParsePrefix("10.0.3.0/24"),
+	}
+	f := MustNewThresholdFleet(prefixes, 1)
+	if got := f.NumUp(); got != 4 {
+		t.Fatalf("NumUp without a mask = %d, want 4", got)
+	}
+	// Two detectors alert; two are withdrawn.
+	f.RecordHit(ipv4.MustParseAddr("10.0.0.5"))
+	f.RecordHit(ipv4.MustParseAddr("10.0.1.5"))
+	down := &ipv4.Set{}
+	down.AddPrefix(ipv4.MustParsePrefix("10.0.2.0/24"))
+	down.AddPrefix(ipv4.MustParsePrefix("10.0.3.0/24"))
+	f.SetDownSet(down)
+	if got := f.NumUp(); got != 2 {
+		t.Fatalf("NumUp under mask = %d, want 2", got)
+	}
+	// Naive quorum counts the withdrawn detectors as silent votes against;
+	// the degraded quorum renormalizes over the detectors that can answer.
+	if got := f.AlertedFraction(); got != 0.5 {
+		t.Errorf("AlertedFraction = %v, want 0.5", got)
+	}
+	if got := f.AlertedFractionOfUp(); got != 1.0 {
+		t.Errorf("AlertedFractionOfUp = %v, want 1.0", got)
+	}
+	if QuorumReached(f, 0.75) {
+		t.Error("naive quorum reached despite down detectors diluting it")
+	}
+	if !QuorumReachedDegraded(f, 0.75) {
+		t.Error("degraded quorum not reached over in-service detectors")
+	}
+	// Clearing the mask restores the naive view.
+	f.SetDownSet(nil)
+	if f.NumUp() != 4 || f.AlertedFractionOfUp() != 0.5 {
+		t.Error("clearing the down mask did not restore full accounting")
+	}
+	// All detectors masked: the degraded fraction degrades to zero rather
+	// than dividing by zero.
+	all := &ipv4.Set{}
+	for _, p := range prefixes {
+		all.AddPrefix(p)
+	}
+	f.SetDownSet(all)
+	if f.NumUp() != 0 || f.AlertedFractionOfUp() != 0 {
+		t.Error("fully-masked fleet mishandled")
+	}
+}

@@ -78,7 +78,7 @@ func TestRunUnknownID(t *testing.T) {
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
 	want := []string{
-		"ext-containment", "ext-ims", "ext-natsweep", "ext-prevalence", "ext-threshold", "ext-witty",
+		"ext-containment", "ext-faults", "ext-ims", "ext-natsweep", "ext-prevalence", "ext-threshold", "ext-witty",
 		"fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
 		"table1", "table2",
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 // Obs carries the observability context for an experiment run: a metric
@@ -21,6 +22,13 @@ type Obs struct {
 	// total count completed sub-runs. Sweeps that run concurrently invoke
 	// it from multiple goroutines; handlers must be safe for that.
 	Progress func(stage string, done, total int)
+	// Sweep carries resilience options (retries, backoff, per-task
+	// deadlines, salvage) for experiments that run parameter sweeps; the
+	// zero value is the plain fail-fast pool.
+	Sweep sweep.Options
+	// Checkpoint, when non-nil, is handed to sweep-style experiments so an
+	// interrupted run resumes without recomputing finished grid points.
+	Checkpoint *sweep.Checkpoint
 }
 
 // registry returns the metric registry, or nil.
@@ -45,6 +53,22 @@ func (o *Obs) progress(stage string, done, total int) {
 		return
 	}
 	o.Progress(stage, done, total)
+}
+
+// sweepOptions returns the sweep resilience options (zero value for nil).
+func (o *Obs) sweepOptions() sweep.Options {
+	if o == nil {
+		return sweep.Options{}
+	}
+	return o.Sweep
+}
+
+// checkpoint returns the sweep checkpoint, or nil.
+func (o *Obs) checkpoint() *sweep.Checkpoint {
+	if o == nil {
+		return nil
+	}
+	return o.Checkpoint
 }
 
 // progressFunc curries progress for config callbacks (Fig5Config.OnProgress

@@ -112,6 +112,17 @@ func Registry() map[string]Runner {
 			cfg.Fig5.attachObs(o, "ext-containment")
 			return RunExtContainment(cfg)
 		},
+		"ext-faults": func(seed uint64, scale Scale, o *Obs) (*Result, error) {
+			cfg := DefaultExtFaults(seed)
+			if scale == Quick {
+				quickFig5(&cfg.Fig5, seed)
+				cfg.HitListSize = 200
+			}
+			cfg.Fig5.attachObs(o, "ext-faults")
+			cfg.Sweep = o.sweepOptions()
+			cfg.Checkpoint = o.checkpoint()
+			return RunExtFaults(cfg)
+		},
 		"ext-witty": func(seed uint64, _ Scale, _ *Obs) (*Result, error) {
 			return RunExtWitty(DefaultExtWitty(seed))
 		},

@@ -113,3 +113,32 @@ func TestPrefixSlash24s(t *testing.T) {
 		}
 	}
 }
+
+// FuzzParsePrefix checks the CIDR parser never panics and that every
+// accepted input survives a String -> ParsePrefix round trip unchanged
+// (host bits cleared, mask length preserved).
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"10.0.0.0/8", "192.168.0.0/16", "1.2.3.4/32", "0.0.0.0/0",
+		"10.1.2.3/8", "255.255.255.255/32", "10.0.0.0/33", "10.0.0.0",
+		"/8", "1.2.3.4/", "1.2.3.4/-1", "1.2.3.4/08", "01.2.3.4/8",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.String(), s, err)
+		}
+		if back != p {
+			t.Fatalf("round trip diverged: %q -> %v -> %v", s, p, back)
+		}
+		if p.Addr()&^maskFor(p.Bits()) != 0 {
+			t.Fatalf("host bits not cleared: %q -> %v", s, p)
+		}
+	})
+}

@@ -16,6 +16,8 @@
 package netenv
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/ipv4"
@@ -45,8 +47,30 @@ type Environment struct {
 	IngressPolicy *PolicyTable
 
 	// LossRate is the probability an arbitrary probe is lost to failures,
-	// congestion, or misconfiguration.
+	// congestion, or misconfiguration. Prefer NewEnvironment or SetLossRate,
+	// which validate the value; a NaN or out-of-range rate written directly
+	// makes Bernoulli draws silently meaningless.
 	LossRate float64
+}
+
+// NewEnvironment returns a transparent environment with the given loss
+// rate, rejecting NaN and values outside [0,1]. Both boundaries are legal:
+// 0 is a lossless network, 1 loses everything.
+func NewEnvironment(lossRate float64) (*Environment, error) {
+	e := &Environment{}
+	if err := e.SetLossRate(lossRate); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetLossRate validates and sets the uniform loss rate.
+func (e *Environment) SetLossRate(rate float64) error {
+	if math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return fmt.Errorf("netenv: loss rate %v outside [0,1]", rate)
+	}
+	e.LossRate = rate
+	return nil
 }
 
 // AddEgressFilter drops probes originating inside prefix.

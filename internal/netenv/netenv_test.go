@@ -1,6 +1,7 @@
 package netenv
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/ipv4"
@@ -204,5 +205,40 @@ func TestOrgKindString(t *testing.T) {
 	}
 	if OrgKind(9).String() != "OrgKind(9)" {
 		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	// Both boundaries are legal configurations.
+	for _, ok := range []float64{0, 1, 0.5} {
+		env, err := NewEnvironment(ok)
+		if err != nil || env == nil {
+			t.Errorf("NewEnvironment(%v) rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), -0.001, 1.001, math.Inf(1), math.Inf(-1)} {
+		if _, err := NewEnvironment(bad); err == nil {
+			t.Errorf("NewEnvironment(%v) accepted", bad)
+		}
+	}
+	// Boundary semantics: 0 delivers everything, 1 delivers nothing.
+	r := rng.NewXoshiro(1)
+	lossless, _ := NewEnvironment(0)
+	total, _ := NewEnvironment(1)
+	for i := 0; i < 1000; i++ {
+		if !lossless.Delivered(1, 2, r) {
+			t.Fatal("loss rate 0 dropped a probe")
+		}
+		if total.Delivered(1, 2, r) {
+			t.Fatal("loss rate 1 delivered a probe")
+		}
+	}
+	// SetLossRate on an existing environment validates the same way.
+	env := &Environment{}
+	if err := env.SetLossRate(math.NaN()); err == nil {
+		t.Error("SetLossRate(NaN) accepted")
+	}
+	if err := env.SetLossRate(0.25); err != nil || env.LossRate != 0.25 {
+		t.Errorf("SetLossRate(0.25) failed: %v (rate %v)", err, env.LossRate)
 	}
 }

@@ -83,6 +83,9 @@ type Sensor struct {
 	sources  map[uint32]struct{} // distinct sources block-wide
 	total    uint64
 	payloads uint64 // probes whose payload the sensor obtained
+
+	up     bool   // whether the sensor is in service (NewSensor starts up)
+	missed uint64 // in-block probes that arrived while down
 }
 
 // NewSensor returns an empty sensor for block.
@@ -95,6 +98,7 @@ func NewSensor(block Block) *Sensor {
 		uniqPer:  make([]uint32, n),
 		pairSeen: make(map[uint64]struct{}),
 		sources:  make(map[uint32]struct{}),
+		up:       true,
 	}
 }
 
@@ -104,10 +108,27 @@ func (s *Sensor) Block() Block { return s.block }
 // Contains reports whether dst lands inside the sensor's block.
 func (s *Sensor) Contains(dst ipv4.Addr) bool { return s.block.Prefix.Contains(dst) }
 
+// SetUp puts the sensor in or out of service. A down sensor records
+// nothing: in-block probes only bump its missed counter, modelling a
+// withdrawn darknet block whose traffic still arrives but goes unheard.
+func (s *Sensor) SetUp(up bool) { s.up = up }
+
+// Up reports whether the sensor is in service.
+func (s *Sensor) Up() bool { return s.up }
+
+// Missed returns how many in-block probes arrived while the sensor was
+// down.
+func (s *Sensor) Missed() uint64 { return s.missed }
+
 // Observe records a probe from src to dst. It reports whether dst was
-// inside the block (and therefore recorded).
+// inside the block (and therefore recorded); a down sensor records
+// nothing and reports false.
 func (s *Sensor) Observe(src, dst ipv4.Addr) bool {
 	if !s.Contains(dst) {
+		return false
+	}
+	if !s.up {
+		s.missed++
 		return false
 	}
 	idx := s.slash24Index(dst)
@@ -183,7 +204,8 @@ func (s *Sensor) PerSlash24() []Slash24Stats {
 	return out
 }
 
-// Reset clears all recorded traffic.
+// Reset clears all recorded traffic (the missed counter included). The
+// up/down posture is configuration, not traffic, and survives a reset.
 func (s *Sensor) Reset() {
 	for i := range s.attempts {
 		s.attempts[i] = 0
@@ -193,6 +215,7 @@ func (s *Sensor) Reset() {
 	s.sources = make(map[uint32]struct{})
 	s.total = 0
 	s.payloads = 0
+	s.missed = 0
 }
 
 // Fleet routes probes to the sensor owning the destination address.
@@ -261,6 +284,37 @@ func (f *Fleet) Sensors() []*Sensor {
 	out := make([]*Sensor, len(f.sensors))
 	copy(out, f.sensors)
 	return out
+}
+
+// SetUp puts the labelled sensor in or out of service; it reports whether
+// the label exists.
+func (f *Fleet) SetUp(label string, up bool) bool {
+	if s := f.Sensor(label); s != nil {
+		s.SetUp(up)
+		return true
+	}
+	return false
+}
+
+// NumUp returns how many sensors are in service.
+func (f *Fleet) NumUp() int {
+	n := 0
+	for _, s := range f.sensors {
+		if s.up {
+			n++
+		}
+	}
+	return n
+}
+
+// Missed returns the fleet-wide count of probes that arrived at down
+// sensors.
+func (f *Fleet) Missed() uint64 {
+	var n uint64
+	for _, s := range f.sensors {
+		n += s.missed
+	}
+	return n
 }
 
 // CoverageSet returns the union of all monitored blocks as an address set.

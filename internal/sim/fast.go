@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/ipv4"
 	"repro/internal/obs"
 	"repro/internal/population"
@@ -57,6 +58,13 @@ type FastConfig struct {
 	// start of each tick, so observers (sensor fleets, tracers) timestamp
 	// events in simulated seconds.
 	Clock *obs.SimClock
+	// Faults, when non-nil, injects the plan's sensor outages, bursty
+	// loss, and degraded reporting into the run (misconfiguration is
+	// applied when LossRate/BlockedDst are derived, not here). The plan's
+	// horizon must cover MaxSeconds. The burst channel scales each tick's
+	// delivery probability; sensor draws landing on withdrawn blocks are
+	// OutcomeSensorDown and never reach Sensors.
+	Faults *faults.Plan
 }
 
 // Containment is a global response policy: detection-triggered filtering
@@ -104,6 +112,9 @@ func (c *FastConfig) validate() error {
 		if c.Containment.Drop < 0 || c.Containment.Drop > 1 {
 			return errors.New("sim: containment drop out of [0,1]")
 		}
+	}
+	if err := checkFaultHorizon(c.Faults, c.MaxSeconds); err != nil {
+		return err
 	}
 	return nil
 }
@@ -199,6 +210,22 @@ func RunFast(cfg FastConfig) (*Result, error) {
 
 	res := &Result{InfectionTime: infTime}
 	metrics := newSimMetrics(cfg.Metrics, "fast", cfg.MetricLabels)
+	metrics.attachFaults(cfg.Metrics, cfg.Faults, "fast", cfg.MetricLabels)
+
+	// Degraded reporting interposes between the wire and Sensors: hits are
+	// queued at observation time and delivered (possibly duplicated) when
+	// the simulated clock passes their due time.
+	recordHit := func(dst ipv4.Addr) {}
+	if cfg.Sensors != nil {
+		recordHit = cfg.Sensors.RecordHit
+	}
+	var reporter *faults.Reporter
+	if cfg.Sensors != nil {
+		if reporter = cfg.Faults.NewReporter(func(_, dst ipv4.Addr) { cfg.Sensors.RecordHit(dst) }); reporter != nil {
+			recordHit = reporter.RecordHit
+		}
+	}
+
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	baseDeliver := 1 - cfg.LossRate
 	deliver := baseDeliver
@@ -213,6 +240,14 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
+		if reporter != nil {
+			reporter.Advance(t)
+		}
+		// The burst channel multiplies this tick's delivery probability:
+		// expected hit counts shrink by the channel's current loss exactly
+		// as the exact driver's per-probe Bernoulli would on average.
+		burstLoss := cfg.Faults.BurstLoss(t)
+		tickDeliver := deliver * (1 - burstLoss)
 		snaps = snaps[:0]
 		var probes float64
 		for _, g := range st.groupList {
@@ -224,12 +259,12 @@ func RunFast(cfg FastConfig) (*Result, error) {
 			snaps = append(snaps, snap{g: g, p: p})
 		}
 		var newInf int
-		var sensorDraws uint64
+		var sensorDraws, sensorDown uint64
 		for _, s := range snaps {
 			for ci := range s.g.comps {
 				comp := &s.g.comps[ci]
 				if len(comp.pool) > 0 && comp.pVuln > 0 {
-					hits := st.r.Poisson(s.p * comp.pVuln * deliver)
+					hits := st.r.Poisson(s.p * comp.pVuln * tickDeliver)
 					for i := uint64(0); i < hits; i++ {
 						victim := comp.pool[st.r.Intn(len(comp.pool))]
 						if !infected[victim] {
@@ -239,21 +274,28 @@ func RunFast(cfg FastConfig) (*Result, error) {
 					}
 				}
 				if cfg.Sensors != nil && comp.pSensor > 0 {
-					hits := st.r.Poisson(s.p * comp.pSensor * deliver)
-					sensorDraws += hits
+					hits := st.r.Poisson(s.p * comp.pSensor * tickDeliver)
 					for i := uint64(0); i < hits; i++ {
 						dst := comp.sensors.Select(st.r.Uint64n(comp.sensors.Size()))
-						cfg.Sensors.RecordHit(dst)
+						if cfg.Faults.SensorDown(dst, t) {
+							// Delivered to withdrawn monitored space: the
+							// wire carried it but no sensor was listening.
+							sensorDown++
+							continue
+						}
+						sensorDraws++
+						recordHit(dst)
 					}
 				}
 			}
 		}
-		probesEmitted, outcomes := closeFastTickOutcomes(probes, newInf, sensorDraws, deliver)
+		probesEmitted, outcomes := closeFastTickOutcomes(probes, newInf, sensorDraws, sensorDown, deliver, burstLoss)
 		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: probesEmitted, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info
 		res.Outcomes.Merge(outcomes)
 		metrics.flushTick(info)
+		metrics.flushFaults(cfg.Faults, t)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
 			break
 		}
@@ -266,27 +308,40 @@ func RunFast(cfg FastConfig) (*Result, error) {
 			deliver = baseDeliver * (1 - c.Drop)
 		}
 	}
+	if reporter != nil {
+		// End of run: deliver everything still in flight so detection sees
+		// every observation exactly as a real collector drain would.
+		reporter.Flush()
+	}
 	return res, nil
 }
 
 // closeFastTickOutcomes closes one fast-driver tick's probe accounting.
-// Infections and sensor hits are the realized draws from the tick loop;
-// the loss/containment share is closed with its expectation, and delivered
-// absorbs the residual. Realized Poisson draws are not bounded by the
-// tick's expected probe count — in a small-probes tick they can overshoot
-// it — so the probe total widens to the realized sum in that case, keeping
-// the conservation invariant Outcomes.Total() == Probes unconditional.
-func closeFastTickOutcomes(probes float64, newInf int, sensorDraws uint64, deliver float64) (uint64, OutcomeCounts) {
+// Infections, sensor hits, and sensor-down landings are the realized draws
+// from the tick loop; the burst-loss and loss/containment shares are closed
+// with their expectations, and delivered absorbs the residual. Realized
+// Poisson draws are not bounded by the tick's expected probe count — in a
+// small-probes tick they can overshoot it — so the probe total widens to
+// the realized sum in that case, keeping the conservation invariant
+// Outcomes.Total() == Probes unconditional.
+func closeFastTickOutcomes(probes float64, newInf int, sensorDraws, sensorDown uint64, deliver, burstLoss float64) (uint64, OutcomeCounts) {
 	var outcomes OutcomeCounts
 	outcomes[OutcomeInfection] = uint64(newInf)
 	outcomes[OutcomeSensorHit] = sensorDraws
+	outcomes[OutcomeSensorDown] = sensorDown
 	probesEmitted := uint64(probes)
-	used := outcomes[OutcomeInfection] + outcomes[OutcomeSensorHit]
+	used := outcomes[OutcomeInfection] + outcomes[OutcomeSensorHit] + outcomes[OutcomeSensorDown]
 	if used > probesEmitted {
 		probesEmitted = used
 	}
 	rest := probesEmitted - used
-	filtered := uint64(probes*(1-deliver) + 0.5)
+	burstLost := uint64(probes*burstLoss + 0.5)
+	if burstLost > rest {
+		burstLost = rest
+	}
+	outcomes[OutcomeBurstLost] = burstLost
+	rest -= burstLost
+	filtered := uint64(probes*(1-burstLoss)*(1-deliver) + 0.5)
 	if filtered > rest {
 		filtered = rest
 	}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/faults"
+	"repro/internal/ipv4"
+	"repro/internal/obs"
+	"repro/internal/worm"
+)
+
+// These tests pin the fault-injection contract: a fault plan composes with
+// both drivers without breaking probe conservation, the (seed, plan) pair
+// pins a faulted run bit-for-bit, telemetry stays inert with faults
+// attached, and a plan whose horizon undershoots the run is rejected.
+
+// faultPlan builds a plan exercising outage + burst + reporting at once:
+// one of the two sensor blocks is withdrawn for the whole horizon, the
+// burst channel leaks probes in both states, and reports arrive 3 s late.
+func faultPlan(t *testing.T, horizon float64) *faults.Plan {
+	t.Helper()
+	plan, err := faults.Compile(faults.Config{
+		Seed: 99,
+		Outages: []faults.OutageConfig{
+			{Block: "200.0.0.0/8", Start: 0, End: horizon},
+		},
+		Burst:     &faults.BurstConfig{MeanGood: 30, MeanBad: 10, LossGood: 0.05, LossBad: 0.7},
+		Reporting: &faults.ReportingConfig{Delay: 3, DupProb: 0},
+	}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func twoBlockFleet(t *testing.T) *detect.ThresholdFleet {
+	t.Helper()
+	fleet, err := detect.NewThresholdFleet([]ipv4.Prefix{
+		ipv4.MustParsePrefix("200.0.0.0/8"),
+		ipv4.MustParsePrefix("201.0.0.0/8"),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func TestFaultHorizonValidated(t *testing.T) {
+	pop := smallPop(t, 200, 31)
+	short := faultPlan(t, 10)
+	if _, err := RunExact(ExactConfig{
+		Pop: pop, Factory: worm.UniformFactory{},
+		ScanRate: 10, TickSeconds: 1, MaxSeconds: 60, SeedHosts: 4, Seed: 1,
+		Faults: short,
+	}); err == nil {
+		t.Error("exact driver accepted a fault plan shorter than the run")
+	}
+	if _, err := RunFast(FastConfig{
+		Pop: pop, Model: NewCodeRedIIModel(),
+		ScanRate: 10, TickSeconds: 1, MaxSeconds: 60, SeedHosts: 4, Seed: 1,
+		Faults: short,
+	}); err == nil {
+		t.Error("fast driver accepted a fault plan shorter than the run")
+	}
+}
+
+func TestExactConservationWithFaults(t *testing.T) {
+	fleet := twoBlockFleet(t)
+	pop := smallPop(t, 400, 21)
+	res, err := RunExact(ExactConfig{
+		Pop: pop, Factory: worm.UniformFactory{},
+		ScanRate: 2000, TickSeconds: 1, MaxSeconds: 60, SeedHosts: 8, Seed: 22,
+		SensorSet: fleet.Union(),
+		OnProbe:   func(_, dst ipv4.Addr) { fleet.RecordHit(dst) },
+		Faults:    faultPlan(t, 60),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probeSum uint64
+	for i, ti := range res.Series {
+		if got := ti.Outcomes.Total(); got != ti.Probes {
+			t.Fatalf("tick %d: outcomes sum to %d, probes %d (%s)", i, got, ti.Probes, ti.Outcomes)
+		}
+		probeSum += ti.Probes
+	}
+	if got := res.Outcomes.Total(); got != probeSum {
+		t.Fatalf("cumulative outcomes sum to %d, total probes %d", got, probeSum)
+	}
+	if res.Outcomes[OutcomeBurstLost] == 0 {
+		t.Error("leaky burst channel recorded no burst-lost outcomes")
+	}
+	if res.Outcomes[OutcomeSensorDown] == 0 {
+		t.Error("withdrawn sensor block recorded no sensor-down outcomes")
+	}
+	if res.Outcomes[OutcomeSensorHit] == 0 {
+		t.Error("the healthy sensor block recorded no hits")
+	}
+}
+
+func TestFastConservationWithFaults(t *testing.T) {
+	fleet := twoBlockFleet(t)
+	pop := smallPop(t, 400, 23)
+	res, err := RunFast(FastConfig{
+		Pop: pop, Model: NewCodeRedIIModel(),
+		ScanRate: 500, TickSeconds: 1, MaxSeconds: 300, SeedHosts: 8, Seed: 24,
+		Sensors: fleet, SensorSet: fleet.Union(),
+		Faults: faultPlan(t, 300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probeSum uint64
+	for i, ti := range res.Series {
+		if got := ti.Outcomes.Total(); got != ti.Probes {
+			t.Fatalf("tick %d: outcomes sum to %d, probes %d (%s)", i, got, ti.Probes, ti.Outcomes)
+		}
+		probeSum += ti.Probes
+	}
+	if got := res.Outcomes.Total(); got != probeSum {
+		t.Fatalf("cumulative outcomes sum to %d, total probes %d", got, probeSum)
+	}
+	if res.Outcomes[OutcomeBurstLost] == 0 {
+		t.Error("leaky burst channel recorded no burst-lost outcomes")
+	}
+	if res.Outcomes[OutcomeSensorDown] == 0 {
+		t.Error("withdrawn sensor block recorded no sensor-down outcomes")
+	}
+}
+
+// TestFaultedRunsAreDeterministicAndTelemetryInert extends the determinism
+// and telemetry-inertness guarantees to faulted runs: the (seed, plan) pair
+// pins the run bit-for-bit, attaching a registry changes nothing, and two
+// telemetry-on faulted runs snapshot identically (fault gauges included).
+func TestFaultedRunsAreDeterministicAndTelemetryInert(t *testing.T) {
+	pop := smallPop(t, 400, 31)
+	exact := func(reg *obs.Registry) string {
+		fleet := twoBlockFleet(t)
+		cfg := ExactConfig{
+			Pop: pop, Factory: worm.UniformFactory{},
+			ScanRate: 2000, TickSeconds: 1, MaxSeconds: 60, SeedHosts: 8, Seed: 1234,
+			SensorSet: fleet.Union(), OnProbe: func(_, dst ipv4.Addr) { fleet.RecordHit(dst) },
+			Faults:  faultPlan(t, 60),
+			Metrics: reg,
+		}
+		if reg != nil {
+			cfg.Clock = &obs.SimClock{}
+		}
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSeries(t, res)
+	}
+	fast := func(reg *obs.Registry) string {
+		fleet := twoBlockFleet(t)
+		cfg := FastConfig{
+			Pop: pop, Model: NewCodeRedIIModel(),
+			ScanRate: 300, TickSeconds: 1, MaxSeconds: 300, SeedHosts: 8, Seed: 5678,
+			Sensors: fleet, SensorSet: fleet.Union(),
+			Faults:  faultPlan(t, 300),
+			Metrics: reg,
+		}
+		if reg != nil {
+			cfg.Clock = &obs.SimClock{}
+		}
+		res, err := RunFast(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSeries(t, res)
+	}
+
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	if off, on := exact(nil), exact(regA); off != on {
+		t.Errorf("faulted RunExact diverged with telemetry attached:\noff:\n%son:\n%s", off, on)
+	}
+	if off, on := fast(nil), fast(regA); off != on {
+		t.Errorf("faulted RunFast diverged with telemetry attached:\noff:\n%son:\n%s", off, on)
+	}
+	exact(regB)
+	fast(regB)
+
+	snapshot := func(reg *obs.Registry) string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := snapshot(regA), snapshot(regB); a != b {
+		t.Errorf("two same-seed faulted runs produced different metric snapshots:\nA:\n%s\nB:\n%s", a, b)
+	}
+	if !strings.Contains(snapshot(regA), "faults_sensor_blocks_down") {
+		t.Error("fault gauges missing from the telemetry snapshot")
+	}
+}
+
+// TestReportingDelayPreservesObservations pins the reporter contract at the
+// driver level: degraded reporting shifts *when* the detector hears about a
+// probe, never *whether* — the end-of-run flush delivers everything, and
+// the probe stream itself is untouched (the reporter draws no simulation
+// randomness).
+func TestReportingDelayPreservesObservations(t *testing.T) {
+	pop := smallPop(t, 400, 21)
+	run := func(plan *faults.Plan) (string, uint64) {
+		var hits uint64
+		cfg := ExactConfig{
+			Pop: pop, Factory: worm.UniformFactory{},
+			ScanRate: 2000, TickSeconds: 1, MaxSeconds: 30, SeedHosts: 8, Seed: 77,
+			SensorSet: ipv4.SetOfPrefixes(ipv4.MustParsePrefix("200.0.0.0/8")),
+			OnProbe: func(_, dst ipv4.Addr) {
+				if dst>>24 == 200 {
+					hits++
+				}
+			},
+			Faults: plan,
+		}
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeSeries(t, res), hits
+	}
+	delayed, err := faults.Compile(faults.Config{
+		Seed:      5,
+		Reporting: &faults.ReportingConfig{Delay: 10, DupProb: 0},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSeries, cleanHits := run(nil)
+	faultSeries, faultHits := run(delayed)
+	if cleanSeries != faultSeries {
+		t.Error("a reporting-only fault plan changed the probe stream")
+	}
+	if cleanHits != faultHits {
+		t.Errorf("delayed reporting lost observations: %d clean, %d delayed", cleanHits, faultHits)
+	}
+	if cleanHits == 0 {
+		t.Fatal("test never observed a monitored probe")
+	}
+}

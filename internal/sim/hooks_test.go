@@ -116,7 +116,7 @@ func TestFastTickOutcomesConserveOnOvershoot(t *testing.T) {
 		{"all filtered", 100, 0, 0, 0},
 	}
 	for _, tc := range cases {
-		probes, outcomes := closeFastTickOutcomes(tc.probes, tc.newInf, tc.sensorDraws, tc.deliver)
+		probes, outcomes := closeFastTickOutcomes(tc.probes, tc.newInf, tc.sensorDraws, 0, tc.deliver, 0)
 		if got := outcomes.Total(); got != probes {
 			t.Errorf("%s: outcomes sum to %d, probes %d (%s)", tc.name, got, probes, outcomes)
 		}

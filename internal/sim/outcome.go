@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -37,6 +38,14 @@ const (
 	OutcomeSelfHit
 	// OutcomeInfection: the probe infected at least one new host.
 	OutcomeInfection
+	// OutcomeBurstLost: dropped by the fault plan's Gilbert–Elliott burst
+	// channel — loss that arrives in bursts, distinct from the steady
+	// filtering/loss behind OutcomeFiltered.
+	OutcomeBurstLost
+	// OutcomeSensorDown: the probe landed on monitored space whose sensor
+	// block the fault plan had withdrawn — delivered by the network,
+	// unseen by the measurement substrate.
+	OutcomeSensorDown
 
 	// NumOutcomes is the number of outcome categories.
 	NumOutcomes = int(iota)
@@ -45,7 +54,7 @@ const (
 // outcomeNames are the stable label values used in metrics and output.
 var outcomeNames = [NumOutcomes]string{
 	"delivered", "filtered", "private-dropped", "nat-blocked",
-	"sensor-hit", "self-hit", "infection",
+	"sensor-hit", "self-hit", "infection", "burst-lost", "sensor-down",
 }
 
 // String returns the stable metric-label name of the outcome.
@@ -106,6 +115,11 @@ type simMetrics struct {
 	ticks    *obs.Counter
 	infected *obs.Gauge
 	newInf   *obs.Histogram
+	// Fault gauges, registered only when a fault plan is attached (see
+	// attachFaults): the number of withdrawn sensor blocks and the burst
+	// channel's current loss rate, sampled at each tick.
+	downBlocks *obs.Gauge
+	burstLoss  *obs.Gauge
 }
 
 // newSimMetrics resolves the driver's metric handles; the driver label is
@@ -133,6 +147,28 @@ func newSimMetrics(reg *obs.Registry, driver string, extra []string) *simMetrics
 			labels("outcome", ProbeOutcome(i).String())...)
 	}
 	return m
+}
+
+// attachFaults registers the fault gauges; a no-op without a registry or
+// without a plan.
+func (m *simMetrics) attachFaults(reg *obs.Registry, plan *faults.Plan, driver string, extra []string) {
+	if m == nil || plan == nil {
+		return
+	}
+	labels := make([]string, 0, 2+len(extra))
+	labels = append(labels, "driver", driver)
+	labels = append(labels, extra...)
+	m.downBlocks = reg.Gauge("faults_sensor_blocks_down", labels...)
+	m.burstLoss = reg.Gauge("faults_burst_loss", labels...)
+}
+
+// flushFaults samples the fault plan's state at tick time t.
+func (m *simMetrics) flushFaults(plan *faults.Plan, t float64) {
+	if m == nil || m.downBlocks == nil {
+		return
+	}
+	m.downBlocks.Set(float64(plan.DownBlocks(t)))
+	m.burstLoss.Set(plan.BurstLoss(t))
 }
 
 // flushTick publishes one completed tick.

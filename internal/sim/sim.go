@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/ipv4"
 	"repro/internal/netenv"
 	"repro/internal/obs"
@@ -140,6 +141,13 @@ type ExactConfig struct {
 	// start of each tick, so observers (sensor fleets, tracers) timestamp
 	// events in simulated seconds.
 	Clock *obs.SimClock
+	// Faults, when non-nil, injects the plan's sensor outages, bursty
+	// loss, and degraded reporting into the run (misconfiguration is
+	// applied when the Environment is built, not here). The plan's
+	// horizon must cover MaxSeconds. Probes dropped by the burst channel
+	// are OutcomeBurstLost; probes landing on withdrawn monitored space
+	// are OutcomeSensorDown and never reach OnProbe.
+	Faults *faults.Plan
 }
 
 func (c *ExactConfig) validate() error {
@@ -154,6 +162,19 @@ func (c *ExactConfig) validate() error {
 	}
 	if c.SeedHosts <= 0 || c.SeedHosts > c.Pop.Size() {
 		return fmt.Errorf("sim: seed hosts %d out of range", c.SeedHosts)
+	}
+	if err := checkFaultHorizon(c.Faults, c.MaxSeconds); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkFaultHorizon rejects fault plans compiled over a shorter horizon
+// than the run: queries past the horizon silently report the fault-free
+// state, which would make the tail of the run quietly healthy.
+func checkFaultHorizon(plan *faults.Plan, maxSeconds float64) error {
+	if plan != nil && plan.Horizon() < maxSeconds {
+		return fmt.Errorf("sim: fault plan horizon %v < run length %v", plan.Horizon(), maxSeconds)
 	}
 	return nil
 }
@@ -201,10 +222,27 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 
 	res := &Result{InfectionTime: infTime}
 	metrics := newSimMetrics(cfg.Metrics, "exact", cfg.MetricLabels)
+	metrics.attachFaults(cfg.Metrics, cfg.Faults, "exact", cfg.MetricLabels)
+
+	// Degraded reporting interposes between the wire and OnProbe: probes
+	// are queued at observation time and delivered (possibly duplicated)
+	// when the simulated clock passes their due time.
+	onProbe := cfg.OnProbe
+	var reporter *faults.Reporter
+	if onProbe != nil {
+		if reporter = cfg.Faults.NewReporter(onProbe); reporter != nil {
+			onProbe = reporter.Report
+		}
+	}
+
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
+		if reporter != nil {
+			reporter.Advance(t)
+		}
+		burstLoss := cfg.Faults.BurstLoss(t)
 		var newInf int
 		var probes uint64
 		var outcomes OutcomeCounts
@@ -249,12 +287,24 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 					}
 					continue
 				}
+				if burstLoss > 0 && r.Bernoulli(burstLoss) {
+					outcomes[OutcomeBurstLost]++
+					continue
+				}
 				if !env.Delivered(srcHost.Addr, dst, r) {
 					outcomes[OutcomeFiltered]++
 					continue
 				}
-				if cfg.OnProbe != nil {
-					cfg.OnProbe(srcHost.Addr, dst)
+				if cfg.SensorSet != nil && cfg.SensorSet.Contains(dst) && cfg.Faults.SensorDown(dst, t) {
+					// Delivered onto monitored space whose sensor is
+					// withdrawn: nobody is listening, so the probe never
+					// reaches OnProbe. Darknet space holds no vulnerable
+					// hosts, so skipping the infection lookup is exact.
+					outcomes[OutcomeSensorDown]++
+					continue
+				}
+				if onProbe != nil {
+					onProbe(srcHost.Addr, dst)
 				}
 				hit := false
 				for _, vid := range pop.Lookup(dst) {
@@ -282,12 +332,18 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		res.Final = info
 		res.Outcomes.Merge(outcomes)
 		metrics.flushTick(info)
+		metrics.flushFaults(cfg.Faults, t)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
 			break
 		}
 		if cfg.StopWhenInfected > 0 && len(agents) >= cfg.StopWhenInfected {
 			break
 		}
+	}
+	if reporter != nil {
+		// End of run: deliver everything still in flight so detection sees
+		// every observation exactly as a real collector drain would.
+		reporter.Flush()
 	}
 	return res, nil
 }

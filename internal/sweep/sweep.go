@@ -3,6 +3,13 @@
 // alert thresholds, seeds) that would otherwise run serially. Results
 // return in task order regardless of completion order, and a context
 // cancels stragglers.
+//
+// The pool is resilient by configuration: per-task retries with a
+// deterministic backoff schedule, per-task deadlines, a Salvage mode that
+// returns every completed result alongside a structured multi-error
+// instead of aborting on the first failure, and a JSON checkpoint store
+// (see Checkpoint) so an interrupted sweep resumes without recomputing
+// finished points.
 package sweep
 
 import (
@@ -10,11 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Task is one unit of sweep work; it must be safe to run concurrently with
 // other tasks (tasks share nothing unless the caller arranges otherwise).
+// Tasks that should honor Options.TaskTimeout must watch ctx.
 type Task[R any] func(ctx context.Context) (R, error)
 
 // Result pairs a task's output with its index and error.
@@ -25,6 +35,9 @@ type Result[R any] struct {
 	Value R
 	// Err is the task's failure, or nil.
 	Err error
+	// Attempts is how many times the task ran (0 if it was never fed
+	// because the sweep was cancelled first).
+	Attempts int
 }
 
 // Options tunes the pool.
@@ -33,12 +46,114 @@ type Options struct {
 	Workers int
 	// FailFast cancels remaining tasks after the first error.
 	FailFast bool
+	// Retries is how many times a failed task is re-run (so a task runs at
+	// most Retries+1 times). Cancellation is never retried.
+	Retries int
+	// Backoff returns the delay before retry attempt n (0-based). Nil
+	// means retry immediately; ExpBackoff builds the usual deterministic
+	// doubling schedule. The delay is cut short by sweep cancellation.
+	Backoff func(retry int) time.Duration
+	// TaskTimeout, when positive, bounds each attempt with a context
+	// deadline. Tasks must watch their context for the deadline to bite.
+	TaskTimeout time.Duration
+	// Salvage keeps going after failures and returns the partial results
+	// in task order together with a *MultiError listing every failed task,
+	// instead of the first error. FailFast is ignored when Salvage is set.
+	Salvage bool
+	// TaskLabel, when non-nil, names task i in error messages — set it to
+	// render the task's input so a failure identifies its sweep point
+	// instead of a bare index.
+	TaskLabel func(i int) string
 }
 
-// Run executes every task and returns results in task order. The returned
-// error is the first task error encountered in task order (all tasks still
-// have their individual Err recorded), or ctx's error if the context was
-// cancelled first.
+// ExpBackoff returns a deterministic doubling backoff schedule: base,
+// 2·base, 4·base, … capped at max (no jitter — same inputs, same delays).
+func ExpBackoff(base, max time.Duration) func(int) time.Duration {
+	return func(retry int) time.Duration {
+		d := base
+		for i := 0; i < retry && d < max; i++ {
+			d *= 2
+		}
+		if d > max {
+			d = max
+		}
+		return d
+	}
+}
+
+// label renders task i for error messages.
+func (o Options) label(i int) string {
+	if o.TaskLabel != nil {
+		if l := o.TaskLabel(i); l != "" {
+			return fmt.Sprintf("%d (%s)", i, l)
+		}
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// TaskError is one failed task inside a MultiError.
+type TaskError struct {
+	// Index is the task's position in the input slice.
+	Index int
+	// Label is the task's rendered label ("" without a TaskLabel hook).
+	Label string
+	// Attempts is how many times the task ran before giving up.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+// Error implements error.
+func (e TaskError) Error() string {
+	name := fmt.Sprintf("%d", e.Index)
+	if e.Label != "" {
+		name = fmt.Sprintf("%d (%s)", e.Index, e.Label)
+	}
+	return fmt.Sprintf("task %s: %v (after %d attempts)", name, e.Err, e.Attempts)
+}
+
+// Unwrap exposes the underlying task error to errors.Is/As.
+func (e TaskError) Unwrap() error { return e.Err }
+
+// MultiError aggregates every failed task of a Salvage-mode sweep, in task
+// order.
+type MultiError struct {
+	Errors []TaskError
+}
+
+// Error implements error.
+func (e *MultiError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d of %d tasks failed:", len(e.Errors), e.total())
+	for _, te := range e.Errors {
+		b.WriteString("\n  ")
+		b.WriteString(te.Error())
+	}
+	return b.String()
+}
+
+// total is a display hint only; callers carry the real task count.
+func (e *MultiError) total() int {
+	if len(e.Errors) == 0 {
+		return 0
+	}
+	return e.Errors[len(e.Errors)-1].Index + 1
+}
+
+// Unwrap exposes the per-task errors to errors.Is/As.
+func (e *MultiError) Unwrap() []error {
+	out := make([]error, len(e.Errors))
+	for i, te := range e.Errors {
+		out[i] = te
+	}
+	return out
+}
+
+// Run executes every task and returns results in task order. Without
+// Salvage, the returned error is the first task error encountered in task
+// order (all tasks still have their individual Err recorded), or ctx's
+// error if the context was cancelled first. With Salvage, every task runs
+// and a *MultiError aggregates the failures.
 func Run[R any](ctx context.Context, tasks []Task[R], opts Options) ([]Result[R], error) {
 	if ctx == nil {
 		return nil, errors.New("sweep: nil context")
@@ -69,9 +184,8 @@ func Run[R any](ctx context.Context, tasks []Task[R], opts Options) ([]Result[R]
 					results[i] = Result[R]{Index: i, Err: err}
 					continue
 				}
-				v, err := runTask(ctx, tasks[i])
-				results[i] = Result[R]{Index: i, Value: v, Err: err}
-				if err != nil && opts.FailFast {
+				results[i] = runWithRetry(ctx, i, tasks[i], opts)
+				if results[i].Err != nil && opts.FailFast && !opts.Salvage {
 					cancel()
 				}
 			}
@@ -97,12 +211,55 @@ feed:
 	close(indexes)
 	wg.Wait()
 
+	var failed []TaskError
 	for i := range results {
 		if results[i].Err != nil {
-			return results, fmt.Errorf("sweep: task %d: %w", i, results[i].Err)
+			te := TaskError{Index: i, Attempts: results[i].Attempts, Err: results[i].Err}
+			if opts.TaskLabel != nil {
+				te.Label = opts.TaskLabel(i)
+			}
+			if !opts.Salvage {
+				return results, fmt.Errorf("sweep: task %s: %w", opts.label(i), results[i].Err)
+			}
+			failed = append(failed, te)
 		}
 	}
+	if len(failed) > 0 {
+		return results, &MultiError{Errors: failed}
+	}
 	return results, ctx.Err()
+}
+
+// runWithRetry runs one task up to opts.Retries+1 times with the
+// deterministic backoff schedule between attempts.
+func runWithRetry[R any](ctx context.Context, i int, t Task[R], opts Options) Result[R] {
+	res := Result[R]{Index: i}
+	for retry := 0; ; retry++ {
+		res.Attempts = retry + 1
+		attemptCtx := ctx
+		var cancelAttempt context.CancelFunc
+		if opts.TaskTimeout > 0 {
+			attemptCtx, cancelAttempt = context.WithTimeout(ctx, opts.TaskTimeout)
+		}
+		res.Value, res.Err = runTask(attemptCtx, t)
+		if cancelAttempt != nil {
+			cancelAttempt()
+		}
+		if res.Err == nil || retry >= opts.Retries || ctx.Err() != nil {
+			return res
+		}
+		if opts.Backoff != nil {
+			if d := opts.Backoff(retry); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return res
+				}
+			}
+		}
+	}
 }
 
 // runTask isolates panics so one bad task cannot kill the pool.
@@ -116,17 +273,26 @@ func runTask[R any](ctx context.Context, t Task[R]) (v R, err error) {
 }
 
 // Map builds tasks from a slice of inputs and a worker function, runs them,
-// and unwraps the outputs (first error aborts per Options).
+// and unwraps the outputs (first error aborts per Options). Set
+// Options.TaskLabel to make failures name their input; MapResults
+// additionally exposes the full per-task results.
 func Map[T, R any](ctx context.Context, inputs []T, fn func(ctx context.Context, in T) (R, error), opts Options) ([]R, error) {
-	tasks := make([]Task[R], len(inputs))
-	for i, in := range inputs {
-		in := in
-		tasks[i] = func(ctx context.Context) (R, error) { return fn(ctx, in) }
-	}
-	results, err := Run(ctx, tasks, opts)
+	results, err := MapResults(ctx, inputs, fn, opts)
 	out := make([]R, len(results))
 	for i, r := range results {
 		out[i] = r.Value
 	}
 	return out, err
+}
+
+// MapResults is Map returning the full per-task results — index, value,
+// error, and attempt count for every input, in input order — so callers
+// can salvage the completed points of a partially failed sweep.
+func MapResults[T, R any](ctx context.Context, inputs []T, fn func(ctx context.Context, in T) (R, error), opts Options) ([]Result[R], error) {
+	tasks := make([]Task[R], len(inputs))
+	for i, in := range inputs {
+		in := in
+		tasks[i] = func(ctx context.Context) (R, error) { return fn(ctx, in) }
+	}
+	return Run(ctx, tasks, opts)
 }

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern="${1:-BenchmarkRun(Exact|Fast)CodeRedII}"
+pattern="${1:-BenchmarkRun(Exact|Fast)CodeRedII|BenchmarkFleetObserve|BenchmarkSweepResume}"
 date="$(date -u +%F)"
 out="BENCH_${date}.json"
 

@@ -17,7 +17,7 @@ go run ./cmd/reprolint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sweep ./internal/sim ./internal/detect ./internal/obs"
-go test -race ./internal/sweep ./internal/sim ./internal/detect ./internal/obs
+echo "==> go test -race ./..."
+go test -race ./...
 
 echo "==> all checks passed"
