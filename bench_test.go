@@ -258,7 +258,7 @@ func BenchmarkRunFastCodeRedIIMetrics(b *testing.B) {
 	benchRunFastCodeRedII(b, obs.NewRegistry())
 }
 
-func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry) {
+func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry, workers int) {
 	b.Helper()
 	// A CodeRedII-shaped population small enough for the probe-exact
 	// driver; StopWhenInfected caps the saturated tail.
@@ -278,6 +278,7 @@ func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry) {
 			MaxSeconds:       30,
 			SeedHosts:        10,
 			Seed:             uint64(i) + 1,
+			Workers:          workers,
 			StopWhenInfected: pop.Size() / 2,
 			Metrics:          reg,
 			Clock:            &obs.SimClock{},
@@ -289,10 +290,17 @@ func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry) {
 	}
 }
 
-func BenchmarkRunExactCodeRedII(b *testing.B) { benchRunExactCodeRedII(b, nil) }
+func BenchmarkRunExactCodeRedII(b *testing.B) { benchRunExactCodeRedII(b, nil, 1) }
 func BenchmarkRunExactCodeRedIIMetrics(b *testing.B) {
-	benchRunExactCodeRedII(b, obs.NewRegistry())
+	benchRunExactCodeRedII(b, obs.NewRegistry(), 1)
 }
+
+// BenchmarkRunExactCodeRedIIParallel runs the same workload through the
+// worker pool at GOMAXPROCS. On a single-CPU host it measures the two-phase
+// tick's coordination overhead rather than a speedup; on multi-core hosts it
+// tracks the parallel driver's scaling. Results are byte-identical to the
+// serial benchmark's by the Workers contract (DESIGN.md §9).
+func BenchmarkRunExactCodeRedIIParallel(b *testing.B) { benchRunExactCodeRedII(b, nil, 0) }
 
 func BenchmarkExactDriverProbes(b *testing.B) {
 	pop, err := population.Synthesize(population.Config{

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, snap Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", Snapshot{
+		Date: "2026-08-01",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkSteady", NsPerOp: 1000, AllocsPerOp: 10},
+			{Name: "BenchmarkSlower", NsPerOp: 1000, AllocsPerOp: 10},
+			{Name: "BenchmarkAllocs", NsPerOp: 1000, AllocsPerOp: 100},
+			{Name: "BenchmarkRetired", NsPerOp: 5},
+		},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", Snapshot{
+		Date: "2026-08-05",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkSteady", NsPerOp: 1100, AllocsPerOp: 11}, // +10%: inside threshold
+			{Name: "BenchmarkSlower", NsPerOp: 1400, AllocsPerOp: 10}, // +40% ns: regression
+			{Name: "BenchmarkAllocs", NsPerOp: 900, AllocsPerOp: 150}, // +50% allocs: regression
+			{Name: "BenchmarkAdded", NsPerOp: 7},
+		},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression", err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"REGRESSION", "BenchmarkSlower ns/op", "BenchmarkAllocs allocs/op",
+		"BenchmarkAdded", "new benchmark", "BenchmarkRetired", "removed",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "BenchmarkSteady ns/op") {
+		t.Errorf("within-threshold benchmark flagged:\n%s", report)
+	}
+}
+
+func TestCompareCleanPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10}},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 600, AllocsPerOp: 10}},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("clean comparison failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestCompareZeroBaselineAllocs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 0}},
+	})
+	newPath := writeSnapshot(t, dir, "new.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: 3}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("zero-alloc baseline growing to 3 allocs must regress, got %v", err)
+	}
+}
+
+func TestCompareArgValidation(t *testing.T) {
+	err := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || errors.Is(err, errRegression) {
+		t.Fatalf("want usage error, got %v", err)
+	}
+}

@@ -1,16 +1,24 @@
 // Command benchsnap parses `go test -bench` output from stdin and writes a
 // JSON benchmark snapshot — the machine-readable record scripts/bench.sh
 // commits as BENCH_<date>.json so performance regressions are visible in
-// review diffs.
+// review diffs. With -compare it diffs two snapshots instead and flags
+// regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'CodeRedII' -benchmem . | benchsnap -date 2026-08-05 -o BENCH_2026-08-05.json
+//	benchsnap -compare BENCH_old.json BENCH_new.json
+//
+// In compare mode a benchmark regresses when its ns_per_op or
+// allocs_per_op grows by more than 15% over the old snapshot; any
+// regression makes the exit code 2 (parse/IO failures stay exit code 1),
+// so CI can surface the diff without hard-failing the build.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,11 +49,25 @@ type Snapshot struct {
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
 	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"gomaxprocs"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// regressionThreshold is the fractional growth in ns_per_op or
+// allocs_per_op beyond which -compare flags a benchmark.
+const regressionThreshold = 0.15
+
+// errRegression marks a successful comparison that found regressions; it
+// maps to exit code 2 so callers can tell "benchmark got slower" from
+// "comparison failed".
+var errRegression = errors.New("benchmark regression over threshold")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
@@ -54,22 +76,30 @@ func main() {
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	var (
-		out  = fs.String("o", "", "output file (default stdout)")
-		date = fs.String("date", "", "snapshot date (default today, UTC)")
+		out     = fs.String("o", "", "output file (default stdout)")
+		date    = fs.String("date", "", "snapshot date (default today, UTC)")
+		compare = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing bench output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two snapshot files, got %d args", fs.NArg())
+		}
+		return compareSnapshots(fs.Arg(0), fs.Arg(1), stdout)
 	}
 	if *date == "" {
 		*date = time.Now().UTC().Format("2006-01-02")
 	}
 
 	snap := Snapshot{
-		Date:      *date,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -97,6 +127,96 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)
+}
+
+// loadSnapshot reads one committed BENCH_*.json file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, nil
+}
+
+// pctDelta returns the fractional change from old to new. Benchmark
+// metrics are non-negative, so <= 0 is the exact "absent/zero baseline"
+// test: a zero old value with a positive new value reports 1e9 (treated
+// as +inf) so the threshold check still fires — a zero-alloc benchmark
+// starting to allocate is precisely the regression the gate exists for.
+func pctDelta(oldV, newV float64) float64 {
+	if oldV <= 0 {
+		if newV <= 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return (newV - oldV) / oldV
+}
+
+func fmtDelta(d float64) string {
+	if d >= 1e9 {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}
+
+// compareSnapshots diffs two snapshot files benchmark-by-benchmark and
+// reports errRegression when any shared benchmark grew its ns_per_op or
+// allocs_per_op by more than the threshold. Benchmarks present in only
+// one snapshot are listed but never regress — adding or retiring a
+// benchmark must not trip the gate.
+func compareSnapshots(oldPath, newPath string, w io.Writer) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s)\n", oldPath, oldSnap.Date, newPath, newSnap.Date)
+	var regressions []string
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+	for _, nb := range newSnap.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s new benchmark (%.0f ns/op)\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		dNs := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		dAllocs := pctDelta(ob.AllocsPerOp, nb.AllocsPerOp)
+		fmt.Fprintf(w, "  %-44s ns/op %.0f -> %.0f (%s)  allocs/op %.0f -> %.0f (%s)\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, fmtDelta(dNs),
+			ob.AllocsPerOp, nb.AllocsPerOp, fmtDelta(dAllocs))
+		if dNs > regressionThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s ns/op %s", nb.Name, fmtDelta(dNs)))
+		}
+		if dAllocs > regressionThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s allocs/op %s", nb.Name, fmtDelta(dAllocs)))
+		}
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "  %-44s removed\n", ob.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION (> %+.0f%%): %s\n", regressionThreshold*100, r)
+		}
+		return fmt.Errorf("%d regression(s): %w", len(regressions), errRegression)
+	}
+	fmt.Fprintln(w, "no regressions over threshold")
+	return nil
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

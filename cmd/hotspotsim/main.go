@@ -10,6 +10,7 @@
 //	hotspotsim -worm codered2 -placement 192sweep -plot
 //	hotspotsim -worm codered2 -placement 192sweep -outage 0.3 -burst 0.6
 //	hotspotsim -worm codered2 -checkpoint run.ckpt   # rerun replays the cache
+//	hotspotsim -worm codered2 -driver exact -pop 2000 -rate 2000 -t 300 -workers 4
 package main
 
 import (
@@ -91,6 +92,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hotspotsim", flag.ContinueOnError)
 	var (
 		wormName    = fs.String("worm", "uniform", "uniform|hitlist|codered2")
+		driver      = fs.String("driver", "fast", "fast|exact: aggregated rate-mixture driver or probe-exact driver (slower; ground truth for stateful scanners)")
+		workers     = fs.Int("workers", 0, "exact-driver classification goroutines (<=0 = GOMAXPROCS, 1 = serial; every value gives byte-identical results; ignored by the fast driver)")
 		hitListSize = fs.Int("hitlist-size", 100, "number of /16s in the hit-list")
 		popSize     = fs.Int("pop", 134586, "vulnerable population size")
 		nat         = fs.Float64("nat", 0, "fraction of hosts NAT'd into 192.168/16")
@@ -114,6 +117,12 @@ func run(args []string) error {
 	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *driver != "fast" && *driver != "exact" {
+		return fmt.Errorf("unknown driver %q (fast|exact)", *driver)
+	}
+	if *driver == "exact" && *containAt > 0 {
+		return fmt.Errorf("-contain-at requires the fast driver (the exact driver has no containment hook)")
 	}
 	if *outage < 0 || *outage > 1 {
 		return fmt.Errorf("-outage %v outside [0,1]", *outage)
@@ -155,6 +164,8 @@ func run(args []string) error {
 	simulate := func() (runSummary, error) {
 		return simulateRun(simParams{
 			wormName:    *wormName,
+			driver:      *driver,
+			workers:     *workers,
 			hitListSize: *hitListSize,
 			popSize:     *popSize,
 			nat:         *nat,
@@ -182,8 +193,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		key := fmt.Sprintf("hotspotsim|worm=%s|hl=%d|pop=%d|nat=%g|rate=%g|seeds=%d|t=%g|seed=%d|sensors=%d|placement=%s|thr=%d|contain=%g/%g|outage=%g|faults=%s",
-			*wormName, *hitListSize, *popSize, *nat, *scanRate, *seeds, *maxSeconds,
+		key := fmt.Sprintf("hotspotsim|worm=%s|driver=%s|workers=%d|hl=%d|pop=%d|nat=%g|rate=%g|seeds=%d|t=%g|seed=%d|sensors=%d|placement=%s|thr=%d|contain=%g/%g|outage=%g|faults=%s",
+			*wormName, *driver, *workers, *hitListSize, *popSize, *nat, *scanRate, *seeds, *maxSeconds,
 			*seed, *sensors, *placement, *threshold, *containAt, *containDrop, *outage, fjson)
 		vals, err := sweep.MapCheckpointed(context.Background(), []int{0},
 			func(int, int) string { return key },
@@ -205,6 +216,8 @@ func run(args []string) error {
 // simParams carries the resolved flag values into one simulation.
 type simParams struct {
 	wormName    string
+	driver      string
+	workers     int
 	hitListSize int
 	popSize     int
 	nat         float64
@@ -237,18 +250,26 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 		}
 	}
 
+	// Resolve the propagation algorithm in both drivers' vocabularies: the
+	// fast driver consumes an aggregated RateModel, the exact driver a
+	// per-host worm.Factory. Both express the same scanning distribution.
 	var model sim.RateModel
+	var factory worm.Factory
 	switch p.wormName {
 	case "uniform":
 		model = sim.NewUniformModel()
+		factory = worm.UniformFactory{}
 	case "hitlist":
 		prefixes, cover := worm.BuildGreedySlash16HitList(pop.Addrs(false), p.hitListSize)
 		summary.Notes = append(summary.Notes, fmt.Sprintf(
 			"hit-list: %d /16s covering %.2f%% of the vulnerable population",
 			len(prefixes), 100*cover))
-		model = &sim.HitListModel{List: ipv4.SetOfPrefixes(prefixes...)}
+		set := ipv4.SetOfPrefixes(prefixes...)
+		model = &sim.HitListModel{List: set}
+		factory = worm.HitListFactory{ListSet: set}
 	case "codered2":
 		model = sim.NewCodeRedIIModel()
+		factory = worm.CodeRedIIFactory{}
 	default:
 		return summary, fmt.Errorf("unknown worm %q (uniform|hitlist|codered2)", p.wormName)
 	}
@@ -340,7 +361,7 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 	}
 
 	tickProgress := sess.TickProgress(p.maxSeconds / 10)
-	cfg.OnTick = func(ti sim.TickInfo) bool {
+	onTick := func(ti sim.TickInfo) bool {
 		summary.InfectedCurve.X = append(summary.InfectedCurve.X, ti.Time)
 		summary.InfectedCurve.Y = append(summary.InfectedCurve.Y, 100*float64(ti.Infected)/float64(pop.Size()))
 		if fleet != nil {
@@ -352,8 +373,32 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 		}
 		return true
 	}
+	cfg.OnTick = onTick
 
-	result, err := sim.RunFast(cfg)
+	var result *sim.Result
+	if p.driver == "exact" {
+		ecfg := sim.ExactConfig{
+			Pop:         pop,
+			Factory:     factory,
+			ScanRate:    p.scanRate,
+			TickSeconds: cfg.TickSeconds,
+			MaxSeconds:  p.maxSeconds,
+			SeedHosts:   p.seeds,
+			Seed:        p.seed,
+			Workers:     p.workers,
+			OnTick:      onTick,
+			Metrics:     sess.Registry,
+			Clock:       clock,
+			Faults:      plan,
+		}
+		if fleet != nil {
+			ecfg.SensorSet = fleet.Union()
+			ecfg.OnProbe = func(_, dst ipv4.Addr) { fleet.RecordHit(dst) }
+		}
+		result, err = sim.RunExact(ecfg)
+	} else {
+		result, err = sim.RunFast(cfg)
+	}
 	if err != nil {
 		return summary, err
 	}

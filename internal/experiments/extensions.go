@@ -267,6 +267,10 @@ type ExtPrevalenceConfig struct {
 	SeedHosts       int
 	Earlybird       payload.EarlybirdConfig
 	Seed            uint64
+	// Workers parallelizes the exact driver's classification phase (≤0 =
+	// GOMAXPROCS, 1 = serial); the study's results are identical for every
+	// value — see sim.ExactConfig.Workers.
+	Workers int
 }
 
 // DefaultExtPrevalence returns the content-prevalence configuration.
@@ -339,6 +343,7 @@ func RunExtPrevalence(cfg ExtPrevalenceConfig) (*Result, error) {
 		MaxSeconds:  cfg.MaxSeconds,
 		SeedHosts:   cfg.SeedHosts,
 		Seed:        cfg.Seed + 1,
+		Workers:     cfg.Workers,
 		// The signature question is settled long before saturation; do not
 		// simulate the saturated tail probe-by-probe.
 		StopWhenInfected: cfg.PopSize / 2,

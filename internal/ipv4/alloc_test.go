@@ -1,0 +1,51 @@
+// Zero-alloc invariants for the set hot paths. The race detector's
+// instrumentation perturbs allocation counts, so these only run in
+// regular test builds; scripts/check.sh covers both modes.
+
+//go:build !race
+
+package ipv4
+
+import "testing"
+
+// TestSetContainsSelectNoAllocs pins the driver-facing contract: once a
+// set is normalized (and rank-indexed), Contains and Select are pure
+// lookups. The parallel exact driver relies on exactly this — phase-1
+// workers call Contains concurrently after one warm-up read.
+func TestSetContainsSelectNoAllocs(t *testing.T) {
+	s := &Set{}
+	s.AddPrefix(MustParsePrefix("10.0.0.0/8"))
+	s.AddPrefix(MustParsePrefix("172.16.0.0/12"))
+	s.AddPrefix(MustParsePrefix("192.52.92.0/22"))
+	s.AddPrefix(MustParsePrefix("41.0.0.0/8"))
+	// Warm up: first reads normalize lazily and build the rank index.
+	if s.Size() == 0 {
+		t.Fatal("empty set")
+	}
+	_ = s.Contains(MustParseAddr("10.1.2.3"))
+	_ = s.Select(0)
+
+	probe := []Addr{
+		MustParseAddr("10.1.2.3"),
+		MustParseAddr("9.255.255.255"),
+		MustParseAddr("172.20.0.1"),
+		MustParseAddr("192.52.95.255"),
+		MustParseAddr("8.8.8.8"),
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, a := range probe {
+			_ = s.Contains(a)
+		}
+	}); allocs != 0 {
+		t.Errorf("Contains allocates %.1f per run on a normalized set, want 0", allocs)
+	}
+
+	size := s.Size()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := uint64(0); i < 8; i++ {
+			_ = s.Select(i * (size / 8))
+		}
+	}); allocs != 0 {
+		t.Errorf("Select allocates %.1f per run on a rank-indexed set, want 0", allocs)
+	}
+}

@@ -119,6 +119,61 @@ func (e *Environment) Delivered(src, dst ipv4.Addr, r *rng.Xoshiro) bool {
 	return true
 }
 
+// SourceView is the environment as seen from one fixed source address:
+// every source-dependent factor (uniform loss, egress rules, egress
+// policy) folded into a single survival probability, with only the
+// destination-dependent factors left to evaluate per probe. The exact
+// driver compiles one view per infected host at infection time and reuses
+// it for every probe the host ever sends.
+//
+// A view is an immutable value over an environment that must not be
+// mutated while in use; it is safe for concurrent Delivered calls as long
+// as each goroutine supplies its own generator.
+type SourceView struct {
+	env *Environment
+	// keep is the probability a probe survives the uniform loss rate, all
+	// egress rules matching the source, and the egress policy — the
+	// product of the individual survival probabilities, so one Bernoulli
+	// draw is distributionally equivalent to the per-factor sequence.
+	keep float64
+}
+
+// CompileSource folds the environment's source-dependent factors for src
+// into a SourceView.
+func (e *Environment) CompileSource(src ipv4.Addr) SourceView {
+	keep := 1 - e.LossRate
+	for _, rule := range e.egress {
+		if rule.Prefix.Contains(src) {
+			keep *= 1 - rule.Drop
+		}
+	}
+	if e.EgressPolicy != nil {
+		keep *= 1 - e.EgressPolicy.DropProbability(src)
+	}
+	return SourceView{env: e, keep: keep}
+}
+
+// Delivered reports whether a probe from the view's source to dst
+// survives the environment. It consumes at most one draw for the folded
+// source-side factors plus one draw per matching ingress rule, exactly
+// like Environment.Delivered does for the destination side. r stays a
+// concrete *rng.Xoshiro (not an interface) so the call neither escapes
+// nor allocates on the driver's per-probe hot path.
+func (v SourceView) Delivered(dst ipv4.Addr, r *rng.Xoshiro) bool {
+	if !r.Bernoulli(v.keep) {
+		return false
+	}
+	for _, rule := range v.env.ingress {
+		if rule.Prefix.Contains(dst) && r.Bernoulli(rule.Drop) {
+			return false
+		}
+	}
+	if v.env.IngressPolicy != nil && r.Bernoulli(v.env.IngressPolicy.DropProbability(dst)) {
+		return false
+	}
+	return true
+}
+
 // BlocksDeterministically reports whether dst is inside a hard (Drop == 1)
 // ingress filter — useful for analytic fast paths that must not consume
 // randomness.

@@ -1,0 +1,107 @@
+package netenv
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/rng"
+)
+
+// TestSourceViewTransparent: a transparent environment delivers everything
+// and consumes no randomness.
+func TestSourceViewTransparent(t *testing.T) {
+	env := &Environment{}
+	v := env.CompileSource(ipv4.MustParseAddr("1.2.3.4"))
+	r := rng.NewXoshiro(1)
+	before := *r
+	for i := 0; i < 100; i++ {
+		if !v.Delivered(ipv4.Addr(i*7919), r) {
+			t.Fatalf("transparent view dropped probe %d", i)
+		}
+	}
+	if *r != before {
+		t.Fatal("transparent view consumed randomness")
+	}
+}
+
+// TestSourceViewFoldsEgress: the folded keep probability must equal the
+// product of the per-factor survival probabilities, and hard egress
+// blocks must drop everything.
+func TestSourceViewFoldsEgress(t *testing.T) {
+	env := &Environment{}
+	if err := env.SetLossRate(0.5); err != nil {
+		t.Fatal(err)
+	}
+	src := ipv4.MustParseAddr("10.20.30.40")
+	env.AddEgressFilter(ipv4.MustParsePrefix("10.0.0.0/8"), 0.5)
+	env.AddEgressFilter(ipv4.MustParsePrefix("10.20.0.0/16"), 0.5)
+	env.AddEgressFilter(ipv4.MustParsePrefix("99.0.0.0/8"), 1.0) // does not match src
+	v := env.CompileSource(src)
+	want := 0.5 * 0.5 * 0.5
+	if diff := v.keep - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("keep = %v, want %v", v.keep, want)
+	}
+
+	hard := &Environment{}
+	hard.AddEgressFilter(ipv4.MustParsePrefix("10.0.0.0/8"), 1.0)
+	hv := hard.CompileSource(src)
+	r := rng.NewXoshiro(2)
+	for i := 0; i < 50; i++ {
+		if hv.Delivered(ipv4.Addr(i), r) {
+			t.Fatal("hard egress block delivered a probe")
+		}
+	}
+}
+
+// TestSourceViewMatchesEnvironmentDistribution: over many probes the view
+// and Environment.Delivered must agree in delivery rate (they fold the
+// same factors; the draw sequences differ, the distribution must not).
+func TestSourceViewMatchesEnvironmentDistribution(t *testing.T) {
+	env := &Environment{}
+	if err := env.SetLossRate(0.2); err != nil {
+		t.Fatal(err)
+	}
+	src := ipv4.MustParseAddr("10.20.30.40")
+	dst := ipv4.MustParseAddr("200.1.2.3")
+	env.AddEgressFilter(ipv4.MustParsePrefix("10.0.0.0/8"), 0.3)
+	env.AddIngressFilter(ipv4.MustParsePrefix("200.0.0.0/8"), 0.25)
+
+	const trials = 200000
+	v := env.CompileSource(src)
+	rv := rng.NewXoshiro(3)
+	re := rng.NewXoshiro(4)
+	var viewOK, envOK int
+	for i := 0; i < trials; i++ {
+		if v.Delivered(dst, rv) {
+			viewOK++
+		}
+		if env.Delivered(src, dst, re) {
+			envOK++
+		}
+	}
+	want := 0.8 * 0.7 * 0.75
+	for name, got := range map[string]int{"view": viewOK, "env": envOK} {
+		frac := float64(got) / trials
+		if frac < want-0.01 || frac > want+0.01 {
+			t.Errorf("%s delivery rate %.4f, want %.4f ± 0.01", name, frac, want)
+		}
+	}
+}
+
+// TestSourceViewIngressOnlyDependsOnDst: two views over the same
+// environment from different unfiltered sources apply identical
+// destination-side filtering.
+func TestSourceViewIngressOnlyDependsOnDst(t *testing.T) {
+	env := &Environment{}
+	env.AddIngressFilter(ipv4.MustParsePrefix("200.0.0.0/8"), 1.0)
+	for _, src := range []string{"1.1.1.1", "2.2.2.2"} {
+		v := env.CompileSource(ipv4.MustParseAddr(src))
+		r := rng.NewXoshiro(5)
+		if v.Delivered(ipv4.MustParseAddr("200.9.9.9"), r) {
+			t.Errorf("src %s: hard ingress block delivered", src)
+		}
+		if !v.Delivered(ipv4.MustParseAddr("100.9.9.9"), r) {
+			t.Errorf("src %s: unfiltered destination dropped", src)
+		}
+	}
+}

@@ -63,6 +63,33 @@ func NewXoshiro(seed uint64) *Xoshiro {
 	return &Xoshiro{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
 }
 
+// SeedStream reseeds x in place with the (seed, id, step) stream: the
+// three coordinates are folded through the SplitMix64 finalizer and the
+// result expanded into xoshiro state exactly as NewXoshiro would. Every
+// (seed, id, step) triple names an independent stream, so a simulation can
+// hand each (agent, tick) pair its own generator and stay deterministic
+// regardless of how agents are scheduled across goroutines. The receiver
+// is reused rather than reallocated — the parallel exact driver reseeds
+// one worker-owned generator per agent per tick on its hot path.
+func (x *Xoshiro) SeedStream(seed, id, step uint64) {
+	h := Mix64(seed)
+	h = Mix64(h ^ Mix64(id))
+	h = Mix64(h ^ Mix64(step))
+	sm := SplitMix64{state: h}
+	x.s0 = sm.Uint64()
+	x.s1 = sm.Uint64()
+	x.s2 = sm.Uint64()
+	x.s3 = sm.Uint64()
+}
+
+// NewXoshiroStream returns a fresh generator seeded for the (seed, id,
+// step) stream; see SeedStream.
+func NewXoshiroStream(seed, id, step uint64) *Xoshiro {
+	x := &Xoshiro{}
+	x.SeedStream(seed, id, step)
+	return x
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (x *Xoshiro) Uint64() uint64 {
 	result := bits.RotateLeft64(x.s1*5, 7) * 9

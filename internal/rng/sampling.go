@@ -69,9 +69,19 @@ func (x *Xoshiro) Poisson(lambda float64) uint64 {
 		return 0
 	}
 	if lambda < 30 {
-		// Knuth's product-of-uniforms method.
-		limit := math.Exp(-lambda)
+		// Knuth's product-of-uniforms method, with a squeeze on the
+		// zero-event case: the first uniform u yields 0 iff u ≤ exp(-λ),
+		// and u ≤ 1-λ implies that without evaluating the exponential
+		// (1-λ ≤ exp(-λ) everywhere). The fast path consumes the same
+		// single draw the full method would, so the squeeze changes
+		// neither the distribution nor the generator's stream — it only
+		// skips math.Exp for the overwhelmingly common small-λ zeros the
+		// aggregated driver generates.
 		prod := x.Float64()
+		if prod <= 1-lambda {
+			return 0
+		}
+		limit := math.Exp(-lambda)
 		var k uint64
 		for prod > limit {
 			k++

@@ -1,0 +1,44 @@
+// Zero-alloc invariant for the fleet observation hot path. The race
+// detector's instrumentation perturbs allocation counts, so this only
+// runs in regular test builds; scripts/check.sh covers both modes.
+
+//go:build !race
+
+package sensor
+
+import (
+	"testing"
+
+	"repro/internal/ipv4"
+)
+
+// TestFleetObserveWarmNoAllocs: once a sensor has seen a (source, /24)
+// pair, re-observing traffic allocates nothing — the per-/24 counters are
+// flat arrays and the dedup maps only grow on first sight. This is the
+// per-probe path of every simulation with a sensor fleet attached, so a
+// single stray allocation here multiplies by billions of probes.
+func TestFleetObserveWarmNoAllocs(t *testing.T) {
+	fleet := MustNewFleet(DefaultIMSBlocks())
+	var pairs [][2]ipv4.Addr
+	for i := 0; i < 64; i++ {
+		src := ipv4.AddrFromOctets(60, byte(i), 7, 9)
+		dst := ipv4.AddrFromOctets(41, byte(i), byte(3*i), 1) // inside Z/8
+		pairs = append(pairs, [2]ipv4.Addr{src, dst})
+	}
+	pairs = append(pairs,
+		[2]ipv4.Addr{ipv4.MustParseAddr("60.1.1.1"), ipv4.MustParseAddr("192.52.92.10")}, // M block
+		[2]ipv4.Addr{ipv4.MustParseAddr("60.1.1.2"), ipv4.MustParseAddr("35.10.1.200")},  // A block
+		[2]ipv4.Addr{ipv4.MustParseAddr("60.1.1.3"), ipv4.MustParseAddr("1.2.3.4")},      // unmonitored
+	)
+	// Warm: first observation of each pair inserts into the dedup maps.
+	for _, p := range pairs {
+		fleet.Observe(p[0], p[1])
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range pairs {
+			fleet.Observe(p[0], p[1])
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Fleet.Observe allocates %.1f per run, want 0", allocs)
+	}
+}

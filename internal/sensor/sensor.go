@@ -83,6 +83,7 @@ type Sensor struct {
 	sources  map[uint32]struct{} // distinct sources block-wide
 	total    uint64
 	payloads uint64 // probes whose payload the sensor obtained
+	base24   uint32 // the block's first /24 index, precomputed for Observe
 
 	up     bool   // whether the sensor is in service (NewSensor starts up)
 	missed uint64 // in-block probes that arrived while down
@@ -99,6 +100,7 @@ func NewSensor(block Block) *Sensor {
 		pairSeen: make(map[uint64]struct{}),
 		sources:  make(map[uint32]struct{}),
 		up:       true,
+		base24:   block.Prefix.First().Slash24(),
 	}
 }
 
@@ -143,15 +145,15 @@ func (s *Sensor) Observe(src, dst ipv4.Addr) bool {
 	return true
 }
 
-// slash24Index maps an in-block destination to its /24 slot.
+// slash24Index maps an in-block destination to its /24 slot. The block's
+// base /24 is precomputed at construction — Observe runs once per
+// monitored probe, and the prefix arithmetic showed up in profiles.
 func (s *Sensor) slash24Index(dst ipv4.Addr) int {
-	base := s.block.Prefix.First().Slash24()
-	idx := int(dst.Slash24() - base)
 	if s.block.Prefix.Bits() > 24 {
 		// Blocks smaller than a /24 still occupy one slot.
 		return 0
 	}
-	return idx
+	return int(dst.Slash24() - s.base24)
 }
 
 // ObserveKind records a probe like Observe and additionally reports
@@ -211,8 +213,11 @@ func (s *Sensor) Reset() {
 		s.attempts[i] = 0
 		s.uniqPer[i] = 0
 	}
-	s.pairSeen = make(map[uint64]struct{})
-	s.sources = make(map[uint32]struct{})
+	// Clear the maps in place: a reset sensor is usually about to record
+	// a comparable volume of traffic, so keeping the buckets avoids
+	// regrowing them from scratch (sweeps reset fleets once per point).
+	clear(s.pairSeen)
+	clear(s.sources)
 	s.total = 0
 	s.payloads = 0
 	s.missed = 0

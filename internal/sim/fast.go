@@ -119,17 +119,24 @@ func (c *FastConfig) validate() error {
 	return nil
 }
 
-// fastComp is one precomputed mixture component of a group.
+// fastComp is one precomputed mixture component of a group. The victim
+// pool lives in the shared compData and is compacted as hosts get
+// infected, so the per-draw infection rate is weightOverSet times the
+// *live* pool length — Poisson thinning of the full-pool rate, which is
+// distributionally equivalent to drawing at the full rate and rejecting
+// infected victims, without the late-epidemic rejection waste.
 type fastComp struct {
-	pVuln   float64 // per-probe probability of hitting a reachable vulnerable address
-	pSensor float64 // per-probe probability of landing on monitored space
-	pool    []int32 // candidate victim host ids
-	sensors *ipv4.Set
+	weightOverSet float64 // component weight divided by the set's address count
+	pSensor       float64 // per-probe probability of landing on monitored space
+	data          *compData
+	sensors       *ipv4.Set
 }
 
-// fastGroup aggregates infected hosts sharing a mixture.
+// fastGroup aggregates infected hosts sharing a mixture. Its components
+// are the span [off, off+n) of fastState.comps — one flat slice for all
+// groups instead of a per-group allocation.
 type fastGroup struct {
-	comps    []fastComp
+	off, n   int32
 	infected int
 }
 
@@ -142,6 +149,10 @@ type fastState struct {
 	// groupList holds groups in creation order: per-tick processing must
 	// not follow map iteration order, or same-seed runs would diverge.
 	groupList []*fastGroup
+	// comps is the flattened component storage shared by every group.
+	// Groups address it by span, never by pointer: buildComps may grow
+	// (and reallocate) it while a tick's draws are in flight.
+	comps []fastComp
 
 	// publicAddrs/publicIDs are sorted by address for pool construction.
 	publicAddrs []ipv4.Addr
@@ -150,6 +161,21 @@ type fastState struct {
 	sitePools map[int][]int32
 	// compCache memoizes per-(set,site) component data.
 	compCache map[compKey]*compData
+
+	// infected mirrors the driver's infection state; pools exclude
+	// infected hosts (newly built pools at construction, existing pools
+	// via end-of-tick compaction).
+	infected []bool
+	// memb is the pool-membership registry: memb[id] locates host id's
+	// slot in every victim pool that contains it, so compaction can
+	// swap-remove in O(memberships).
+	memb []hostPools
+	// membSpill holds the rare hosts belonging to more pools than the
+	// inline registry entries can hold.
+	membSpill map[int32][]poolRef
+	// newlyInf accumulates hosts infected during the current tick; pools
+	// compact between ticks so pool lengths stay stable mid-tick.
+	newlyInf []int32
 }
 
 type compKey struct {
@@ -158,11 +184,87 @@ type compKey struct {
 }
 
 type compData struct {
-	pool        []int32
-	poolInSet   uint64 // reachable vulnerable addresses inside the set
+	pool        []int32 // live (uninfected) candidate victim host ids
 	sensorInter *ipv4.Set
 	sensorSize  uint64
 	setSize     uint64
+}
+
+// poolRef locates one host's slot in one shared victim pool.
+type poolRef struct {
+	data *compData
+	pos  int32
+}
+
+// hostPools is one host's registry entry. The inline array covers the
+// common case — under the local-preference models a host belongs to at
+// most four components (full space plus its own /8, /16, /24); anything
+// beyond spills to fastState.membSpill.
+type hostPools struct {
+	n       uint8
+	entries [4]poolRef
+}
+
+// register records that pool d holds id at slot pos.
+func (st *fastState) register(id int32, d *compData, pos int32) {
+	hp := &st.memb[id]
+	if hp.n < uint8(len(hp.entries)) {
+		hp.entries[hp.n] = poolRef{data: d, pos: pos}
+		hp.n++
+		return
+	}
+	if st.membSpill == nil {
+		st.membSpill = make(map[int32][]poolRef)
+	}
+	st.membSpill[id] = append(st.membSpill[id], poolRef{data: d, pos: pos})
+}
+
+// removeFromPools swap-removes a freshly infected host from every victim
+// pool it belongs to, patching the moved element's registry entry.
+func (st *fastState) removeFromPools(id int32) {
+	hp := &st.memb[id]
+	for i := uint8(0); i < hp.n; i++ {
+		st.removeAt(hp.entries[i].data, hp.entries[i].pos, id)
+	}
+	hp.n = 0
+	if st.membSpill != nil {
+		if extra, ok := st.membSpill[id]; ok {
+			for _, e := range extra {
+				st.removeAt(e.data, e.pos, id)
+			}
+			delete(st.membSpill, id)
+		}
+	}
+}
+
+// removeAt deletes pool slot pos (holding id) by swapping in the last
+// element and shrinking the pool.
+func (st *fastState) removeAt(d *compData, pos, id int32) {
+	last := int32(len(d.pool) - 1)
+	moved := d.pool[last]
+	d.pool[pos] = moved
+	d.pool = d.pool[:last]
+	if moved != id {
+		st.updatePos(moved, d, pos)
+	}
+}
+
+// updatePos rewrites moved's registry entry for pool d to slot pos.
+func (st *fastState) updatePos(moved int32, d *compData, pos int32) {
+	hp := &st.memb[moved]
+	for i := uint8(0); i < hp.n; i++ {
+		if hp.entries[i].data == d {
+			hp.entries[i].pos = pos
+			return
+		}
+	}
+	refs := st.membSpill[moved]
+	for j := range refs {
+		if refs[j].data == d {
+			refs[j].pos = pos
+			return
+		}
+	}
 }
 
 // RunFast runs the aggregated simulation.
@@ -181,7 +283,9 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	st.indexHosts()
 
 	n := cfg.Pop.Size()
-	infected := make([]bool, n)
+	st.infected = make([]bool, n)
+	st.memb = make([]hostPools, n)
+	infected := st.infected
 	infTime := make([]float64, n)
 	for i := range infTime {
 		infTime[i] = -1
@@ -194,21 +298,34 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		infected[id] = true
 		infTime[id] = t
 		total++
+		st.newlyInf = append(st.newlyInf, id)
 		h := st.pop.Host(int(id))
 		key := cfg.Model.GroupKey(h)
 		g, ok := st.groups[key]
 		if !ok {
-			g = &fastGroup{comps: st.buildComps(h)}
+			off, cnt := st.buildComps(h)
+			g = &fastGroup{off: off, n: cnt}
 			st.groups[key] = g
 			st.groupList = append(st.groupList, g)
 		}
 		g.infected++
 	}
+	// compact drains the freshly infected into the pool registry: called
+	// between ticks (and after seeding) so pool lengths never move while
+	// a tick's draws are in flight.
+	compact := func() {
+		for _, id := range st.newlyInf {
+			st.removeFromPools(id)
+		}
+		st.newlyInf = st.newlyInf[:0]
+	}
 	for _, id := range st.r.SampleWithoutReplacement(n, cfg.SeedHosts) {
 		infect(int32(id), 0)
 	}
+	compact()
 
-	res := &Result{InfectionTime: infTime}
+	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
+	res := &Result{InfectionTime: infTime, Series: make([]TickInfo, 0, steps)}
 	metrics := newSimMetrics(cfg.Metrics, "fast", cfg.MetricLabels)
 	metrics.attachFaults(cfg.Metrics, cfg.Faults, "fast", cfg.MetricLabels)
 
@@ -226,17 +343,17 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		}
 	}
 
-	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	baseDeliver := 1 - cfg.LossRate
 	deliver := baseDeliver
 	// groupSnap buffers per-tick group intensities so infections during a
 	// tick do not feed back into the same tick (matching the exact driver,
-	// where new agents start probing on the next tick).
+	// where new agents start probing on the next tick). The buffer is
+	// preallocated once and reused across ticks.
 	type snap struct {
 		g *fastGroup
 		p float64 // expected probes this tick
 	}
-	var snaps []snap
+	snaps := make([]snap, 0, 64)
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
@@ -261,12 +378,21 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		var newInf int
 		var sensorDraws, sensorDown uint64
 		for _, s := range snaps {
-			for ci := range s.g.comps {
-				comp := &s.g.comps[ci]
-				if len(comp.pool) > 0 && comp.pVuln > 0 {
-					hits := st.r.Poisson(s.p * comp.pVuln * tickDeliver)
+			g := s.g
+			for ci := int32(0); ci < g.n; ci++ {
+				// Copy the component by value: infections during these
+				// draws can create new groups, growing (and possibly
+				// reallocating) st.comps mid-loop. Pool lengths are stable
+				// within a tick — compaction runs between ticks — so the
+				// live length read here prices the whole tick's draws.
+				comp := st.comps[g.off+ci]
+				if pool := comp.data.pool; len(pool) > 0 && comp.weightOverSet > 0 {
+					hits := st.r.Poisson(s.p * comp.weightOverSet * float64(len(pool)) * tickDeliver)
 					for i := uint64(0); i < hits; i++ {
-						victim := comp.pool[st.r.Intn(len(comp.pool))]
+						victim := pool[st.r.Intn(len(pool))]
+						// Hosts infected earlier this tick stay in the
+						// pool until the tick-end compaction; rejecting
+						// them here keeps the no-same-tick-feedback rule.
 						if !infected[victim] {
 							infect(victim, t)
 							newInf++
@@ -289,6 +415,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 				}
 			}
 		}
+		compact()
 		probesEmitted, outcomes := closeFastTickOutcomes(probes, newInf, sensorDraws, sensorDown, deliver, burstLoss)
 		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: probesEmitted, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
@@ -375,10 +502,11 @@ func (st *fastState) indexHosts() {
 	}
 }
 
-// buildComps materializes the fast components for a host's group.
-func (st *fastState) buildComps(h population.Host) []fastComp {
+// buildComps materializes the fast components for a host's group into the
+// shared flattened comps slice, returning the group's [off, off+n) span.
+func (st *fastState) buildComps(h population.Host) (off, n int32) {
 	comps := st.cfg.Model.Components(h)
-	out := make([]fastComp, 0, len(comps))
+	off = int32(len(st.comps))
 	for _, c := range comps {
 		site := population.NoSite
 		if c.Private {
@@ -386,36 +514,42 @@ func (st *fastState) buildComps(h population.Host) []fastComp {
 		}
 		data := st.compData(c.Set, site)
 		setSize := float64(data.setSize)
-		fc := fastComp{pool: data.pool}
+		fc := fastComp{data: data}
 		if setSize > 0 {
-			fc.pVuln = c.Weight * float64(data.poolInSet) / setSize
+			fc.weightOverSet = c.Weight / setSize
 		}
 		if !c.Private && st.cfg.Sensors != nil && data.sensorSize > 0 && setSize > 0 {
 			fc.pSensor = c.Weight * float64(data.sensorSize) / setSize
 			fc.sensors = data.sensorInter
 		}
-		out = append(out, fc)
+		st.comps = append(st.comps, fc)
 	}
-	return out
+	return off, int32(len(st.comps)) - off
 }
 
 // compData computes (and caches) the victim pool and sensor intersection
-// for a component set, optionally restricted to one NAT site.
+// for a component set, optionally restricted to one NAT site. Pools built
+// mid-run exclude hosts that are already infected — equivalent to
+// building the full pool and compacting it on the spot — and every pool
+// slot is recorded in the membership registry for later compaction.
 func (st *fastState) compData(set *ipv4.Set, site int) *compData {
 	key := compKey{set: set, site: site}
 	if d, ok := st.compCache[key]; ok {
 		return d
 	}
 	d := &compData{setSize: set.Size()}
+	add := func(id int32) {
+		d.pool = append(d.pool, id)
+		st.register(id, d, int32(len(d.pool)-1))
+	}
 	if site != population.NoSite {
 		// Private component: pool is the site's members whose private
 		// address falls in the set; every pool address is reachable.
 		for _, id := range st.sitePools[site] {
-			if set.Contains(st.pop.Host(int(id)).Addr) {
-				d.pool = append(d.pool, id)
+			if !st.infected[id] && set.Contains(st.pop.Host(int(id)).Addr) {
+				add(id)
 			}
 		}
-		d.poolInSet = uint64(len(d.pool))
 		st.compCache[key] = d
 		return d
 	}
@@ -424,13 +558,15 @@ func (st *fastState) compData(set *ipv4.Set, site int) *compData {
 	for _, iv := range set.Intervals() {
 		lo := sort.Search(len(st.publicAddrs), func(i int) bool { return st.publicAddrs[i] >= iv.Lo })
 		for i := lo; i < len(st.publicAddrs) && st.publicAddrs[i] <= iv.Hi; i++ {
+			if st.infected[st.publicIDs[i]] {
+				continue
+			}
 			if st.cfg.BlockedDst != nil && st.cfg.BlockedDst.Contains(st.publicAddrs[i]) {
 				continue
 			}
-			d.pool = append(d.pool, st.publicIDs[i])
+			add(st.publicIDs[i])
 		}
 	}
-	d.poolInSet = uint64(len(d.pool))
 	if st.cfg.Sensors != nil && st.cfg.SensorSet != nil {
 		inter := st.cfg.SensorSet.Intersect(set)
 		if st.cfg.BlockedDst != nil {

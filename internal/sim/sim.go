@@ -24,6 +24,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/ipv4"
@@ -116,8 +118,18 @@ type ExactConfig struct {
 	SeedHosts int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers is the number of goroutines classifying probes during phase
+	// 1 of each tick; the merge phase (infections, sensor callbacks,
+	// metrics) is always serial. ≤0 uses runtime.GOMAXPROCS(0); 1 runs
+	// classification inline with no goroutines. Every value of Workers
+	// produces byte-identical results for the same seed: each agent draws
+	// probes from its own generator plus a per-(agent,tick) environment
+	// RNG stream, and per-worker buffers merge in agent order (see
+	// DESIGN.md §9 for the determinism contract).
+	Workers int
 	// OnProbe, when non-nil, receives every probe that reaches the public
-	// Internet (sensor fleets hang here).
+	// Internet (sensor fleets hang here). Callbacks fire during the serial
+	// merge phase, so implementations need no locking.
 	OnProbe func(src, dst ipv4.Addr)
 	// OnTick, when non-nil, is called after every tick; returning false
 	// stops the run.
@@ -179,7 +191,61 @@ func checkFaultHorizon(plan *faults.Plan, maxSeconds float64) error {
 	return nil
 }
 
+// exactAgent is one infected, probing host. The generator and the
+// compiled source view are built once at infection time; during phase 1
+// each agent is owned by exactly one worker.
+type exactAgent struct {
+	id   int32
+	src  population.Host
+	view netenv.SourceView
+	gen  worm.TargetGenerator
+}
+
+// exactInfEvent is a phase-1 probe that reached at least one
+// snapshot-susceptible victim. The victim ids live in the worker's flat
+// victims buffer (nVictims consecutive entries); fallback is the outcome
+// the probe takes if every victim was claimed by an earlier agent.
+type exactInfEvent struct {
+	fallback ProbeOutcome
+	nVictims int32
+}
+
+// exactHit is a buffered OnProbe observation awaiting serial replay.
+type exactHit struct {
+	src, dst ipv4.Addr
+}
+
+// exactWorker is one phase-1 classification shard's private state. The
+// environment generator is a value, reseeded per (agent, tick) — no
+// worker ever shares randomness with another, which is what makes the
+// tick's result independent of goroutine scheduling.
+type exactWorker struct {
+	envR     rng.Xoshiro
+	probes   uint64
+	outcomes OutcomeCounts
+	events   []exactInfEvent
+	victims  []int32
+	hits     []exactHit
+}
+
+func (w *exactWorker) reset() {
+	w.probes = 0
+	w.outcomes = OutcomeCounts{}
+	w.events = w.events[:0]
+	w.victims = w.victims[:0]
+	w.hits = w.hits[:0]
+}
+
 // RunExact runs the probe-exact simulation.
+//
+// Each tick executes in two phases. Phase 1 shards the agent list across
+// cfg.Workers goroutines; every agent draws its probes from its own
+// target generator plus a per-(agent,tick) environment RNG stream and
+// classifies them against the tick-start infection snapshot, buffering
+// candidate infections and sensor observations per worker. Phase 2 merges
+// the buffers serially in agent order: duplicate infection candidates
+// resolve first-agent-wins, and OnProbe callbacks replay in a fixed
+// order. Results are byte-identical for every worker count.
 func RunExact(cfg ExactConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -192,23 +258,31 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 	pop := cfg.Pop
 	n := pop.Size()
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SensorSet != nil {
+		// ipv4.Set normalizes lazily on first read. Force it now so the
+		// phase-1 workers' concurrent Contains calls are pure reads.
+		cfg.SensorSet.Size()
+	}
+
 	infected := make([]bool, n)
 	infTime := make([]float64, n)
 	for i := range infTime {
 		infTime[i] = -1
 	}
-	type agent struct {
-		id  int
-		gen worm.TargetGenerator
-	}
-	var agents []agent
+	var agents []exactAgent
 	infect := func(id int, t float64) {
 		infected[id] = true
 		infTime[id] = t
 		h := pop.Host(id)
-		agents = append(agents, agent{
-			id:  id,
-			gen: cfg.Factory.New(h.Addr, rng.Mix64(cfg.Seed^uint64(id)<<1|1)),
+		agents = append(agents, exactAgent{
+			id:   int32(id),
+			src:  h,
+			view: env.CompileSource(h.Addr),
+			gen:  cfg.Factory.New(h.Addr, rng.Mix64(cfg.Seed^uint64(id)<<1|1)),
 		})
 	}
 	for _, id := range r.SampleWithoutReplacement(n, cfg.SeedHosts) {
@@ -220,7 +294,8 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		return nil, errors.New("sim: exact driver needs ≥1 probe per host per tick")
 	}
 
-	res := &Result{InfectionTime: infTime}
+	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
+	res := &Result{InfectionTime: infTime, Series: make([]TickInfo, 0, steps)}
 	metrics := newSimMetrics(cfg.Metrics, "exact", cfg.MetricLabels)
 	metrics.attachFaults(cfg.Metrics, cfg.Faults, "exact", cfg.MetricLabels)
 
@@ -235,7 +310,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		}
 	}
 
-	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
+	ws := make([]exactWorker, workers)
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
@@ -243,90 +318,161 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 			reporter.Advance(t)
 		}
 		burstLoss := cfg.Faults.BurstLoss(t)
+
+		// Phase 1: classify this tick's probes against the tick-start
+		// infection snapshot. Agents infected during this tick start
+		// probing next tick, and `infected` is only written in phase 2,
+		// so the workers' shared reads are race-free.
+		nAgents := len(agents)
+		nShards := workers
+		if nShards > nAgents {
+			nShards = nAgents
+		}
+		stepU := uint64(step)
+		classify := func(w *exactWorker, shard []exactAgent) {
+			w.reset()
+			for ai := range shard {
+				a := &shard[ai]
+				w.envR.SeedStream(cfg.Seed, uint64(a.id), stepU)
+				for p := 0; p < probesPerTick; p++ {
+					dst := a.gen.Next()
+					w.probes++
+					if dst.IsPrivate() {
+						// Private destinations never cross the Internet:
+						// they can only reach hosts on the same NAT site.
+						if !a.src.IsNATed() {
+							w.outcomes[OutcomePrivateDropped]++
+							continue
+						}
+						blocked := false
+						nv := int32(0)
+						for _, vid := range pop.Lookup(dst) {
+							if infected[vid] {
+								continue
+							}
+							if netenv.CanReach(a.src, pop.Host(vid)) {
+								w.victims = append(w.victims, int32(vid))
+								nv++
+							} else {
+								blocked = true
+							}
+						}
+						fb := OutcomeDelivered
+						switch {
+						case blocked:
+							fb = OutcomeNATBlocked
+						case dst == a.src.Addr:
+							fb = OutcomeSelfHit
+						}
+						if nv == 0 {
+							w.outcomes[fb]++
+						} else {
+							w.events = append(w.events, exactInfEvent{fallback: fb, nVictims: nv})
+						}
+						continue
+					}
+					if burstLoss > 0 && w.envR.Bernoulli(burstLoss) {
+						w.outcomes[OutcomeBurstLost]++
+						continue
+					}
+					if !a.view.Delivered(dst, &w.envR) {
+						w.outcomes[OutcomeFiltered]++
+						continue
+					}
+					onSensor := cfg.SensorSet != nil && cfg.SensorSet.Contains(dst)
+					if onSensor && cfg.Faults.SensorDown(dst, t) {
+						// Delivered onto monitored space whose sensor is
+						// withdrawn: nobody is listening, so the probe
+						// never reaches OnProbe. Darknet space holds no
+						// vulnerable hosts, so skipping the infection
+						// lookup is exact.
+						w.outcomes[OutcomeSensorDown]++
+						continue
+					}
+					if onProbe != nil {
+						w.hits = append(w.hits, exactHit{src: a.src.Addr, dst: dst})
+					}
+					nv := int32(0)
+					for _, vid := range pop.Lookup(dst) {
+						if !infected[vid] && netenv.CanReach(a.src, pop.Host(vid)) {
+							w.victims = append(w.victims, int32(vid))
+							nv++
+						}
+					}
+					fb := OutcomeDelivered
+					switch {
+					case dst == a.src.Addr:
+						fb = OutcomeSelfHit
+					case onSensor:
+						fb = OutcomeSensorHit
+					}
+					if nv == 0 {
+						w.outcomes[fb]++
+					} else {
+						w.events = append(w.events, exactInfEvent{fallback: fb, nVictims: nv})
+					}
+				}
+			}
+		}
+		if nShards <= 1 {
+			nShards = 1
+			classify(&ws[0], agents[:nAgents])
+		} else {
+			var wg sync.WaitGroup
+			for wi := 0; wi < nShards; wi++ {
+				lo := wi * nAgents / nShards
+				hi := (wi + 1) * nAgents / nShards
+				wg.Add(1)
+				go func(w *exactWorker, shard []exactAgent) {
+					defer wg.Done()
+					classify(w, shard)
+				}(&ws[wi], agents[lo:hi:hi])
+			}
+			wg.Wait()
+		}
+
+		// Phase 2: serial merge in agent order. Shards are contiguous
+		// agent ranges, so visiting workers in index order replays events
+		// exactly as a serial pass over the agent list would — duplicate
+		// infection candidates resolve first-agent-wins.
 		var newInf int
 		var probes uint64
 		var outcomes OutcomeCounts
-		// Agents infected during this tick start probing next tick.
-		nAgents := len(agents)
-		for ai := 0; ai < nAgents; ai++ {
-			a := agents[ai]
-			srcHost := pop.Host(a.id)
-			for p := 0; p < probesPerTick; p++ {
-				dst := a.gen.Next()
-				probes++
-				if dst.IsPrivate() {
-					// Private destinations never cross the Internet: they
-					// can only reach hosts on the same NAT site.
-					if !srcHost.IsNATed() {
-						outcomes[OutcomePrivateDropped]++
-						continue
-					}
-					hit, blocked := false, false
-					for _, vid := range pop.Lookup(dst) {
-						v := pop.Host(vid)
-						if infected[vid] {
-							continue
-						}
-						if netenv.CanReach(srcHost, v) {
-							infect(vid, t)
-							newInf++
-							hit = true
-						} else {
-							blocked = true
-						}
-					}
-					switch {
-					case hit:
-						outcomes[OutcomeInfection]++
-					case blocked:
-						outcomes[OutcomeNATBlocked]++
-					case dst == srcHost.Addr:
-						outcomes[OutcomeSelfHit]++
-					default:
-						outcomes[OutcomeDelivered]++
-					}
-					continue
-				}
-				if burstLoss > 0 && r.Bernoulli(burstLoss) {
-					outcomes[OutcomeBurstLost]++
-					continue
-				}
-				if !env.Delivered(srcHost.Addr, dst, r) {
-					outcomes[OutcomeFiltered]++
-					continue
-				}
-				if cfg.SensorSet != nil && cfg.SensorSet.Contains(dst) && cfg.Faults.SensorDown(dst, t) {
-					// Delivered onto monitored space whose sensor is
-					// withdrawn: nobody is listening, so the probe never
-					// reaches OnProbe. Darknet space holds no vulnerable
-					// hosts, so skipping the infection lookup is exact.
-					outcomes[OutcomeSensorDown]++
-					continue
-				}
-				if onProbe != nil {
-					onProbe(srcHost.Addr, dst)
-				}
+		for wi := 0; wi < nShards; wi++ {
+			probes += ws[wi].probes
+			outcomes.Merge(ws[wi].outcomes)
+		}
+		for wi := 0; wi < nShards; wi++ {
+			w := &ws[wi]
+			off := 0
+			for _, ev := range w.events {
 				hit := false
-				for _, vid := range pop.Lookup(dst) {
-					v := pop.Host(vid)
-					if !infected[vid] && netenv.CanReach(srcHost, v) {
-						infect(vid, t)
+				for _, vid := range w.victims[off : off+int(ev.nVictims)] {
+					if !infected[vid] {
+						infect(int(vid), t)
 						newInf++
 						hit = true
 					}
 				}
-				switch {
-				case hit:
+				off += int(ev.nVictims)
+				if hit {
 					outcomes[OutcomeInfection]++
-				case dst == srcHost.Addr:
-					outcomes[OutcomeSelfHit]++
-				case cfg.SensorSet != nil && cfg.SensorSet.Contains(dst):
-					outcomes[OutcomeSensorHit]++
-				default:
-					outcomes[OutcomeDelivered]++
+				} else {
+					outcomes[ev.fallback]++
 				}
 			}
 		}
+		if onProbe != nil {
+			// Sensor observations replay after the infection merge, still
+			// in agent order; fleets never read infection state, so the
+			// two replay streams need no interleaving.
+			for wi := 0; wi < nShards; wi++ {
+				for _, h := range ws[wi].hits {
+					onProbe(h.src, h.dst)
+				}
+			}
+		}
+
 		info := TickInfo{Time: t, Infected: len(agents), NewInfections: newInf, Probes: probes, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info

@@ -11,6 +11,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The unanchored RunExactCodeRedII leg matches the serial, Metrics, and
+# Parallel variants, so the snapshot records the worker pool's overhead or
+# speedup next to the serial baseline on every host.
 pattern="${1:-BenchmarkRun(Exact|Fast)CodeRedII|BenchmarkFleetObserve|BenchmarkSweepResume}"
 date="$(date -u +%F)"
 out="BENCH_${date}.json"

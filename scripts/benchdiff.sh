@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: diff two BENCH_*.json snapshots with
+# cmd/benchsnap -compare, flagging >15% ns_per_op or allocs_per_op growth.
+#
+# Usage:
+#   scripts/benchdiff.sh                      # two most recent snapshots
+#   scripts/benchdiff.sh OLD.json NEW.json    # explicit pair
+#
+# Exit codes: 0 clean (or fewer than two snapshots to compare),
+# 2 regression over threshold, 1 comparison failure. CI runs this as a
+# non-blocking step — the diff is information for review, not a build gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+old="${1:-}"
+new="${2:-}"
+if [[ -z "$new" ]]; then
+  snaps=()
+  while IFS= read -r f; do snaps+=("$f"); done < <(ls BENCH_*.json 2>/dev/null | sort)
+  if (( ${#snaps[@]} < 2 )); then
+    echo "benchdiff: fewer than two BENCH_*.json snapshots, nothing to compare"
+    exit 0
+  fi
+  old="${snaps[-2]}"
+  new="${snaps[-1]}"
+fi
+
+go run ./cmd/benchsnap -compare "$old" "$new"

@@ -20,4 +20,10 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Non-blocking: surface benchmark regressions between the two most recent
+# committed snapshots without failing the gate (exit 2 = regression is
+# review information; refreshing the snapshot is a deliberate act).
+echo "==> scripts/benchdiff.sh (non-blocking)"
+scripts/benchdiff.sh || echo "benchdiff: flagged (non-blocking, see output above)"
+
 echo "==> all checks passed"
