@@ -1,0 +1,140 @@
+// Command xcheck sweeps seeded cross-check scenarios through the oracle
+// harness (internal/xcheck): each seed expands into a full scenario —
+// worm, population, NAT, environment, sensors, faults — and every run is
+// audited for byte-identity, invariants, exact-vs-fast agreement, and
+// analytic-model tracking. Violating scenarios are shrunk to minimal
+// reproducers and, with -emit, written as fuzz corpus seeds.
+//
+// Usage:
+//
+//	xcheck -n 100 -seed 1                    # check seeds 1..100
+//	xcheck -n 500 -budget 5m -emit repro/    # bounded sweep, keep reproducers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/cmd/internal/obsflags"
+	"repro/internal/sweep"
+	"repro/internal/xcheck"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xcheck", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 25, "scenarios to check (seeds seed..seed+n-1)")
+		seed    = fs.Uint64("seed", 1, "first scenario seed")
+		budget  = fs.Duration("budget", 0, "wall-clock budget; scenarios not started in time are skipped (0 = unbounded)")
+		workers = fs.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		emit    = fs.String("emit", "", "directory for shrunken-reproducer corpus seeds (empty = don't write)")
+		verbose = fs.Bool("v", false, "print every scenario, not just violations")
+	)
+	obsFlags := obsflags.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return errors.New("-n must be positive")
+	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
+	seeds := make([]uint64, *n)
+	for i := range seeds {
+		seeds[i] = *seed + uint64(i)
+	}
+	sess.Progressf("checking %d scenarios from seed %d", *n, *seed)
+	results, sweepErr := sweep.MapResults(ctx, seeds,
+		func(_ context.Context, id uint64) (*xcheck.Report, error) {
+			return xcheck.CheckScenario(xcheck.Generate(id))
+		},
+		sweep.Options{
+			Workers: *workers,
+			Salvage: true,
+			TaskLabel: func(i int) string {
+				return fmt.Sprintf("seed %d", seeds[i])
+			},
+		})
+
+	var checked, skipped, violations, harnessErrs int
+	scenarios := sess.Registry.Counter("xcheck_scenarios_total", "result", "ok")
+	violCount := sess.Registry.Counter("xcheck_scenarios_total", "result", "violation")
+	for _, r := range results {
+		switch {
+		case errors.Is(r.Err, context.DeadlineExceeded) || errors.Is(r.Err, context.Canceled):
+			skipped++
+			continue
+		case r.Err != nil:
+			harnessErrs++
+			fmt.Fprintf(out, "seed %d: harness error: %v\n", seeds[r.Index], r.Err)
+			continue
+		}
+		checked++
+		rep := r.Value
+		if rep.Ok() {
+			scenarios.Add(1)
+			if *verbose {
+				fmt.Fprintf(out, "seed %d: ok  worm=%s pop=%d ticks=%d infected=%d probes=%d diff=%v analytic=%v\n",
+					seeds[r.Index], rep.Scenario.Worm, rep.Scenario.PopSize, rep.Ticks,
+					rep.FinalInfected, rep.Probes, rep.Differential, rep.Analytic)
+			}
+			continue
+		}
+		violCount.Add(1)
+		violations += len(rep.Violations)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "seed %d [%s]: %s\n", seeds[r.Index], v.Oracle, v.Detail)
+		}
+		// Shrink against the first oracle that fired and keep the minimal
+		// reproducer.
+		shrunk := xcheck.Shrink(rep.Scenario, rep.Violations[0].Oracle)
+		fmt.Fprintf(out, "seed %d: minimal reproducer: %s\n", seeds[r.Index], shrunk.JSON())
+		if *emit != "" {
+			path, err := xcheck.WriteCorpusSeed(*emit, shrunk)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "seed %d: corpus seed written to %s\n", seeds[r.Index], path)
+		}
+	}
+
+	fmt.Fprintf(out, "xcheck: %d scenarios checked, %d skipped (budget), %d violations, %d harness errors\n",
+		checked, skipped, violations, harnessErrs)
+	if violations > 0 || harnessErrs > 0 {
+		return fmt.Errorf("%d violations, %d harness errors", violations, harnessErrs)
+	}
+	if checked == 0 {
+		return errors.New("no scenario completed inside the budget")
+	}
+	// A salvage sweep only errors for task failures, which are all
+	// accounted for above; anything else is a harness bug.
+	if sweepErr != nil {
+		var me *sweep.MultiError
+		if !errors.As(sweepErr, &me) {
+			return sweepErr
+		}
+	}
+	return sess.Close()
+}

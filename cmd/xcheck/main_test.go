@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanBatch(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("clean batch failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "5 scenarios checked, 0 skipped (budget), 0 violations, 0 harness errors") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "2", "-seed", "3", "-v"}, &out); err != nil {
+		t.Fatalf("verbose batch failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"seed 3: ok", "seed 4: ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Fatal("-n 0 accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunTinyBudget(t *testing.T) {
+	// A 1ns budget expires before any scenario starts; the sweep must
+	// report that nothing completed rather than claiming a clean pass.
+	var out strings.Builder
+	err := run([]string{"-n", "3", "-seed", "1", "-budget", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no scenario completed") {
+		t.Fatalf("expected budget-exhausted error, got %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -17,6 +17,7 @@ package epidemic
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -75,9 +76,26 @@ func (m SI) DoublingTime() float64 { return math.Ln2 / m.Beta }
 // regression of the log-odds logit(I/N) against time, using only points
 // strictly between 1% and 99% infected (where the logit is informative).
 // It returns the estimate and the number of points used.
+//
+// Inputs are validated: the population must be positive and finite, and
+// every time/infected pair must be finite. Without these checks a NaN or
+// Inf anywhere in the series (or a zero population) poisons the regression
+// sums and the function returns a garbage β with a nil error — the failure
+// mode the xcheck analytic oracle exists to catch.
 func FitBeta(times, infected []float64, population float64) (float64, int, error) {
 	if len(times) != len(infected) {
 		return 0, 0, errors.New("epidemic: series length mismatch")
+	}
+	if math.IsNaN(population) || math.IsInf(population, 0) || population <= 0 {
+		return 0, 0, fmt.Errorf("epidemic: population %v must be positive and finite", population)
+	}
+	for i := range times {
+		if math.IsNaN(times[i]) || math.IsInf(times[i], 0) {
+			return 0, 0, fmt.Errorf("epidemic: time[%d] = %v is not finite", i, times[i])
+		}
+		if math.IsNaN(infected[i]) || math.IsInf(infected[i], 0) {
+			return 0, 0, fmt.Errorf("epidemic: infected[%d] = %v is not finite", i, infected[i])
+		}
 	}
 	var sx, sy, sxx, sxy float64
 	n := 0

@@ -126,6 +126,112 @@ func TestFitBetaErrors(t *testing.T) {
 	}
 }
 
+// TestFitBetaRejectsHostileInputs is the regression for the silent-garbage
+// bug: a non-positive or non-finite population, or a NaN/Inf anywhere in
+// the series, used to flow into the regression sums and come back as a
+// garbage β with a nil error. All must now fail loudly.
+func TestFitBetaRejectsHostileInputs(t *testing.T) {
+	good := func() (times, infected []float64) {
+		m := SI{N: 1000, I0: 10, Beta: 0.01}
+		for tt := 0.0; tt < 1000; tt += 10 {
+			times = append(times, tt)
+			infected = append(infected, m.Infected(tt))
+		}
+		return
+	}
+	times, infected := good()
+	cases := []struct {
+		name string
+		mut  func(times, infected []float64) (t, i []float64, pop float64)
+	}{
+		{"zero-population", func(t, i []float64) ([]float64, []float64, float64) { return t, i, 0 }},
+		{"negative-population", func(t, i []float64) ([]float64, []float64, float64) { return t, i, -5 }},
+		{"nan-population", func(t, i []float64) ([]float64, []float64, float64) { return t, i, math.NaN() }},
+		{"inf-population", func(t, i []float64) ([]float64, []float64, float64) { return t, i, math.Inf(1) }},
+		{"nan-time", func(t, i []float64) ([]float64, []float64, float64) { t[3] = math.NaN(); return t, i, 1000 }},
+		{"inf-time", func(t, i []float64) ([]float64, []float64, float64) { t[3] = math.Inf(-1); return t, i, 1000 }},
+		{"nan-infected", func(t, i []float64) ([]float64, []float64, float64) { i[40] = math.NaN(); return t, i, 1000 }},
+		{"inf-infected", func(t, i []float64) ([]float64, []float64, float64) { i[40] = math.Inf(1); return t, i, 1000 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := append([]float64(nil), times...)
+			is := append([]float64(nil), infected...)
+			mt, mi, pop := tc.mut(ts, is)
+			beta, _, err := FitBeta(mt, mi, pop)
+			if err == nil {
+				t.Fatalf("hostile input accepted, returned β=%v", beta)
+			}
+		})
+	}
+	// The validated path must still fit clean data.
+	if _, _, err := FitBeta(times, infected, 1000); err != nil {
+		t.Fatalf("clean series rejected: %v", err)
+	}
+}
+
+// TestSIRoundTripProperty: Infected(TimeToFraction(f)) must return f·N
+// across the fraction range and across β regimes spanning slow enterprise
+// worms to Slammer-class outbreaks, and with seed counts from 1 to half
+// the population.
+func TestSIRoundTripProperty(t *testing.T) {
+	models := []SI{
+		{N: 1000, I0: 1, Beta: 1e-4},
+		{N: 1000, I0: 10, Beta: 0.01},
+		{N: 134586, I0: 25, Beta: 0.00074}, // ≈ the paper's CodeRedII pressure
+		{N: 75000, I0: 100, Beta: 7},       // Slammer-class
+		{N: 500, I0: 250, Beta: 0.5},       // half the population already infected
+	}
+	fractions := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for _, m := range models {
+		for _, f := range fractions {
+			tt, err := m.TimeToFraction(f)
+			if err != nil {
+				t.Fatalf("N=%v β=%v f=%v: %v", m.N, m.Beta, f, err)
+			}
+			got := m.Infected(tt) / m.N
+			if f*m.N <= m.I0 {
+				// Below the initial seeding the inversion clamps to t=0.
+				if tt != 0 {
+					t.Errorf("N=%v β=%v f=%v below I0: t=%v, want 0", m.N, m.Beta, f, tt)
+				}
+				continue
+			}
+			if math.Abs(got-f) > 1e-9 {
+				t.Errorf("N=%v β=%v: I(T(%v))/N = %v", m.N, m.Beta, f, got)
+			}
+		}
+	}
+}
+
+// TestDoublingTimeMatchesEarlyCurve: while I ≪ N the epidemic is
+// exponential, so the curve must double every DoublingTime seconds (to
+// first order in I/N) across β regimes.
+func TestDoublingTimeMatchesEarlyCurve(t *testing.T) {
+	for _, m := range []SI{
+		{N: 1e6, I0: 1, Beta: 1e-3},
+		{N: 1e6, I0: 25, Beta: 0.05},
+		{N: 134586 * 100, I0: 25, Beta: 0.74},
+	} {
+		td := m.DoublingTime()
+		if got := math.Ln2 / m.Beta; math.Abs(td-got) > 1e-12*got {
+			t.Fatalf("DoublingTime = %v, want ln2/β = %v", td, got)
+		}
+		// Check doubling over the first few periods, stopping while the
+		// curve is still deep in the exponential phase (I < 1% of N).
+		for k := 0; k < 5; k++ {
+			t0 := float64(k) * td
+			i0, i1 := m.Infected(t0), m.Infected(t0+td)
+			if i1/m.N > 0.01 {
+				break
+			}
+			if r := i1 / i0; math.Abs(r-2) > 0.02 {
+				t.Errorf("β=%v: I(%v+Td)/I(%v) = %v, want ≈2", m.Beta, t0, t0, r)
+			}
+		}
+	}
+}
+
 // TestSimulationMatchesLogistic is the oracle test: the fast driver's
 // uniform-scanner epidemic must track the closed-form logistic solution.
 func TestSimulationMatchesLogistic(t *testing.T) {

@@ -267,9 +267,9 @@ type ExtPrevalenceConfig struct {
 	SeedHosts       int
 	Earlybird       payload.EarlybirdConfig
 	Seed            uint64
-	// Workers parallelizes the exact driver's classification phase (≤0 =
-	// GOMAXPROCS, 1 = serial); the study's results are identical for every
-	// value — see sim.ExactConfig.Workers.
+	// Workers parallelizes the exact driver's classification phase (0 =
+	// GOMAXPROCS, 1 = serial, negative rejected); the study's results are
+	// identical for every value — see sim.ExactConfig.Workers.
 	Workers int
 }
 

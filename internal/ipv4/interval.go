@@ -161,6 +161,14 @@ func (s *Set) buildRanks() {
 	s.ranked = true
 }
 
+// Freeze pre-computes every lazily built index (interval normalization and
+// the Select/Rank cumulative-size table). Sets build their indexes on first
+// use, which is a hidden write: a set shared by concurrent readers must be
+// frozen first — while still on a single goroutine — after which Contains,
+// Size, Select, Rank, and IntersectInterval are read-only and safe to call
+// concurrently (until the next Add* mutation).
+func (s *Set) Freeze() { s.buildRanks() }
+
 // Select returns the i-th smallest address of s (0-based). It panics if
 // i >= Size(); callers draw i uniformly in [0, Size()).
 func (s *Set) Select(i uint64) Addr {

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/faults"
@@ -93,8 +94,11 @@ func (c *FastConfig) validate() error {
 	if c.Model == nil {
 		return errors.New("sim: nil rate model")
 	}
-	if c.ScanRate <= 0 || c.TickSeconds <= 0 || c.MaxSeconds <= 0 {
-		return errors.New("sim: rates and durations must be positive")
+	if err := checkTiming(c.ScanRate, c.TickSeconds, c.MaxSeconds); err != nil {
+		return err
+	}
+	if c.ScanRate*c.TickSeconds > maxProbesPerHostTick {
+		return fmt.Errorf("sim: %v probes per host per tick exceeds the %v cap", c.ScanRate*c.TickSeconds, float64(maxProbesPerHostTick))
 	}
 	if c.SeedHosts <= 0 || c.SeedHosts > c.Pop.Size() {
 		return fmt.Errorf("sim: seed hosts %d out of range", c.SeedHosts)
@@ -102,14 +106,14 @@ func (c *FastConfig) validate() error {
 	if c.Sensors != nil && c.SensorSet == nil {
 		return errors.New("sim: Sensors set but SensorSet missing")
 	}
-	if c.LossRate < 0 || c.LossRate >= 1 {
+	if math.IsNaN(c.LossRate) || c.LossRate < 0 || c.LossRate >= 1 {
 		return errors.New("sim: loss rate out of [0,1)")
 	}
 	if c.Containment != nil {
 		if c.Containment.Trigger == nil {
 			return errors.New("sim: containment without a trigger")
 		}
-		if c.Containment.Drop < 0 || c.Containment.Drop > 1 {
+		if math.IsNaN(c.Containment.Drop) || c.Containment.Drop < 0 || c.Containment.Drop > 1 {
 			return errors.New("sim: containment drop out of [0,1]")
 		}
 	}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/worm"
+)
+
+// fuzzPop builds the shared tiny population the validation fuzzers reuse
+// across iterations (synthesis is far too slow to run per input).
+func fuzzPop(f *testing.F) *population.Population {
+	f.Helper()
+	p, err := population.Synthesize(population.Config{
+		Size: 50, Slash8s: 3, Slash16s: 6, Seed: 11,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return p
+}
+
+// boundedWork reports whether a validated config is cheap enough to
+// actually run inside the fuzzer: validation promising "no panic, no
+// effectively-infinite loop" is only credible if some accepted configs are
+// executed end to end.
+func boundedWork(popSize int, scanRate, tickSeconds, maxSeconds float64) bool {
+	steps := maxSeconds / tickSeconds
+	ppt := scanRate * tickSeconds
+	return steps*ppt*float64(popSize) < 1e6
+}
+
+// FuzzExactConfigValidation asserts ExactConfig validation turns hostile
+// numeric values — negative workers, zero ticks, NaN/Inf rates and
+// horizons, absurd magnitudes, an absent population with nonzero seeds —
+// into errors rather than panics or unbounded loops, and that configs it
+// does accept imply bounded work.
+func FuzzExactConfigValidation(f *testing.F) {
+	pop := fuzzPop(f)
+	// One corpus seed per hostile value from the bug sweep, plus a sane one.
+	f.Add(10.0, 1.0, 30.0, int64(2), int64(3), false)       // valid baseline
+	f.Add(10.0, 1.0, 30.0, int64(-4), int64(3), false)      // negative workers
+	f.Add(10.0, 0.0, 30.0, int64(1), int64(3), false)       // zero tick
+	f.Add(math.NaN(), 1.0, 30.0, int64(1), int64(3), false) // NaN rate
+	f.Add(10.0, 1.0, math.Inf(1), int64(1), int64(3), false)
+	f.Add(10.0, math.SmallestNonzeroFloat64, 1e300, int64(1), int64(3), false) // ~1e308 ticks
+	f.Add(1e300, 1e300, 1e301, int64(1), int64(3), false)                      // probe-count overflow
+	f.Add(10.0, 1.0, 30.0, int64(1), int64(3), true)                           // no population, nonzero seeds
+	f.Add(10.0, 1.0, 30.0, int64(1), int64(0), false)                          // zero seeds
+	f.Fuzz(func(t *testing.T, scanRate, tick, horizon float64, workers, seedHosts int64, nilPop bool) {
+		cfg := ExactConfig{
+			Factory:     worm.UniformFactory{},
+			ScanRate:    scanRate,
+			TickSeconds: tick,
+			MaxSeconds:  horizon,
+			SeedHosts:   int(seedHosts % 1e6),
+			Seed:        1,
+			Workers:     int(workers % 1e4),
+		}
+		if !nilPop {
+			cfg.Pop = pop
+		}
+		if err := cfg.validate(); err != nil {
+			return // rejected: exactly what hostile inputs should get
+		}
+		// Accepted: the config must imply bounded work.
+		steps := cfg.MaxSeconds / cfg.TickSeconds
+		if !(steps >= 1 && steps <= maxTicks) {
+			t.Fatalf("validated config allows %v ticks", steps)
+		}
+		if ppt := cfg.ScanRate * cfg.TickSeconds; !(ppt <= maxProbesPerHostTick) {
+			t.Fatalf("validated config allows %v probes per host per tick", ppt)
+		}
+		if cfg.Workers < 0 {
+			t.Fatalf("validated config kept negative workers %d", cfg.Workers)
+		}
+		if boundedWork(cfg.Pop.Size(), cfg.ScanRate, cfg.TickSeconds, cfg.MaxSeconds) {
+			res, err := RunExact(cfg)
+			if err != nil {
+				t.Fatalf("validated config failed to run: %v", err)
+			}
+			for _, ti := range res.Series {
+				if ti.Outcomes.Total() != ti.Probes {
+					t.Fatalf("conservation broken at t=%v: %v vs %d", ti.Time, ti.Outcomes, ti.Probes)
+				}
+			}
+		}
+	})
+}
+
+// FuzzFastConfigValidation is the FastConfig counterpart, adding the loss
+// rate and containment drop to the hostile surface.
+func FuzzFastConfigValidation(f *testing.F) {
+	pop := fuzzPop(f)
+	f.Add(10.0, 1.0, 30.0, 0.1, int64(3), false)       // valid baseline
+	f.Add(10.0, 0.0, 30.0, 0.1, int64(3), false)       // zero tick
+	f.Add(math.NaN(), 1.0, 30.0, 0.1, int64(3), false) // NaN rate
+	f.Add(10.0, 1.0, math.Inf(1), 0.1, int64(3), false)
+	f.Add(10.0, 1.0, 30.0, math.NaN(), int64(3), false) // NaN loss
+	f.Add(10.0, 1.0, 30.0, -0.5, int64(3), false)       // negative loss
+	f.Add(1e300, 1e300, 1e301, 0.1, int64(3), false)    // probe-count overflow
+	f.Add(10.0, 1.0, 30.0, 0.1, int64(3), true)         // no population, nonzero seeds
+	f.Fuzz(func(t *testing.T, scanRate, tick, horizon, loss float64, seedHosts int64, nilPop bool) {
+		cfg := FastConfig{
+			Model:       NewUniformModel(),
+			ScanRate:    scanRate,
+			TickSeconds: tick,
+			MaxSeconds:  horizon,
+			SeedHosts:   int(seedHosts % 1e6),
+			Seed:        1,
+			LossRate:    loss,
+		}
+		if !nilPop {
+			cfg.Pop = pop
+		}
+		if err := cfg.validate(); err != nil {
+			return
+		}
+		steps := cfg.MaxSeconds / cfg.TickSeconds
+		if !(steps >= 1 && steps <= maxTicks) {
+			t.Fatalf("validated config allows %v ticks", steps)
+		}
+		if ppt := cfg.ScanRate * cfg.TickSeconds; !(ppt <= maxProbesPerHostTick) {
+			t.Fatalf("validated config allows %v probes per host per tick", ppt)
+		}
+		if !(cfg.LossRate >= 0 && cfg.LossRate < 1) {
+			t.Fatalf("validated config kept loss rate %v", cfg.LossRate)
+		}
+		if boundedWork(cfg.Pop.Size(), cfg.ScanRate, cfg.TickSeconds, cfg.MaxSeconds) {
+			res, err := RunFast(cfg)
+			if err != nil {
+				t.Fatalf("validated config failed to run: %v", err)
+			}
+			for _, ti := range res.Series {
+				if ti.Outcomes.Total() != ti.Probes {
+					t.Fatalf("conservation broken at t=%v: %v vs %d", ti.Time, ti.Outcomes, ti.Probes)
+				}
+			}
+		}
+	})
+}

@@ -18,7 +18,19 @@ import (
 // TickInfo.Probes (the conservation invariant the tests enforce).
 type ProbeOutcome uint8
 
-// Outcomes, in classification precedence order within each branch.
+// Outcome constants, in declaration order. The declaration order is
+// append-only — new outcomes go at the end so existing OutcomeCounts
+// indices, String() rendering order, and metric series stay stable — and
+// therefore does NOT encode classification precedence. The authoritative
+// precedence both drivers implement (asserted by TestExactOutcomePrecedence
+// and TestFastOutcomePrecedence, documented in DESIGN.md §10) is, for a
+// probe to a public destination:
+//
+//	BurstLost > Filtered > SensorDown > Infection > SelfHit > SensorHit > Delivered
+//
+// and for a probe to an RFC 1918 destination:
+//
+//	PrivateDropped (public source) > Infection > NATBlocked > SelfHit > Delivered
 const (
 	// OutcomeDelivered: the probe crossed the network and landed on
 	// unmonitored, non-vulnerable (or already-infected) address space.

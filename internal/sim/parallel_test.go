@@ -108,7 +108,7 @@ func TestRunExactWorkersByteIdentical(t *testing.T) {
 	}
 }
 
-// TestRunExactWorkersDefault: Workers ≤ 0 (the GOMAXPROCS default) must
+// TestRunExactWorkersDefault: Workers = 0 (the GOMAXPROCS default) must
 // also match the serial path — the default configuration is not a
 // separate code path with separate semantics.
 func TestRunExactWorkersDefault(t *testing.T) {
@@ -139,5 +139,38 @@ func TestRunExactParallelConservation(t *testing.T) {
 	}
 	if got := res.Outcomes.Total(); got != totalProbes {
 		t.Fatalf("cumulative outcomes total %d != run probes %d", got, totalProbes)
+	}
+}
+
+// TestRunExactParallelHitListShared pins the shared-hit-list race fixed in
+// ipv4.Set.Freeze: every agent of a hit-list worm shares one ipv4.Set, and
+// Select's rank index used to be built lazily on first call — a hidden
+// write racing across phase-1 workers. The set here is built fresh (index
+// unbuilt) so the race detector would catch a regression; byte-identity
+// against the serial run guards the semantics.
+func TestRunExactParallelHitListShared(t *testing.T) {
+	run := func(workers int) *Result {
+		pop := smallPop(t, 300, 17)
+		prefixes, _ := worm.BuildGreedySlash16HitList(pop.Addrs(true), 8)
+		list := ipv4.SetOfPrefixes(prefixes...)
+		res, err := RunExact(ExactConfig{
+			Pop:     pop,
+			Factory: worm.HitListFactory{ListSet: list},
+			ScanRate: 800, TickSeconds: 1, MaxSeconds: 40, SeedHosts: 6, Seed: 77,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want, got := run(1), run(4)
+	if len(want.Series) != len(got.Series) {
+		t.Fatalf("series length %d vs %d", len(want.Series), len(got.Series))
+	}
+	for i := range want.Series {
+		if want.Series[i] != got.Series[i] {
+			t.Fatalf("tick %d: %+v vs %+v", i, want.Series[i], got.Series[i])
+		}
 	}
 }

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/ipv4"
+	"repro/internal/netenv"
+	"repro/internal/worm"
+)
+
+// These tests pin the authoritative probe-classification precedence both
+// drivers must implement (see the outcome.go doc comment and DESIGN.md
+// §10). Declaration order of the outcome constants is append-only for
+// metric stability and says nothing about precedence; these tests are what
+// keeps the documented order and the drivers from drifting apart.
+
+// alwaysBadBurst is a burst channel that loses every probe in every state,
+// so burst loss dominates regardless of the dwell sequence.
+func alwaysBadBurst() *faults.BurstConfig {
+	return &faults.BurstConfig{MeanGood: 10, MeanBad: 10, LossGood: 1, LossBad: 1}
+}
+
+// sensorOutage withdraws the block for the whole horizon. The window is
+// half-open [Start, End), so End sits one tick past the horizon to cover
+// the final tick too.
+func sensorOutage(block string, horizon float64) []faults.OutageConfig {
+	return []faults.OutageConfig{{Block: block, Start: 0, End: horizon + 1}}
+}
+
+// TestExactOutcomePrecedence drives the exact driver into each dominance
+// regime and asserts the losing categories stay at zero. The population has
+// no NAT so the private branch can only produce PrivateDropped — private
+// infections and self-hits would otherwise leak into the zero assertions.
+func TestExactOutcomePrecedence(t *testing.T) {
+	const horizon = 20.0
+	const sensorBlock = "200.0.0.0/8"
+	sensorSet := ipv4.SetOfPrefixes(ipv4.MustParsePrefix(sensorBlock))
+
+	base := func() ExactConfig {
+		return ExactConfig{
+			Pop: smallPop(t, 300, 7), Factory: worm.UniformFactory{},
+			ScanRate: 2000, TickSeconds: 1, MaxSeconds: horizon,
+			SeedHosts: 8, Seed: 99,
+			SensorSet: sensorSet,
+		}
+	}
+
+	t.Run("burst-dominates-filter-sensordown-and-delivery", func(t *testing.T) {
+		cfg := base()
+		env := &netenv.Environment{}
+		if err := env.SetLossRate(0.5); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Env = env
+		plan, err := faults.Compile(faults.Config{
+			Seed:    1,
+			Burst:   alwaysBadBurst(),
+			Outages: sensorOutage(sensorBlock, horizon),
+		}, horizon+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[OutcomeBurstLost] == 0 {
+			t.Fatal("total burst loss recorded no burst-lost probes")
+		}
+		for _, o := range []ProbeOutcome{OutcomeFiltered, OutcomeSensorDown, OutcomeSensorHit, OutcomeDelivered, OutcomeInfection, OutcomeSelfHit} {
+			if n := res.Outcomes[o]; n != 0 {
+				t.Errorf("burst loss of 1.0 still produced %d %v probes", n, o)
+			}
+		}
+		// The private branch is evaluated before the burst channel: RFC 1918
+		// destinations never cross the Internet, so they are private-dropped
+		// even while the public path is fully burst-lost.
+		if res.Outcomes[OutcomePrivateDropped] == 0 {
+			t.Error("uniform scanning produced no private-dropped probes")
+		}
+	})
+
+	t.Run("filter-dominates-sensordown-and-infection", func(t *testing.T) {
+		cfg := base()
+		env := &netenv.Environment{}
+		if err := env.SetLossRate(1); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Env = env
+		plan, err := faults.Compile(faults.Config{
+			Seed:    1,
+			Outages: sensorOutage(sensorBlock, horizon),
+		}, horizon+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[OutcomeFiltered] == 0 {
+			t.Fatal("total loss recorded no filtered probes")
+		}
+		for _, o := range []ProbeOutcome{OutcomeSensorDown, OutcomeSensorHit, OutcomeDelivered, OutcomeBurstLost, OutcomeInfection, OutcomeSelfHit} {
+			if n := res.Outcomes[o]; n != 0 {
+				t.Errorf("loss rate 1.0 still produced %d %v probes", n, o)
+			}
+		}
+	})
+
+	t.Run("sensordown-dominates-sensorhit", func(t *testing.T) {
+		cfg := base()
+		plan, err := faults.Compile(faults.Config{
+			Seed:    1,
+			Outages: sensorOutage(sensorBlock, horizon),
+		}, horizon+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+		res, err := RunExact(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[OutcomeSensorDown] == 0 {
+			t.Fatal("whole-horizon outage recorded no sensor-down probes")
+		}
+		if n := res.Outcomes[OutcomeSensorHit]; n != 0 {
+			t.Errorf("withdrawn sensor still recorded %d sensor-hit probes", n)
+		}
+	})
+}
+
+// TestFastOutcomePrecedence asserts the same dominance regimes hold for
+// the fast driver's expectation-based accounting, at both the aggregate
+// level and the closeFastTickOutcomes unit level.
+func TestFastOutcomePrecedence(t *testing.T) {
+	const horizon = 40.0
+	t.Run("burst-dominates", func(t *testing.T) {
+		pop := smallPop(t, 300, 7)
+		plan, err := faults.Compile(faults.Config{Seed: 1, Burst: alwaysBadBurst()}, horizon+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunFast(FastConfig{
+			Pop: pop, Model: NewUniformModel(),
+			ScanRate: 500, TickSeconds: 1, MaxSeconds: horizon,
+			SeedHosts: 8, Seed: 99, LossRate: 0.5,
+			Faults: plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[OutcomeBurstLost] == 0 {
+			t.Fatal("total burst loss recorded no burst-lost probes")
+		}
+		for _, o := range []ProbeOutcome{OutcomeFiltered, OutcomeDelivered, OutcomeInfection, OutcomeSensorHit, OutcomeSensorDown} {
+			if n := res.Outcomes[o]; n != 0 {
+				t.Errorf("burst loss of 1.0 still produced %d %v probes", n, o)
+			}
+		}
+	})
+
+	t.Run("accounting-order", func(t *testing.T) {
+		// Burst takes its expected share before filtering, filtering before
+		// the delivered residual — the same order the exact driver
+		// classifies per probe.
+		probes, out := closeFastTickOutcomes(100, 0, 0, 0, 0.5, 1)
+		if out[OutcomeBurstLost] != probes || out[OutcomeFiltered] != 0 || out[OutcomeDelivered] != 0 {
+			t.Errorf("burstLoss=1: got %v", out)
+		}
+		probes, out = closeFastTickOutcomes(100, 0, 0, 0, 0, 0.5)
+		if out[OutcomeBurstLost] != 50 || out[OutcomeFiltered] != 50 || out[OutcomeDelivered] != 0 {
+			t.Errorf("burstLoss=0.5, deliver=0: probes=%d got %v", probes, out)
+		}
+		// Realized draws (infections, sensor hits, sensor-down) are settled
+		// before any expectation-based share.
+		probes, out = closeFastTickOutcomes(10, 4, 3, 3, 0.5, 1)
+		if got := out[OutcomeInfection] + out[OutcomeSensorHit] + out[OutcomeSensorDown]; got != 10 {
+			t.Errorf("realized draws not settled first: %v", out)
+		}
+		if out.Total() != probes {
+			t.Errorf("conservation broken: %v vs %d", out, probes)
+		}
+	})
+}

@@ -24,6 +24,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -120,8 +121,9 @@ type ExactConfig struct {
 	Seed uint64
 	// Workers is the number of goroutines classifying probes during phase
 	// 1 of each tick; the merge phase (infections, sensor callbacks,
-	// metrics) is always serial. ≤0 uses runtime.GOMAXPROCS(0); 1 runs
-	// classification inline with no goroutines. Every value of Workers
+	// metrics) is always serial. 0 uses runtime.GOMAXPROCS(0); 1 runs
+	// classification inline with no goroutines; negative values are
+	// rejected by validation. Every value of Workers
 	// produces byte-identical results for the same seed: each agent draws
 	// probes from its own generator plus a per-(agent,tick) environment
 	// RNG stream, and per-worker buffers merge in agent order (see
@@ -169,14 +171,53 @@ func (c *ExactConfig) validate() error {
 	if c.Factory == nil {
 		return errors.New("sim: nil worm factory")
 	}
-	if c.ScanRate <= 0 || c.TickSeconds <= 0 || c.MaxSeconds <= 0 {
-		return errors.New("sim: rates and durations must be positive")
+	if err := checkTiming(c.ScanRate, c.TickSeconds, c.MaxSeconds); err != nil {
+		return err
+	}
+	if c.ScanRate*c.TickSeconds > maxProbesPerHostTick {
+		return fmt.Errorf("sim: %v probes per host per tick exceeds the %v cap", c.ScanRate*c.TickSeconds, float64(maxProbesPerHostTick))
+	}
+	if int(c.ScanRate*c.TickSeconds+0.5) < 1 {
+		return errors.New("sim: exact driver needs ≥1 probe per host per tick")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d (0 means GOMAXPROCS)", c.Workers)
 	}
 	if c.SeedHosts <= 0 || c.SeedHosts > c.Pop.Size() {
 		return fmt.Errorf("sim: seed hosts %d out of range", c.SeedHosts)
 	}
 	if err := checkFaultHorizon(c.Faults, c.MaxSeconds); err != nil {
 		return err
+	}
+	return nil
+}
+
+// Caps on the per-run work a config may request. They exist to turn
+// hostile-but-technically-positive values (an Inf horizon, a 1e300 scan
+// rate) into errors instead of runs that loop effectively forever or
+// overflow the float→int conversions sizing the tick loop.
+const (
+	// maxTicks bounds MaxSeconds/TickSeconds.
+	maxTicks = 1e9
+	// maxProbesPerHostTick bounds ScanRate·TickSeconds in the exact driver.
+	maxProbesPerHostTick = 1e8
+)
+
+// checkTiming validates the rate/step/horizon triple shared by both
+// drivers: all three finite and positive, at least one whole tick, and a
+// tick count that fits comfortably in an int.
+func checkTiming(scanRate, tickSeconds, maxSeconds float64) error {
+	for _, v := range [...]float64{scanRate, tickSeconds, maxSeconds} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("sim: rates and durations must be positive and finite (got rate=%v tick=%v horizon=%v)", scanRate, tickSeconds, maxSeconds)
+		}
+	}
+	steps := maxSeconds / tickSeconds
+	if steps < 1 {
+		return fmt.Errorf("sim: horizon %v shorter than one %v-second tick", maxSeconds, tickSeconds)
+	}
+	if steps > maxTicks {
+		return fmt.Errorf("sim: %v ticks exceed the %v cap", steps, float64(maxTicks))
 	}
 	return nil
 }
@@ -263,9 +304,9 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.SensorSet != nil {
-		// ipv4.Set normalizes lazily on first read. Force it now so the
-		// phase-1 workers' concurrent Contains calls are pure reads.
-		cfg.SensorSet.Size()
+		// ipv4.Set builds its indexes lazily on first read. Freeze it now so
+		// the phase-1 workers' concurrent Contains calls are pure reads.
+		cfg.SensorSet.Freeze()
 	}
 
 	infected := make([]bool, n)
@@ -289,10 +330,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		infect(id, 0)
 	}
 
-	probesPerTick := int(cfg.ScanRate*cfg.TickSeconds + 0.5)
-	if probesPerTick < 1 {
-		return nil, errors.New("sim: exact driver needs ≥1 probe per host per tick")
-	}
+	probesPerTick := int(cfg.ScanRate*cfg.TickSeconds + 0.5) // ≥1, by validation
 
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	res := &Result{InfectionTime: infTime, Series: make([]TickInfo, 0, steps)}

@@ -19,10 +19,15 @@ type HitList struct {
 }
 
 // NewHitList returns a scanner restricted to set, which must be non-empty.
+// The set is frozen here: scanners sharing one list run on concurrent
+// driver workers, and Select's lazily built index must not be constructed
+// under that concurrency (scanner construction itself always happens on a
+// single goroutine — seeding and the exact driver's serial merge phase).
 func NewHitList(set *ipv4.Set, seed uint64) *HitList {
 	if set.IsEmpty() {
 		panic("worm: empty hit-list")
 	}
+	set.Freeze()
 	return &HitList{set: set, size: set.Size(), r: rng.NewXoshiro(seed)}
 }
 

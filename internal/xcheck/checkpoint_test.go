@@ -1,0 +1,71 @@
+package xcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestCheckpointResumeByteIdentity is the harness's resume oracle: a batch
+// interrupted mid-sweep and resumed from its checkpoint must produce
+// byte-identical reports to an uninterrupted batch. Cached and freshly
+// computed reports flow through the same JSON encoding, so any drift —
+// nondeterministic checking, lossy report serialization — shows up as a
+// byte diff.
+func TestCheckpointResumeByteIdentity(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	checkSeed := func(_ context.Context, id uint64) (Report, error) {
+		rep, err := CheckScenario(Generate(id))
+		if err != nil {
+			return Report{}, err
+		}
+		return *rep, nil
+	}
+	key := func(_ int, id uint64) string { return fmt.Sprintf("seed-%d", id) }
+
+	// Uninterrupted reference: no checkpoint.
+	want, err := sweep.Map(context.Background(), seeds, checkSeed, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint only the first half, then resume the full
+	// batch from the same file — the first two reports come from the cache,
+	// the rest run fresh.
+	path := filepath.Join(t.TempDir(), "xcheck.ckpt")
+	cp, err := sweep.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.MapCheckpointed(context.Background(), seeds[:2], key, checkSeed, cp, sweep.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = sweep.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cp.Len(); n != 2 {
+		t.Fatalf("reopened checkpoint holds %d entries, want 2", n)
+	}
+	got, err := sweep.MapCheckpointed(context.Background(), seeds, key, checkSeed, cp, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("resumed batch differs from uninterrupted batch:\n%s\n%s", wantJSON, gotJSON)
+	}
+}

@@ -1,0 +1,263 @@
+package xcheck
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/epidemic"
+	"repro/internal/sim"
+)
+
+// analyticScenario is a hand-built hit-list case that satisfies every
+// oracle's eligibility: full hit-list coverage, flat population, transparent
+// network, no faults. β = rate·N/Ω ≈ 0.12/s, so β·T ≈ 4.9 and the sigmoid
+// completes well inside the horizon.
+func analyticScenario() Scenario {
+	return Scenario{
+		Worm:            WormHitList,
+		PopSize:         200,
+		Slash8s:         2,
+		Slash16s:        3,
+		HitListSlash16s: 3,
+		PopSeed:         7,
+		SimSeed:         11,
+		ScanRate:        120,
+		TickSeconds:     1,
+		MaxSeconds:      40,
+		SeedHosts:       4,
+		Workers:         4,
+	}
+}
+
+// exactOnlyScenario is a cheap Blaster case — no fast model, no analytic
+// eligibility — so a CheckScenario costs exactly two exact runs. The hook
+// tests shrink against it, which keeps the shrinker's reproduction runs
+// fast.
+func exactOnlyScenario() Scenario {
+	return Scenario{
+		Worm:        WormBlaster,
+		PopSize:     150,
+		Slash8s:     3,
+		Slash16s:    6,
+		PopSeed:     5,
+		SimSeed:     17,
+		ScanRate:    100,
+		TickSeconds: 1,
+		MaxSeconds:  30,
+		SeedHosts:   4,
+		Workers:     4,
+	}
+}
+
+// TestSeededBatch is the tier-1 slice of the cross-check sweep: the first
+// few generator seeds must run clean. cmd/xcheck runs the wide version.
+func TestSeededBatch(t *testing.T) {
+	n := uint64(10)
+	if testing.Short() {
+		n = 3
+	}
+	for id := uint64(1); id <= n; id++ {
+		sc := Generate(id)
+		rep, err := CheckScenario(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", id, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d [%s]: %s", id, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the seed→scenario mapping is pure, and every
+// generated scenario sits inside the validated space.
+func TestGenerateDeterministic(t *testing.T) {
+	for id := uint64(1); id <= 300; id++ {
+		sc := Generate(id)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d generates invalid scenario: %v", id, err)
+		}
+		again := Generate(id)
+		if !bytes.Equal(sc.JSON(), again.JSON()) {
+			t.Fatalf("seed %d is not deterministic:\n%s\n%s", id, sc.JSON(), again.JSON())
+		}
+	}
+}
+
+// TestParseScenarioStrict: corpus seeds with unknown fields must be
+// rejected, not silently half-parsed, so the corpus cannot rot when the
+// schema evolves.
+func TestParseScenarioStrict(t *testing.T) {
+	sc := analyticScenario()
+	if _, err := ParseScenario(sc.JSON()); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	mangled := bytes.Replace(sc.JSON(), []byte(`"worm"`), []byte(`"wyrm"`), 1)
+	if _, err := ParseScenario(mangled); err == nil {
+		t.Fatal("scenario with unknown field parsed without error")
+	}
+	if _, err := ParseScenario([]byte("{")); err == nil {
+		t.Fatal("truncated JSON parsed without error")
+	}
+}
+
+// TestValidateRejects spot-checks the hostile corners of the scenario
+// space: each mutation must fail validation, never panic or pass.
+func TestValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Scenario){
+		"unknown worm":    func(s *Scenario) { s.Worm = "flash" },
+		"zero pop":        func(s *Scenario) { s.PopSize = 0 },
+		"huge pop":        func(s *Scenario) { s.PopSize = maxPopSize + 1 },
+		"nan rate":        func(s *Scenario) { s.ScanRate = nan() },
+		"zero tick":       func(s *Scenario) { s.TickSeconds = 0 },
+		"inf horizon":     func(s *Scenario) { s.MaxSeconds = inf() },
+		"excess ppt":      func(s *Scenario) { s.ScanRate = 2 * maxScenarioPPT },
+		"excess ticks":    func(s *Scenario) { s.MaxSeconds = 2 * maxTicksPerRun * s.TickSeconds },
+		"zero workers":    func(s *Scenario) { s.Workers = 0 },
+		"excess workers":  func(s *Scenario) { s.Workers = maxWorkers + 1 },
+		"zero seeds":      func(s *Scenario) { s.SeedHosts = 0 },
+		"nan loss":        func(s *Scenario) { s.LossRate = nan() },
+		"total loss":      func(s *Scenario) { s.LossRate = 1 },
+		"oversized list":  func(s *Scenario) { s.HitListSlash16s = s.Slash16s + 1 },
+		"orphan outage":   func(s *Scenario) { s.SensorOutages = []OutageWindow{{Start: 0, End: 5}} },
+		"inverted window": func(s *Scenario) { s.Sensors, s.SensorThreshold = 4, 1; s.SensorOutages = []OutageWindow{{Start: 5, End: 5}} },
+	}
+	for name, mutate := range mutations {
+		sc := analyticScenario()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func nan() float64 { return inf() - inf() }
+func inf() float64 {
+	x := 1e308
+	return x * 10
+}
+
+// TestHarnessCatchesInjectedCorruption is the acceptance check for the
+// whole harness: deliberately corrupt the parallel exact run through the
+// test hook — the moral equivalent of reverting a determinism fix — and
+// the byte-identity oracle must fire, the shrinker must produce a smaller
+// scenario that still reproduces, and the reproducer must serialize as a
+// valid fuzz corpus seed.
+func TestHarnessCatchesInjectedCorruption(t *testing.T) {
+	testMutateResult = func(driver string, workers int, res *sim.Result) {
+		if driver == "exact" && workers > 1 {
+			res.Outcomes[sim.OutcomeDelivered]++
+		}
+	}
+	defer func() { testMutateResult = nil }()
+
+	sc := exactOnlyScenario()
+	rep, err := CheckScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Oracle == OracleByteIdentity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corrupted parallel run not flagged; violations: %+v", rep.Violations)
+	}
+
+	shrunk := Shrink(sc, OracleByteIdentity)
+	if work(shrunk) >= work(sc) {
+		t.Fatalf("shrinker made no progress: %v → %v probes", work(sc), work(shrunk))
+	}
+	rep, err = CheckScenario(shrunk)
+	if err != nil {
+		t.Fatalf("shrunken scenario no longer runs: %v", err)
+	}
+	if rep.Ok() {
+		t.Fatal("shrunken scenario no longer reproduces the violation")
+	}
+
+	path, err := WriteCorpusSeed(t.TempDir(), shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "go test fuzz v1\n[]byte(") {
+		t.Fatalf("corpus seed has wrong framing:\n%s", body)
+	}
+}
+
+func work(s Scenario) float64 {
+	return float64(s.PopSize) * s.ScanRate * s.MaxSeconds
+}
+
+// TestHarnessCatchesBrokenFitBeta reverts the FitBeta bugfix in effigy: a
+// fit that returns garbage without an error — the pre-fix failure mode —
+// must trip the analytic oracle on an analytic-eligible scenario.
+func TestHarnessCatchesBrokenFitBeta(t *testing.T) {
+	sc := analyticScenario()
+	rep, err := CheckScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("baseline scenario not clean: %+v", rep.Violations)
+	}
+	if !rep.Analytic {
+		t.Fatal("baseline scenario did not exercise the analytic oracle")
+	}
+
+	testFitBeta = func(times, infected []float64, pop float64) (float64, int, error) {
+		return 1e12, len(times), nil // garbage β, no error: the reverted bug
+	}
+	defer func() { testFitBeta = epidemic.FitBeta }()
+
+	rep, err = CheckScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Oracle == OracleAnalytic {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("garbage FitBeta not flagged; violations: %+v", rep.Violations)
+	}
+}
+
+// FuzzScenarioJSON replays shrunken reproducers (the testdata corpus) and
+// lets the fuzzer mutate scenarios freely: anything that parses and
+// validates must run without oracle violations. Parse/validate/build
+// rejections are fine — the fuzzer probing outside the scenario space is
+// expected — but a validated scenario that runs must run clean.
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add([]byte(`{"worm":"nope"}`))
+	sc := analyticScenario()
+	f.Add(sc.JSON())
+	small := exactOnlyScenario()
+	small.PopSize, small.MaxSeconds = 60, 15
+	f.Add(small.JSON())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil || sc.Validate() != nil {
+			return
+		}
+		rep, err := CheckScenario(sc)
+		if err != nil {
+			return // build-time rejection (e.g. unsatisfiable population shape)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("[%s] %s", v.Oracle, v.Detail)
+		}
+		if t.Failed() {
+			t.Fatalf("scenario: %s", sc.JSON())
+		}
+	})
+}

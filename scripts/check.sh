@@ -20,6 +20,9 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go run ./cmd/xcheck -n 25 -budget 60s"
+go run ./cmd/xcheck -n 25 -budget 60s
+
 # Non-blocking: surface benchmark regressions between the two most recent
 # committed snapshots without failing the gate (exit 2 = regression is
 # review information; refreshing the snapshot is a deliberate act).
