@@ -41,6 +41,7 @@ func Register(fs *flag.FlagSet) *Flags {
 // time.
 type wallClock struct{ start time.Time }
 
+//lint:deterministic wall time feeds -metrics tracer spans only, an observability side channel excluded from the byte-identity contract
 func (c wallClock) Seconds() float64 { return time.Since(c.start).Seconds() }
 
 // Session is the active observability state of one CLI run. The zero

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -109,5 +112,98 @@ func TestRunList(t *testing.T) {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}
+	}
+}
+
+func TestRunListIncludesTypedAnalyzers(t *testing.T) {
+	var out strings.Builder
+	if code, err := run([]string{"-list"}, &out); err != nil || code != 0 {
+		t.Fatalf("-list: code=%d err=%v", code, err)
+	}
+	for _, rule := range []string{"detrace", "lazyinit", "maporder"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-json", "testdata/src/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d JSON findings, want 2:\n%s", len(findings), out.String())
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}
+
+func TestRunJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-json", "testdata/src/clean"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean -json: code=%d err=%v", code, err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+func TestRunBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+
+	var out strings.Builder
+	code, err := run([]string{"-write-baseline", base, "testdata/src/..."}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-write-baseline: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "wrote 2 finding(s)") {
+		t.Errorf("-write-baseline summary = %q", out.String())
+	}
+
+	// With every finding baselined the tree is accepted.
+	out.Reset()
+	code, err = run([]string{"-baseline", base, "testdata/src/..."}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("baselined run: code=%d err=%v\n%s", code, err, out.String())
+	}
+
+	// A baseline entry never hides a *new* finding: restrict the baseline
+	// to one rule and the other finding resurfaces.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "float-eq|") {
+			kept = append(kept, line)
+		}
+	}
+	if err := os.WriteFile(base, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = run([]string{"-baseline", base, "testdata/src/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "float-eq") {
+		t.Fatalf("un-baselined finding not reported: code=%d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 more baselined") {
+		t.Errorf("summary missing baselined count:\n%s", out.String())
 	}
 }

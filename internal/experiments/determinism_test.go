@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFig2ByteIdenticalAcrossRuns pins the byte-identity contract on the
+// Figure 2 driver: the same configuration must serialize to the same
+// bytes, run after run, in the same process — where Go randomizes map
+// iteration order per range statement. The short-cycle and clustered-seed
+// passes accumulate floating-point contributions per monitored /24 out of
+// map-keyed touch counts; iterating those maps unsorted would let the
+// (non-associative) addition order vary. The accumulation iterates sorted
+// keys (sortedTouched) precisely so this test can demand equality down to
+// the last bit.
+func TestFig2ByteIdenticalAcrossRuns(t *testing.T) {
+	cfg := DefaultFig2(11)
+	cfg.Hosts = 4000
+	cfg.WindowProbes = 1 << 21
+
+	run := func() []byte {
+		res, err := RunFig2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMarkdown(&buf, "fig2", res); err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(buf.Bytes(), j...)
+	}
+
+	first := run()
+	for i := 0; i < 3; i++ {
+		if next := run(); !bytes.Equal(first, next) {
+			t.Fatalf("run %d serialized differently from run 0 (len %d vs %d)", i+1, len(next), len(first))
+		}
+	}
+}

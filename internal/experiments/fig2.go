@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cycle"
@@ -116,12 +117,16 @@ func RunFig2(cfg Fig2Config) (*Result, error) {
 		nHosts := r.Binomial(nUniform, float64(length)/float64(uint64(1)<<32))
 		nShortHosts += nHosts
 		blocksTouched := make(map[int]bool)
-		for key, cnt := range touched {
+		for key := range touched {
 			blocksTouched[key[0]] = true
-			if nHosts > 0 {
-				wraps := float64(cfg.WindowProbes) / float64(length)
+		}
+		if nHosts > 0 {
+			wraps := float64(cfg.WindowProbes) / float64(length)
+			// Sorted so the float accumulation is bit-reproducible: FP
+			// addition is not associative, and map order is randomized.
+			for _, key := range sortedTouched(touched) {
 				unique[key[0]][key[1]] += float64(nHosts)
-				attempts[key[0]][key[1]] += float64(nHosts) * float64(cnt) * wraps
+				attempts[key[0]][key[1]] += float64(nHosts) * float64(touched[key]) * wraps
 			}
 		}
 		for b := range blocksTouched {
@@ -168,9 +173,11 @@ func RunFig2(cfg Fig2Config) (*Result, error) {
 				}
 				state = m.Step(state)
 			}
-			for key, cnt := range touched {
+			// Sorted for bit-reproducible accumulation; see the short-cycle
+			// pass above.
+			for _, key := range sortedTouched(touched) {
 				unique[key[0]][key[1]] += float64(perSeed)
-				attempts[key[0]][key[1]] += float64(perSeed) * float64(cnt) * wraps
+				attempts[key[0]][key[1]] += float64(perSeed) * float64(touched[key]) * wraps
 			}
 			continue
 		}
@@ -270,4 +277,21 @@ func longCycleMass(m cycle.Map, shortLimit uint64) uint64 {
 		}
 	}
 	return mass
+}
+
+// sortedTouched returns touched's keys in lexicographic (block, slot)
+// order, so that accumulating per-cell contributions is independent of
+// map iteration order.
+func sortedTouched(touched map[[2]int]uint32) [][2]int {
+	keys := make([][2]int, 0, len(touched))
+	for key := range touched {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }

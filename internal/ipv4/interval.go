@@ -97,6 +97,7 @@ func (s *Set) AddAddr(a Addr) { s.AddInterval(Interval{Lo: a, Hi: a}) }
 // normalize sorts and merges intervals so that they are disjoint,
 // non-adjacent and ordered.
 func (s *Set) normalize() {
+	//lint:ignore lazyinit the Freeze contract serializes the first call: shared Sets are frozen on one goroutine before workers start, pinned by TestRunExactParallelHitListShared
 	if !s.dirty {
 		return
 	}
@@ -151,6 +152,7 @@ func (s *Set) Intervals() []Interval {
 // buildRanks prepares the cumulative-size index used by Select.
 func (s *Set) buildRanks() {
 	s.normalize()
+	//lint:ignore lazyinit the Freeze contract serializes the first call: shared Sets are frozen on one goroutine before workers start, pinned by TestRunExactParallelHitListShared
 	if s.ranked {
 		return
 	}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A findings baseline records known, accepted findings so that a tree can
+// adopt a new analyzer without stopping the world: existing findings go
+// into the baseline, new code is held to zero findings, and the baseline
+// only ever shrinks. Keys deliberately omit line numbers — unrelated
+// edits move lines constantly — so an entry is
+//
+//	rule|file|message
+//
+// one per line, '#' starting a comment. Renaming a file or rewording a
+// message retires the entry (it surfaces as stale) and re-reports the
+// finding, which is the conservative direction.
+
+// BaselineKey renders f's drift-resistant baseline key.
+func (f Finding) BaselineKey() string {
+	return f.Rule + "|" + f.Pos.Filename + "|" + f.Message
+}
+
+// LoadBaseline reads a baseline file into a set of keys. A missing file
+// is an empty baseline.
+func LoadBaseline(path string) (map[string]bool, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer file.Close()
+	keys := make(map[string]bool)
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// FilterBaseline splits findings against a baseline: fresh findings not
+// covered by any entry, and stale entries covering nothing. Every
+// baseline entry suppresses any number of findings with its key (a file
+// can repeat the same finding on several lines).
+func FilterBaseline(findings []Finding, baseline map[string]bool) (fresh []Finding, stale []string) {
+	used := make(map[string]bool, len(baseline))
+	for _, f := range findings {
+		key := f.BaselineKey()
+		if baseline[key] {
+			used[key] = true
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for key := range baseline {
+		if !used[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// WriteBaseline renders findings as a baseline file, sorted and
+// deduplicated, with a header explaining the semantics.
+func WriteBaseline(w io.Writer, findings []Finding) error {
+	keys := make([]string, 0, len(findings))
+	seen := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		key := f.BaselineKey()
+		if !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintf(w, "# reprolint findings baseline: rule|file|message, one per line.\n# Accepted pre-existing findings; new findings fail the build. Shrink, never grow.\n"); err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if _, err := fmt.Fprintln(w, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func loadFixtureProg(t *testing.T, dir string) *Program {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	prog, err := LoadAt(root, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// single unwraps a one-element Lookup result.
+func single(t *testing.T, nodes []*FuncNode) *FuncNode {
+	t.Helper()
+	if len(nodes) != 1 {
+		t.Fatalf("Lookup returned %d nodes, want 1", len(nodes))
+	}
+	return nodes[0]
+}
+
+func calleeNames(n *FuncNode) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Callees {
+		out[e.Callee.Name()] = true
+	}
+	return out
+}
+
+func TestCallGraphStaticEdge(t *testing.T) {
+	g := loadFixtureProg(t, "callgraph").CallGraph()
+	chain := single(t, g.Lookup("internal/app", "Chain"))
+	names := calleeNames(chain)
+	if !names["internal/app.plain"] {
+		t.Errorf("Chain callees = %v, want internal/app.plain", names)
+	}
+	if len(names) != 1 {
+		t.Errorf("Chain should have exactly the static edge, got %v", names)
+	}
+}
+
+func TestCallGraphInterfaceDispatchFallback(t *testing.T) {
+	g := loadFixtureProg(t, "callgraph").CallGraph()
+	drive := single(t, g.Lookup("internal/app", "Drive"))
+	names := calleeNames(drive)
+	for _, want := range []string{"internal/app.(Fast).Run", "internal/app.(Slow).Run"} {
+		if !names[want] {
+			t.Errorf("Drive callees = %v, want %s (interface fallback)", names, want)
+		}
+	}
+}
+
+func TestCallGraphFunctionTypedFieldAndMethodValue(t *testing.T) {
+	g := loadFixtureProg(t, "callgraph").CallGraph()
+	cf := single(t, g.Lookup("internal/app", "CallField"))
+	names := calleeNames(cf)
+	// double is stored in the field; Fast.Run is captured as a method
+	// value elsewhere — both are address-taken with arity 1.
+	if !names["internal/app.double"] {
+		t.Errorf("CallField callees = %v, want internal/app.double", names)
+	}
+	if !names["internal/app.(Fast).Run"] {
+		t.Errorf("CallField callees = %v, want internal/app.(Fast).Run (method value)", names)
+	}
+	// triple and plain are never referenced as values: the dynamic
+	// fallback must not invent edges to them.
+	if names["internal/app.triple"] || names["internal/app.plain"] {
+		t.Errorf("CallField callees %v include a non-address-taken function", names)
+	}
+}
+
+func TestCallGraphGoEntryAndGoReachable(t *testing.T) {
+	g := loadFixtureProg(t, "callgraph").CallGraph()
+	worker := single(t, g.Lookup("internal/app", "worker"))
+	if !worker.GoEntry {
+		t.Error("worker spawned with go is not marked GoEntry")
+	}
+	reach := g.GoReachable()
+	if !reach[worker] {
+		t.Error("worker not in GoReachable")
+	}
+	plain := single(t, g.Lookup("internal/app", "plain"))
+	if !reach[plain] {
+		t.Error("plain (called by worker) not in GoReachable")
+	}
+	spawn := single(t, g.Lookup("internal/app", "Spawn"))
+	if reach[spawn] {
+		t.Error("Spawn itself should not be goroutine-reachable")
+	}
+}
+
+func TestCallGraphLookupMethodSyntax(t *testing.T) {
+	g := loadFixtureProg(t, "callgraph").CallGraph()
+	if n := single(t, g.Lookup("internal/app", "Fast.Run")); n.Name() != "internal/app.(Fast).Run" {
+		t.Errorf("Lookup(Fast.Run) = %s", n.Name())
+	}
+	if got := g.Lookup("internal/app", "NoSuch.Run"); len(got) != 0 {
+		t.Errorf("Lookup(NoSuch.Run) = %v, want empty", got)
+	}
+}

@@ -90,6 +90,9 @@ func Analyzers() []*Analyzer {
 		GoroutineCapture,
 		UncheckedError,
 		SeedLiteral,
+		DeTrace,
+		LazyInit,
+		MapOrder,
 	}
 }
 

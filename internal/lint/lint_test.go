@@ -81,6 +81,9 @@ func TestFloatEqFixture(t *testing.T)          { runFixture(t, FloatEq, "floateq
 func TestGoroutineCaptureFixture(t *testing.T) { runFixture(t, GoroutineCapture, "goroutine") }
 func TestUncheckedErrorFixture(t *testing.T)   { runFixture(t, UncheckedError, "uncheckederr") }
 func TestSeedLiteralFixture(t *testing.T)      { runFixture(t, SeedLiteral, "seedliteral") }
+func TestDeTraceFixture(t *testing.T)          { runFixture(t, DeTrace, "detrace") }
+func TestLazyInitFixture(t *testing.T)         { runFixture(t, LazyInit, "lazyinit") }
+func TestMapOrderFixture(t *testing.T)         { runFixture(t, MapOrder, "maporder") }
 
 // TestMalformedIgnoreReported pins the justification requirement: an
 // ignore directive without a reason is itself a finding.

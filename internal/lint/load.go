@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -22,14 +23,27 @@ type File struct {
 	Test bool
 
 	// ignores maps a source line to the rule names suppressed there. A
-	// directive on line L suppresses findings on L and L+1, so both keys
-	// are populated.
+	// //lint:ignore directive attaches to its enclosing statement (the
+	// innermost statement or declaration starting on the directive's line,
+	// or on the line directly below a directive that stands alone), and
+	// every line the statement spans is populated.
 	ignores map[int]map[string]bool
+	// deterministic maps a source line to the reasons asserted by
+	// //lint:deterministic directives, with the same statement scoping as
+	// ignores. The typed analyzers (detrace, lazyinit, maporder) treat an
+	// annotated statement as discharged.
+	deterministic map[int]bool
 }
 
 // suppressed reports whether rule is ignored at the given line.
 func (f *File) suppressed(rule string, line int) bool {
 	return f.ignores[line][rule]
+}
+
+// Deterministic reports whether a //lint:deterministic annotation covers
+// the given line.
+func (f *File) Deterministic(line int) bool {
+	return f.deterministic[line]
 }
 
 // Package is one directory of source files.
@@ -44,15 +58,24 @@ type Package struct {
 	Rel string
 	// Files are the package's files, tests included, in name order.
 	Files []*File
+
+	// Typed layer, populated by Program.Check (nil before then, and
+	// partial when the package does not fully type-check).
+	Types     *types.Package
+	TypesInfo *types.Info
+	TypeErrs  []error
 }
 
-// Program is a loaded source tree plus the syntactic signature index the
-// analyzers use in place of a type checker.
+// Program is a loaded source tree plus the syntactic signature index and
+// the typed layer (types.go) the interprocedural analyzers build on.
 type Program struct {
 	// Fset positions every loaded file.
 	Fset *token.FileSet
 	// Packages are the loaded directories in path order.
 	Packages []*Package
+	// ModulePath is the module path from go.mod at the module root, or ""
+	// for fixture trees without one.
+	ModulePath string
 	// Malformed collects ignore directives missing a rule or reason; they
 	// are reported as rule "lint-ignore" findings so every suppression in
 	// the tree stays justified.
@@ -64,6 +87,16 @@ type Program struct {
 	// methodResults maps a method name to the result lists of every method
 	// with that name anywhere in the program.
 	methodResults map[string][][]string
+
+	// Typed layer (types.go, callgraph.go): built lazily by Check().
+	checked     bool
+	checkedPkgs map[string]*Package
+	importer    *progImporter
+	callgraph   *CallGraph
+	detraceOnce bool
+	detraceRes  map[*File][]dtFinding
+	lazyOnce    bool
+	lazyRes     map[*File][]dtFinding
 }
 
 // Load parses every Go file under root (recursively), skipping testdata,
@@ -88,6 +121,7 @@ func LoadAt(root, modRoot string) (*Program, error) {
 
 	prog := &Program{
 		Fset:          token.NewFileSet(),
+		ModulePath:    modulePath(modRoot),
 		funcResults:   make(map[string][]string),
 		methodResults: make(map[string][][]string),
 	}
@@ -164,35 +198,122 @@ func (prog *Program) loadDir(dir, modRoot string) (*Package, error) {
 	return pkg, nil
 }
 
-// collectIgnores parses //lint:ignore directives out of a file's comments.
+// collectIgnores parses //lint:ignore and //lint:deterministic directives
+// out of a file's comments. A directive attaches to its enclosing
+// statement: the outermost statement or declaration starting on the
+// directive's own line (trailing form) or on the line directly below it
+// (standalone form); every line that statement spans is covered. A
+// directive with no adjacent statement falls back to covering its own
+// line and the next, so a floating directive still works.
 func (prog *Program) collectIgnores(f *File) {
 	f.ignores = make(map[int]map[string]bool)
+	f.deterministic = make(map[int]bool)
+	type directive struct {
+		line int
+		rule string // "" for lint:deterministic
+	}
+	var dirs []directive
 	for _, group := range f.AST.Comments {
 		for _, c := range group.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, "lint:ignore") {
-				continue
-			}
 			pos := prog.Fset.Position(c.Pos())
-			fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
-			if len(fields) < 2 {
-				prog.Malformed = append(prog.Malformed, Finding{
-					Pos:     pos,
-					Rule:    "lint-ignore",
-					Message: "malformed directive: want //lint:ignore <rule> <reason>",
-				})
-				continue
-			}
-			rule := fields[0]
-			for _, line := range []int{pos.Line, pos.Line + 1} {
-				if f.ignores[line] == nil {
-					f.ignores[line] = make(map[string]bool)
+			switch {
+			case strings.HasPrefix(text, "lint:ignore"):
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					prog.Malformed = append(prog.Malformed, Finding{
+						Pos:     pos,
+						Rule:    "lint-ignore",
+						Message: "malformed directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
 				}
-				f.ignores[line][rule] = true
+				dirs = append(dirs, directive{line: pos.Line, rule: fields[0]})
+			case strings.HasPrefix(text, "lint:deterministic"):
+				why := strings.TrimSpace(strings.TrimPrefix(text, "lint:deterministic"))
+				if why == "" {
+					prog.Malformed = append(prog.Malformed, Finding{
+						Pos:     pos,
+						Rule:    "lint-deterministic",
+						Message: "malformed directive: want //lint:deterministic <why>",
+					})
+					continue
+				}
+				dirs = append(dirs, directive{line: pos.Line})
 			}
 		}
 	}
+	if len(dirs) == 0 {
+		return
+	}
+	spans := collectStmtSpans(prog.Fset, f.AST)
+	mark := func(rule string, lo, hi int) {
+		for line := lo; line <= hi; line++ {
+			if rule == "" {
+				f.deterministic[line] = true
+				continue
+			}
+			if f.ignores[line] == nil {
+				f.ignores[line] = make(map[string]bool)
+			}
+			f.ignores[line][rule] = true
+		}
+	}
+	for _, d := range dirs {
+		// The directive's own line is always covered, so a trailing
+		// directive keeps working even when no statement starts there
+		// (e.g. on the closing line of a multi-line statement).
+		mark(d.rule, d.line, d.line)
+		lo, hi, ok := attachSpan(spans, d.line)
+		if !ok {
+			lo, hi = d.line, d.line+1
+		}
+		mark(d.rule, lo, hi)
+	}
+}
+
+// stmtSpan is the line extent of one statement or declaration.
+type stmtSpan struct {
+	start, end int
+}
+
+// collectStmtSpans records the line extent of every statement and
+// declaration in the file, for directive attachment.
+func collectStmtSpans(fset *token.FileSet, file *ast.File) []stmtSpan {
+	var spans []stmtSpan
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			spans = append(spans, stmtSpan{
+				start: fset.Position(n.Pos()).Line,
+				end:   fset.Position(n.End()).Line,
+			})
+		}
+		return true
+	})
+	return spans
+}
+
+// attachSpan resolves a directive on the given line to the statement it
+// covers: the widest span starting on the directive's line, else the
+// widest starting on the line directly below.
+func attachSpan(spans []stmtSpan, line int) (lo, hi int, ok bool) {
+	for _, start := range []int{line, line + 1} {
+		found := false
+		for _, s := range spans {
+			if s.start != start {
+				continue
+			}
+			if !found || s.end > hi {
+				lo, hi, found = s.start, s.end, true
+			}
+		}
+		if found {
+			return lo, hi, true
+		}
+	}
+	return 0, 0, false
 }
 
 // indexSignatures records the result types of every top-level function and
@@ -242,6 +363,22 @@ func (prog *Program) MethodAlwaysReturns(name string, pred func(results []string
 		}
 	}
 	return true
+}
+
+// modulePath reads the module path out of go.mod at modRoot, or "" when
+// there is none (fixture trees).
+func modulePath(modRoot string) string {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
 }
 
 // findModuleRoot walks up from dir to the nearest directory containing

@@ -1,0 +1,63 @@
+package app
+
+// Runner is dispatched through an interface; the graph falls back to
+// every module method with the same name and arity.
+type Runner interface {
+	Run(n int) int
+}
+
+// Fast and Slow both satisfy Runner.
+type Fast struct{}
+
+// Run implements Runner.
+func (Fast) Run(n int) int { return n }
+
+// Slow also implements Runner.
+type Slow struct{}
+
+// Run implements Runner.
+func (Slow) Run(n int) int { return n + 1 }
+
+// Drive calls through the interface.
+func Drive(r Runner) int { return r.Run(1) }
+
+// box carries a function-typed field; calls through it resolve to every
+// address-taken function of matching arity.
+type box struct {
+	fn func(int) int
+}
+
+// double is address-taken below (stored in a field).
+func double(n int) int { return n * 2 }
+
+// triple is never referenced as a value, so dynamic calls must not
+// target it.
+func triple(n int) int { return n * 3 }
+
+// CallField calls through the function-typed field.
+func CallField(n int) int {
+	b := box{fn: double}
+	return b.fn(n)
+}
+
+// MethodValue captures a bound method as a value, making Fast.Run
+// address-taken.
+func MethodValue() func(int) int {
+	f := Fast{}
+	return f.Run
+}
+
+// plain is only ever called directly: a static edge, and never a dynamic
+// target.
+func plain(n int) int { return n + triple(0) }
+
+// Chain calls plain statically.
+func Chain(n int) int { return plain(n) }
+
+// worker runs on a spawned goroutine.
+func worker() { _ = plain(1) }
+
+// Spawn launches worker.
+func Spawn() {
+	go worker()
+}

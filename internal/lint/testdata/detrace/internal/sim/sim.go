@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"fixture/internal/util"
+)
+
+// RunExact is a determinism-contract root in this fixture tree; every
+// nondeterminism source in its call tree must be reported unless
+// discharged.
+func RunExact(seed uint64, counts map[string]int) []string {
+	// Collected then sorted: discharged.
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Integer aggregation is order-insensitive: discharged.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+
+	var out []string
+	for k := range counts { // want "map iteration order leaks"
+		out = append(out, k+"!")
+	}
+
+	if rand.Int()%2 == 0 { // want "unseeded randomness from math/rand.Int"
+		out = append(out, "heads")
+	}
+
+	stamp := time.Now() // want "wall-clock dependence via time.Now"
+	_ = stamp
+
+	//lint:deterministic progress heartbeat only; stripped before output hashing
+	_ = time.Now()
+
+	total = util.Helper(total)
+	_ = total
+	return append(out, keys...)
+}

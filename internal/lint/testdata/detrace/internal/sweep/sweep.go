@@ -1,0 +1,43 @@
+package sweep
+
+// Map is a determinism-contract root in this fixture tree, shaped like a
+// worker pool: goroutine-completion ordering leaks through channel
+// receives and multi-case selects.
+func Map(tasks []int) []int {
+	ch := make(chan int)
+	done := make(chan bool)
+	go func() {
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+	}()
+
+	var out []int
+	for v := range ch { // want "range over a channel fed by goroutines"
+		out = append(out, v)
+	}
+
+	for range tasks {
+		select { // want "select with 2 cases"
+		case v := <-ch:
+			out = append(out, v)
+		case <-done:
+		}
+	}
+
+	received := make([]int, len(tasks))
+	for i := range tasks {
+		received[i] = <-ch // want "channel receive in a loop alongside spawned goroutines"
+	}
+
+	// A single-case select has only one way to proceed: not a source.
+	select {
+	case <-done:
+	}
+
+	// A receive outside any loop observes one fixed rendezvous: not a source.
+	first := <-ch
+	out = append(out, first)
+	return out
+}

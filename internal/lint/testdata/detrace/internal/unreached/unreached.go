@@ -1,0 +1,9 @@
+package unreached
+
+import "time"
+
+// Orphan is not reachable from any determinism root, so its wall-clock
+// read is outside the contract and must not be reported.
+func Orphan() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,16 @@
+package util
+
+import "sync"
+
+var cache sync.Map
+
+// Helper is reached from sim.RunExact through the call graph, so its
+// sources taint the root interprocedurally.
+func Helper(n int) int {
+	total := n
+	cache.Range(func(k, v any) bool { // want "sync.Map iteration order leaks"
+		total++
+		return true
+	})
+	return total
+}

@@ -1,0 +1,62 @@
+package ipv4
+
+import "sync"
+
+// Table declares Freeze, which marks instances as shared after
+// construction — so its nil-guarded lazy index is flagged even without a
+// goroutine in sight.
+type Table struct {
+	entries []uint32
+	idx     map[uint32]int
+}
+
+// Freeze pre-computes the lazy index.
+func (t *Table) Freeze() { t.lookup(0) }
+
+func (t *Table) lookup(a uint32) int {
+	if t.idx == nil { // want "unsynchronized lazy initialization of Table.idx"
+		t.idx = make(map[uint32]int, len(t.entries))
+		for i, e := range t.entries {
+			t.idx[e] = i
+		}
+	}
+	return t.idx[a]
+}
+
+// LockedSet holds the same memo shape under a mutex: synchronized, not
+// flagged.
+type LockedSet struct {
+	mu     sync.Mutex
+	ranks  []uint64
+	ranked bool
+}
+
+// Freeze pre-computes the ranks.
+func (s *LockedSet) Freeze() { s.build() }
+
+func (s *LockedSet) build() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ranked {
+		return
+	}
+	s.ranks = []uint64{1}
+	s.ranked = true
+}
+
+// OnceSet defers the build to a sync.Once: synchronized, not flagged.
+type OnceSet struct {
+	once  sync.Once
+	ranks []uint64
+}
+
+// Freeze pre-computes the ranks.
+func (s *OnceSet) Freeze() { s.build() }
+
+func (s *OnceSet) build() {
+	s.once.Do(func() {
+		if s.ranks == nil {
+			s.ranks = []uint64{1}
+		}
+	})
+}

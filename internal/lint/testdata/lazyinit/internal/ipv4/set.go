@@ -1,0 +1,36 @@
+package ipv4
+
+// Set reproduces the pre-Freeze shape of the real ipv4.Set rank-index
+// race: Select lazily builds the cumulative rank table on first use, and
+// sim.RunExact shares one Set across worker goroutines — two workers'
+// first Selects race on the build.
+type Set struct {
+	addrs  []uint32
+	ranks  []uint64
+	ranked bool
+}
+
+// Add inserts one address.
+func (s *Set) Add(a uint32) {
+	s.addrs = append(s.addrs, a)
+	s.ranked = false
+}
+
+// buildRanks memoizes the cumulative index Select consults.
+func (s *Set) buildRanks() {
+	if s.ranked { // want "unsynchronized lazy initialization of Set.ranked"
+		return
+	}
+	s.ranks = make([]uint64, len(s.addrs)+1)
+	for i := range s.addrs {
+		s.ranks[i+1] = s.ranks[i] + 1
+	}
+	s.ranked = true
+}
+
+// Select returns the i-th address in rank order, building the index on
+// first use.
+func (s *Set) Select(i uint64) uint32 {
+	s.buildRanks()
+	return s.addrs[int(i%uint64(len(s.addrs)))]
+}

@@ -1,0 +1,21 @@
+package ipv4
+
+// Memo carries a justified suppression: the invariant serializing the
+// first call is named, so the finding is discharged.
+type Memo struct {
+	done bool
+	v    int
+}
+
+// Freeze pre-computes the value.
+func (m *Memo) Freeze() { m.compute() }
+
+func (m *Memo) compute() int {
+	//lint:ignore lazyinit built once on the loader goroutine before any sharing; pinned by the loader's single-threaded construction test
+	if m.done {
+		return m.v
+	}
+	m.v = 42
+	m.done = true
+	return m.v
+}

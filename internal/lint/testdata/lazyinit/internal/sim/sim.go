@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"sync"
+
+	"fixture/internal/ipv4"
+)
+
+// RunExact shards address selection across worker goroutines that all
+// consult one shared Set — the PR-5 race shape: every worker's first
+// Select tries to build the rank index concurrently.
+func RunExact(set *ipv4.Set, n int) []uint32 {
+	out := make([]uint32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				out[i] = set.Select(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// local is a private memo on a type that neither declares Freeze nor is
+// reachable from any goroutine: not shared, not flagged.
+type local struct {
+	cache map[int]int
+}
+
+func (l *local) get(k int) int {
+	if l.cache == nil {
+		l.cache = make(map[int]int)
+	}
+	return l.cache[k]
+}
+
+// Lookup drives the unshared memo from plain single-goroutine code.
+func Lookup(k int) int {
+	var l local
+	return l.get(k)
+}

@@ -1,0 +1,61 @@
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Keys leaks map order into the returned slice: no sort after the range.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out"
+	}
+	return out
+}
+
+// Dump prints entries in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map range"
+	}
+}
+
+// Stream emits one JSON document per entry, in iteration order.
+func Stream(m map[string]int) error {
+	enc := json.NewEncoder(os.Stdout)
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want "Encode inside a map range"
+			return err
+		}
+	}
+	return nil
+}
+
+// Feed publishes entries on a channel in iteration order.
+func Feed(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "send on a channel inside a map range"
+	}
+}
+
+// SumFloats accumulates floats in iteration order: not bit-reproducible.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+// SyncKeys leaks sync.Map order through the Range callback.
+func SyncKeys(sm *sync.Map) []string {
+	var out []string
+	sm.Range(func(k, v any) bool {
+		out = append(out, k.(string)) // want "append to out"
+		return true
+	})
+	return out
+}

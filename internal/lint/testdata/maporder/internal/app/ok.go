@@ -1,0 +1,41 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys collects then sorts: the append is discharged.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total is integer aggregation: exact and commutative.
+func Total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Invert writes one element per key: order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// PrintSorted hoists the iteration onto a sorted copy before printing.
+func PrintSorted(m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}

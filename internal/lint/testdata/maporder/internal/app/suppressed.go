@@ -1,0 +1,12 @@
+package app
+
+// Labels carries a justified determinism annotation: the map is
+// guaranteed single-entry, so iteration order cannot matter.
+func Labels(m map[string]string) []string {
+	var out []string
+	//lint:deterministic the config layer guarantees this map holds exactly one entry
+	for k, v := range m {
+		out = append(out, k+"="+v)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"strings"
+)
+
+// This file adds the typed layer on top of the syntactic loader: every
+// loaded package can be type-checked with the stdlib checker (go/types),
+// with imports resolved against the loaded tree itself for module-internal
+// packages and against the stdlib source importer (go/importer "source")
+// for everything else. The module stays dependency-free.
+//
+// Type-checking is deliberately tolerant: fixture trees and mid-refactor
+// code may not fully check, so errors are recorded per package instead of
+// aborting, and analyzers degrade to their syntactic fallbacks where type
+// information is missing.
+
+// Check type-checks every loaded package in dependency order (triggered
+// lazily through the importer). It is idempotent; the first call does the
+// work. Packages that fail to check keep whatever partial information the
+// checker produced, with the errors recorded in Package.TypeErrs.
+func (prog *Program) Check() {
+	//lint:ignore lazyinit a Program is analyzed on a single goroutine; reprolint never shares one across workers
+	if prog.checked {
+		return
+	}
+	prog.checked = true
+	prog.checkedPkgs = make(map[string]*Package)
+	prog.importer = &progImporter{
+		prog: prog,
+		std:  importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, pkg := range prog.Packages {
+		prog.checkPackage(pkg)
+	}
+}
+
+// TypesOK reports whether pkg type-checked without errors.
+func (pkg *Package) TypesOK() bool {
+	return pkg.Types != nil && len(pkg.TypeErrs) == 0
+}
+
+// TypeOf returns the type of e in pkg, or nil when unknown (no type
+// information, or e did not type-check).
+func (pkg *Package) TypeOf(e ast.Expr) types.Type {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	return pkg.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by id in pkg, or nil.
+func (pkg *Package) ObjectOf(id *ast.Ident) types.Object {
+	if pkg.TypesInfo == nil {
+		return nil
+	}
+	return pkg.TypesInfo.ObjectOf(id)
+}
+
+// ImportPath returns the path under which pkg is importable: the module
+// path joined with the package's Rel. For fixture trees without a go.mod
+// the Rel itself serves as the path.
+func (pkg *Package) ImportPath(modulePath string) string {
+	if pkg.Rel == "." {
+		return modulePath
+	}
+	if modulePath == "" {
+		return pkg.Rel
+	}
+	return modulePath + "/" + pkg.Rel
+}
+
+// checkPackage type-checks one package (memoized), resolving its imports
+// recursively. Only non-test files participate: the determinism contract
+// is about library and command code, and external test packages would not
+// merge into one checkable unit anyway.
+func (prog *Program) checkPackage(pkg *Package) *types.Package {
+	path := pkg.ImportPath(prog.ModulePath)
+	if done, ok := prog.checkedPkgs[path]; ok {
+		return done.Types
+	}
+	// Mark before checking so import cycles terminate (they are illegal in
+	// Go; a partially checked package is the best we can do).
+	prog.checkedPkgs[path] = pkg
+
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:         prog.importer,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrs = append(pkg.TypeErrs, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, prog.Fset, files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return tpkg
+}
+
+// progImporter resolves imports during type-checking: module-internal
+// paths against the loaded tree (recursively type-checking on demand),
+// everything else through the stdlib source importer.
+type progImporter struct {
+	prog *Program
+	std  types.ImporterFrom
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := im.prog.packageForImport(path); pkg != nil {
+		if tpkg := im.prog.checkPackage(pkg); tpkg != nil {
+			return tpkg, nil
+		}
+		return nil, fmt.Errorf("lint: package %s has no checkable files", path)
+	}
+	return im.std.ImportFrom(path, dir, 0)
+}
+
+// packageForImport maps an import path to a loaded package: an exact
+// module-path match when the tree has a go.mod, otherwise (fixture trees
+// mimicking the repo layout under an arbitrary fake module prefix) the
+// loaded package whose Rel is a path suffix of the import.
+func (prog *Program) packageForImport(path string) *Package {
+	if prog.ModulePath != "" {
+		if path == prog.ModulePath {
+			return prog.packageByRel(".")
+		}
+		if rel, ok := strings.CutPrefix(path, prog.ModulePath+"/"); ok {
+			return prog.packageByRel(rel)
+		}
+		return nil
+	}
+	// Fixture fallback: "fixture/internal/sim" resolves to the loaded
+	// package with Rel "internal/sim".
+	for _, pkg := range prog.Packages {
+		if pkg.Rel != "." && (path == pkg.Rel || strings.HasSuffix(path, "/"+pkg.Rel)) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// packageByRel returns the loaded package with the given Rel, or nil.
+func (prog *Program) packageByRel(rel string) *Package {
+	for _, pkg := range prog.Packages {
+		if pkg.Rel == rel {
+			return pkg
+		}
+	}
+	return nil
+}

@@ -179,6 +179,7 @@ func Run[R any](ctx context.Context, tasks []Task[R], opts Options) ([]Result[R]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:deterministic each task writes only results[i]; completion order never reaches the index-stable output
 			for i := range indexes {
 				if err := ctx.Err(); err != nil {
 					results[i] = Result[R]{Index: i, Err: err}
@@ -194,11 +195,13 @@ func Run[R any](ctx context.Context, tasks []Task[R], opts Options) ([]Result[R]
 
 feed:
 	for i := range tasks {
+		//lint:deterministic the select only picks which worker gets index i; results are keyed by index, so scheduling never reaches the output
 		select {
 		case indexes <- i:
 		case <-ctx.Done():
 			// Mark unfed tasks as cancelled.
 			for j := i; j < len(tasks); j++ {
+				//lint:deterministic drains or cancels the remaining indexes; either way results[j] is keyed by j
 				select {
 				case indexes <- j:
 				default:
@@ -249,6 +252,7 @@ func runWithRetry[R any](ctx context.Context, i int, t Task[R], opts Options) Re
 			return res
 		}
 		if opts.Backoff != nil {
+			//lint:deterministic retry backoff shapes wall-clock pacing only; attempts and results are unchanged by when they run
 			if d := opts.Backoff(retry); d > 0 {
 				timer := time.NewTimer(d)
 				select {

@@ -4,9 +4,12 @@ package hotspots_test
 // self-enforcing: the full internal/lint suite runs over the repository on
 // every `go test ./...`, so a regression in any rule — a stray math/rand
 // import, a wall-clock read in a simulation package, a float ==, an
-// unsynchronized goroutine write, a dropped error, a hard-coded seed —
-// fails the build. Suppressions require a written justification
-// (//lint:ignore <rule> <reason>); reasonless directives are themselves
+// unsynchronized goroutine write, a dropped error, a hard-coded seed, a
+// nondeterminism source reaching a determinism root (detrace), an
+// unsynchronized lazy init on a shared type (lazyinit), or a map
+// iteration leaking its order (maporder) — fails the build. Suppressions
+// require a written justification (//lint:ignore <rule> <reason> or
+// //lint:deterministic <why>); reasonless directives are themselves
 // findings.
 
 import (
@@ -25,10 +28,49 @@ func TestRepositoryPassesLintSuite(t *testing.T) {
 		t.Fatalf("loaded only %d packages; the loader is missing the repo", len(prog.Packages))
 	}
 	findings := lint.Run(prog, lint.Analyzers())
-	for _, f := range findings {
+	baseline, err := lint.LoadBaseline("lint.baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := lint.FilterBaseline(findings, baseline)
+	for _, f := range fresh {
 		t.Errorf("%s", f)
 	}
-	if len(findings) > 0 {
-		t.Log("fix the findings or add //lint:ignore <rule> <reason> where the heuristic is wrong; see README \"Static analysis & determinism guarantees\"")
+	for _, key := range stale {
+		t.Errorf("stale baseline entry (the finding no longer fires — delete the line): %s", key)
+	}
+	if len(fresh) > 0 {
+		t.Log("fix the findings or add //lint:ignore <rule> <reason> (or //lint:deterministic <why> for detrace) where the heuristic is wrong; see DESIGN.md §11")
+	}
+}
+
+// TestTypedLayerCoversRepository pins the typed analysis engine to the
+// real tree: the interesting packages must fully type-check (no silent
+// degradation to syntactic fallbacks) and the call graph must see the
+// determinism roots.
+func TestTypedLayerCoversRepository(t *testing.T) {
+	prog, err := lint.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Check()
+	for _, pkg := range prog.Packages {
+		switch pkg.Rel {
+		case "internal/sim", "internal/sweep", "internal/xcheck", "internal/experiments", "internal/ipv4":
+			if !pkg.TypesOK() {
+				t.Errorf("%s does not fully type-check: %v", pkg.Rel, pkg.TypeErrs)
+			}
+		}
+	}
+	g := prog.CallGraph()
+	for _, root := range []struct{ rel, name string }{
+		{"internal/sim", "RunExact"},
+		{"internal/sim", "RunFast"},
+		{"internal/sweep", "Run"},
+		{"internal/xcheck", "CheckScenario"},
+	} {
+		if len(g.Lookup(root.rel, root.name)) == 0 {
+			t.Errorf("call graph lost determinism root %s.%s", root.rel, root.name)
+		}
 	}
 }
