@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/worm"
 )
 
@@ -225,9 +226,11 @@ func BenchmarkFastDriverEpidemic(b *testing.B) {
 
 // Snapshot benchmarks: the standard CodeRedII configurations tracked across
 // PRs by scripts/bench.sh → BENCH_<date>.json. The *Metrics variants attach
-// a live obs.Registry so the snapshot also prices the telemetry hot path.
+// a live obs.Registry so the snapshot also prices the telemetry hot path,
+// and the *Trace variant attaches a flight recorder so benchsnap can gate
+// the recorder's overhead against the plain run.
 
-func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry) {
+func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry, rec *trace.Recorder) {
 	b.Helper()
 	pop, err := population.Synthesize(population.DefaultCodeRedII(1))
 	if err != nil {
@@ -244,6 +247,7 @@ func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry) {
 			SeedHosts:   25,
 			Seed:        uint64(i) + 1,
 			Metrics:     reg,
+			Trace:       rec,
 			Clock:       &obs.SimClock{},
 		})
 		if err != nil {
@@ -253,9 +257,12 @@ func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry) {
 	}
 }
 
-func BenchmarkRunFastCodeRedII(b *testing.B) { benchRunFastCodeRedII(b, nil) }
+func BenchmarkRunFastCodeRedII(b *testing.B) { benchRunFastCodeRedII(b, nil, nil) }
 func BenchmarkRunFastCodeRedIIMetrics(b *testing.B) {
-	benchRunFastCodeRedII(b, obs.NewRegistry())
+	benchRunFastCodeRedII(b, obs.NewRegistry(), nil)
+}
+func BenchmarkRunFastCodeRedIITrace(b *testing.B) {
+	benchRunFastCodeRedII(b, nil, trace.NewRecorder(0))
 }
 
 func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry, workers int) {

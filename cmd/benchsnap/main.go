@@ -8,11 +8,21 @@
 //
 //	go test -run '^$' -bench 'CodeRedII' -benchmem . | benchsnap -date 2026-08-05 -o BENCH_2026-08-05.json
 //	benchsnap -compare BENCH_old.json BENCH_new.json
+//	benchsnap -overhead 'BenchmarkRunFastCodeRedII=BenchmarkRunFastCodeRedIITrace:10' BENCH_new.json
 //
 // In compare mode a benchmark regresses when its ns_per_op or
 // allocs_per_op grows by more than 15% over the old snapshot; any
 // regression makes the exit code 2 (parse/IO failures stay exit code 1),
 // so CI can surface the diff without hard-failing the build.
+//
+// In overhead mode the gate is intra-snapshot: each Base=Variant:pct pair
+// (comma-separated) requires the Variant benchmark's ns_per_op to stay
+// within pct percent of Base's in the same snapshot — pricing an optional
+// facility (metrics, tracing) against the plain run measured on the same
+// host at the same time, so host speed differences between snapshots
+// can't mask or fake an overhead change. Exceeding the budget exits 2; a
+// named benchmark missing from the snapshot exits 1 (a renamed benchmark
+// must not silently pass the gate).
 package main
 
 import (
@@ -76,9 +86,10 @@ func main() {
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	var (
-		out     = fs.String("o", "", "output file (default stdout)")
-		date    = fs.String("date", "", "snapshot date (default today, UTC)")
-		compare = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing bench output")
+		out      = fs.String("o", "", "output file (default stdout)")
+		date     = fs.String("date", "", "snapshot date (default today, UTC)")
+		compare  = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing bench output")
+		overhead = fs.String("overhead", "", "gate intra-snapshot overhead: 'Base=Variant:pct[,…]' requires Variant ns/op within pct% of Base in the given snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +99,12 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 			return fmt.Errorf("-compare needs exactly two snapshot files, got %d args", fs.NArg())
 		}
 		return compareSnapshots(fs.Arg(0), fs.Arg(1), stdout)
+	}
+	if *overhead != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-overhead needs exactly one snapshot file, got %d args", fs.NArg())
+		}
+		return checkOverhead(*overhead, fs.Arg(0), stdout)
 	}
 	if *date == "" {
 		*date = time.Now().UTC().Format("2006-01-02")
@@ -216,6 +233,56 @@ func compareSnapshots(oldPath, newPath string, w io.Writer) error {
 		return fmt.Errorf("%d regression(s): %w", len(regressions), errRegression)
 	}
 	fmt.Fprintln(w, "no regressions over threshold")
+	return nil
+}
+
+// checkOverhead enforces intra-snapshot overhead budgets. spec is a
+// comma-separated list of Base=Variant:pct entries; each requires the
+// Variant benchmark's ns_per_op in the snapshot at path to be at most
+// (1+pct/100) times Base's. Over-budget entries report errRegression
+// (exit 2); a malformed spec or a missing benchmark is a hard error.
+func checkOverhead(spec, path string, w io.Writer) error {
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	by := make(map[string]Benchmark, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		by[b.Name] = b
+	}
+	var over []string
+	for _, entry := range strings.Split(spec, ",") {
+		base, rest, ok := strings.Cut(entry, "=")
+		variant, pctStr, ok2 := strings.Cut(rest, ":")
+		if !ok || !ok2 || base == "" || variant == "" {
+			return fmt.Errorf("malformed -overhead entry %q (want Base=Variant:pct)", entry)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil || pct < 0 {
+			return fmt.Errorf("malformed -overhead budget in %q: %q is not a non-negative percentage", entry, pctStr)
+		}
+		ob, ok := by[base]
+		if !ok {
+			return fmt.Errorf("%s: benchmark %q not in snapshot", path, base)
+		}
+		nb, ok := by[variant]
+		if !ok {
+			return fmt.Errorf("%s: benchmark %q not in snapshot", path, variant)
+		}
+		d := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		fmt.Fprintf(w, "  %s vs %s: ns/op %.0f -> %.0f (%s), budget +%.0f%%\n",
+			variant, base, ob.NsPerOp, nb.NsPerOp, fmtDelta(d), pct)
+		if d > pct/100 {
+			over = append(over, fmt.Sprintf("%s ns/op %s over %s (budget +%.0f%%)", variant, fmtDelta(d), base, pct))
+		}
+	}
+	if len(over) > 0 {
+		for _, r := range over {
+			fmt.Fprintf(w, "OVERHEAD: %s\n", r)
+		}
+		return fmt.Errorf("%d overhead budget(s) exceeded: %w", len(over), errRegression)
+	}
+	fmt.Fprintln(w, "all overhead budgets met")
 	return nil
 }
 

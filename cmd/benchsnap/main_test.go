@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,62 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 	} {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) unexpectedly succeeded", line)
+		}
+	}
+}
+
+// overheadSnapshot dumps a minimal snapshot file for gate tests.
+func overheadSnapshot(t *testing.T, benches []Benchmark) string {
+	t.Helper()
+	return writeSnapshot(t, t.TempDir(), "snap.json", Snapshot{Date: "2026-08-08", Benchmarks: benches})
+}
+
+func TestOverheadGate(t *testing.T) {
+	path := overheadSnapshot(t, []Benchmark{
+		{Name: "BenchmarkBase", NsPerOp: 100},
+		{Name: "BenchmarkWithin", NsPerOp: 108},
+		{Name: "BenchmarkOver", NsPerOp: 125},
+	})
+
+	var out bytes.Buffer
+	if err := run([]string{"-overhead", "BenchmarkBase=BenchmarkWithin:10", path}, nil, &out); err != nil {
+		t.Fatalf("within-budget variant failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all overhead budgets met") {
+		t.Errorf("missing pass line in output:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"-overhead", "BenchmarkBase=BenchmarkWithin:10,BenchmarkBase=BenchmarkOver:10", path}, nil, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("over-budget variant: err = %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "OVERHEAD: BenchmarkOver") {
+		t.Errorf("missing OVERHEAD line:\n%s", out.String())
+	}
+
+	// A faster variant is never over budget, even with a 0% allowance.
+	out.Reset()
+	if err := run([]string{"-overhead", "BenchmarkOver=BenchmarkBase:0", path}, nil, &out); err != nil {
+		t.Fatalf("faster variant failed a 0%% budget: %v", err)
+	}
+}
+
+func TestOverheadGateHardErrors(t *testing.T) {
+	path := overheadSnapshot(t, []Benchmark{{Name: "BenchmarkBase", NsPerOp: 100}})
+	for name, args := range map[string][]string{
+		"missing variant": {"-overhead", "BenchmarkBase=BenchmarkGone:10", path},
+		"missing base":    {"-overhead", "BenchmarkGone=BenchmarkBase:10", path},
+		"malformed spec":  {"-overhead", "BenchmarkBase:10", path},
+		"bad percentage":  {"-overhead", "BenchmarkBase=BenchmarkBase:x", path},
+		"no file":         {"-overhead", "BenchmarkBase=BenchmarkBase:10"},
+	} {
+		err := run(args, nil, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s: expected a hard error", name)
+		}
+		if errors.Is(err, errRegression) {
+			t.Errorf("%s: got errRegression, want a hard error (must not exit 2)", name)
 		}
 	}
 }

@@ -75,12 +75,15 @@ func run(args []string) error {
 		Registry: sess.Registry,
 		Tracer:   sess.Tracer,
 		Progress: sess.ProgressFunc(),
+		Trace:    sess.Trace,
 		Sweep: sweep.Options{
 			Retries:     *retries,
 			TaskTimeout: *taskTimeout,
 			Salvage:     *salvage,
 		},
 	}
+	eobs.Sweep.Trace = sess.Trace
+	sess.DescribeRun("experiments", *seed, 0, fmt.Sprintf("run=%s scale=%s", *runID, *scale))
 	if *retries > 0 {
 		eobs.Sweep.Backoff = sweep.ExpBackoff(time.Second, 30*time.Second)
 	}

@@ -285,7 +285,9 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 		Seed:        p.seed,
 		Metrics:     sess.Registry,
 		Clock:       clock,
+		Trace:       sess.Trace,
 	}
+	sess.DescribeRun(p.driver, p.seed, p.workers, fmt.Sprintf("worm=%s pop=%d rate=%g t=%g", p.wormName, pop.Size(), p.scanRate, p.maxSeconds))
 
 	var fleet *detect.ThresholdFleet
 	if p.sensors > 0 || p.placement == "192sweep" {
@@ -299,6 +301,9 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 		}
 		if sess.Registry != nil {
 			fleet.Instrument(sess.Registry, clock)
+		}
+		if sess.Trace != nil {
+			fleet.Trace(sess.Trace, clock)
 		}
 		cfg.Sensors = fleet
 		cfg.SensorSet = fleet.Union()
@@ -390,6 +395,7 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 			Metrics:     sess.Registry,
 			Clock:       clock,
 			Faults:      plan,
+			Trace:       sess.Trace,
 		}
 		if fleet != nil {
 			ecfg.SensorSet = fleet.Union()

@@ -7,7 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/json"
+
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // captureStdout runs fn with os.Stdout redirected into a pipe and returns
@@ -149,5 +152,58 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunWithTrace: -trace dumps a parseable NDJSON flight recording plus
+// a provenance manifest, and two same-seed traced runs dump byte-identical
+// traces.
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.ndjson")
+	args := []string{
+		"-worm", "hitlist", "-pop", "5000", "-t", "100", "-rate", "200",
+		"-sensors", "200", "-seed", "2", "-trace", tracePath,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadNDJSON(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("trace has only %d events", len(events))
+	}
+	if _, err := trace.BuildTree(events); err != nil {
+		t.Fatalf("trace does not reconstruct a tree: %v", err)
+	}
+	manifest, err := os.ReadFile(tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m trace.Manifest
+	if err := json.Unmarshal(manifest, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Driver != "fast" || m.Seed != 2 || m.Events != len(events)-1 {
+		t.Errorf("manifest provenance wrong: %+v", m)
+	}
+
+	again := filepath.Join(dir, "again.ndjson")
+	args[len(args)-1] = again
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	body2, err := os.ReadFile(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(body2) {
+		t.Error("two same-seed traced runs dumped different traces")
 	}
 }

@@ -1,0 +1,193 @@
+// Command hotspottrace inspects flight-recorder traces (internal/trace):
+// NDJSON event streams dumped by the simulation drivers, the xcheck
+// harness, and the -trace flag of the other binaries.
+//
+// Usage:
+//
+//	hotspottrace summarize run.ndjson            # per-kind counts, span, drops
+//	hotspottrace tree run.ndjson                 # infection-tree provenance stats
+//	hotspottrace diff -context 5 a.ndjson b.ndjson
+//
+// diff streams two traces and reports the first divergent event with the
+// common events leading up to it; it exits 1 when the traces differ, so
+// scripts can use it as a predicate.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotspottrace:", err)
+		if errors.Is(err, errDiverged) {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}
+
+// errDiverged distinguishes "the traces differ" (exit 1, the useful
+// predicate answer) from operational failures (exit 2).
+var errDiverged = errors.New("traces diverge")
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: hotspottrace summarize|tree|diff [args]")
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "summarize":
+		return summarize(rest, out)
+	case "tree":
+		return treeStats(rest, out)
+	case "diff":
+		return diff(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summarize, tree, or diff)", cmd)
+	}
+}
+
+// loadEvents reads one NDJSON trace file.
+func loadEvents(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadNDJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// summarize prints per-kind event counts, the tick span, and the drop
+// count carried by the header.
+func summarize(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspottrace summarize", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: hotspottrace summarize FILE")
+	}
+	events, err := loadEvents(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	kinds := make(map[string]int)
+	var dropped uint64
+	schema := ""
+	minTick, maxTick, ticked := 0, 0, false
+	var maxT float64
+	for i := range events {
+		ev := &events[i]
+		kinds[ev.Kind]++
+		if ev.Kind == trace.KindHeader {
+			dropped += ev.N
+			schema = ev.Vector
+			continue
+		}
+		// Tick -1 marks clock-stamped observer events (alerts); they carry
+		// no position in the tick loop, so they stay out of the span.
+		if ev.Tick >= 0 {
+			if !ticked || ev.Tick < minTick {
+				minTick = ev.Tick
+			}
+			if !ticked || ev.Tick > maxTick {
+				maxTick = ev.Tick
+			}
+			ticked = true
+		}
+		if ev.T > maxT {
+			maxT = ev.T
+		}
+	}
+
+	fmt.Fprintf(out, "events %d  schema %s  dropped %d\n", len(events), schema, dropped)
+	if ticked {
+		fmt.Fprintf(out, "ticks %d..%d  max t %v\n", minTick, maxTick, maxT)
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(out, "  %-12s %d\n", k, kinds[k])
+	}
+	return nil
+}
+
+// treeStats reconstructs the infection tree and prints its shape.
+func treeStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspottrace tree", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: hotspottrace tree FILE")
+	}
+	events, err := loadEvents(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tree, err := trace.BuildTree(events)
+	if err != nil {
+		return err
+	}
+	s := tree.Stats()
+	fmt.Fprintf(out, "nodes %d  seeds %d  edges %d  unattributed %d\n",
+		s.Nodes, s.Seeds, s.Edges, s.Unattributed)
+	fmt.Fprintf(out, "depth %d  max width %d  max degree %d\n",
+		s.Depth, s.MaxWidth, s.MaxDegree)
+	for _, d := range s.Degrees {
+		fmt.Fprintf(out, "  degree %-4d %d hosts\n", d.Degree, d.Hosts)
+	}
+	for _, v := range s.Vectors {
+		fmt.Fprintf(out, "  vector %-8s %d edges\n", v.Vector, v.Edges)
+	}
+	return nil
+}
+
+// diff streams two traces and reports the first divergence.
+func diff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspottrace diff", flag.ContinueOnError)
+	contextN := fs.Int("context", 3, "common events to print before the divergence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: hotspottrace diff [-context N] FILE_A FILE_B")
+	}
+	fa, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer fa.Close()
+	fb, err := os.Open(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+
+	d, err := trace.Diff(fa, fb, *contextN)
+	if err != nil {
+		return err
+	}
+	if d == nil {
+		fmt.Fprintln(out, "traces identical")
+		return nil
+	}
+	fmt.Fprint(out, d.String())
+	return errDiverged
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/obs"
+	"repro/internal/population"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/worm"
+)
+
+// writeTrace runs one driver over a small population and dumps its trace.
+func writeTrace(t *testing.T, dir, name, driver string, seed uint64) string {
+	t.Helper()
+	pop, err := population.Synthesize(population.Config{Size: 300, Slash8s: 3, Slash16s: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hit-list worm covering the population spreads quickly even on a
+	// small test population, so the trace carries real infection edges.
+	prefixes, _ := worm.BuildGreedySlash16HitList(pop.Addrs(true), 5)
+	list := ipv4.SetOfPrefixes(prefixes...)
+	rec := trace.NewRecorder(0)
+	switch driver {
+	case "exact":
+		_, err = sim.RunExact(sim.ExactConfig{
+			Pop: pop, Factory: worm.HitListFactory{ListSet: list},
+			ScanRate: 150, TickSeconds: 1, MaxSeconds: 40, SeedHosts: 6, Seed: seed,
+			Trace: rec, Clock: &obs.SimClock{},
+		})
+	case "fast":
+		_, err = sim.RunFast(sim.FastConfig{
+			Pop: pop, Model: &sim.HitListModel{List: list},
+			ScanRate: 150, TickSeconds: 1, MaxSeconds: 40, SeedHosts: 6, Seed: seed,
+			Trace: rec, Clock: &obs.SimClock{},
+		})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteNDJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarize(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "exact.ndjson", "exact", 42)
+	var out strings.Builder
+	if err := run([]string{"summarize", path}, &out); err != nil {
+		t.Fatalf("summarize: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"schema v1", "dropped 0", "infection", "probes", "phase"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summarize output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTree(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "exact.ndjson", "exact", 42)
+	var out strings.Builder
+	if err := run([]string{"tree", path}, &out); err != nil {
+		t.Fatalf("tree: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"seeds 6", "unattributed 0", "vector scan"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("tree output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDiff covers the acceptance pair: identical traces report identity
+// with exit success; an exact-vs-fast pair reports the first divergent
+// event (with context) and returns the divergence sentinel.
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	exactA := writeTrace(t, dir, "a.ndjson", "exact", 42)
+	exactB := writeTrace(t, dir, "b.ndjson", "exact", 42)
+	fast := writeTrace(t, dir, "fast.ndjson", "fast", 42)
+
+	var same strings.Builder
+	if err := run([]string{"diff", exactA, exactB}, &same); err != nil {
+		t.Fatalf("identical traces reported as diverging: %v\n%s", err, same.String())
+	}
+	if !strings.Contains(same.String(), "traces identical") {
+		t.Errorf("missing identity line:\n%s", same.String())
+	}
+
+	var out strings.Builder
+	err := run([]string{"diff", "-context", "2", exactA, fast}, &out)
+	if !errors.Is(err, errDiverged) {
+		t.Fatalf("exact-vs-fast pair did not diverge: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "diverges:") {
+		t.Errorf("missing divergence report:\n%s", out.String())
+	}
+	// The report carries both sides of the first divergent event.
+	if !strings.Contains(out.String(), "  a {") || !strings.Contains(out.String(), "  b {") {
+		t.Errorf("divergence report missing a/b events:\n%s", out.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"nonsense"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"summarize"}, &out); err == nil {
+		t.Error("summarize without file accepted")
+	}
+	if err := run([]string{"diff", "only-one"}, &out); err == nil {
+		t.Error("diff with one file accepted")
+	}
+	if err := run([]string{"tree", filepath.Join(t.TempDir(), "missing.ndjson")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

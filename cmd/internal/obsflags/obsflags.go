@@ -1,8 +1,9 @@
 // Package obsflags wires the shared observability surface into every CLI:
-// -metrics (Prometheus-text or JSON snapshot on exit), -progress (stderr
-// progress lines), and -pprof (CPU profile). The simulation packages stay
-// wall-clock-free; this package is where wall time is allowed to exist, so
-// tracers built here measure real elapsed seconds.
+// -metrics (Prometheus-text or JSON snapshot on exit), -trace (flight-
+// recorder NDJSON dump plus provenance manifest on exit), -progress
+// (stderr progress lines), and -pprof (CPU profile). The simulation
+// packages stay wall-clock-free; this package is where wall time is
+// allowed to exist, so tracers built here measure real elapsed seconds.
 package obsflags
 
 import (
@@ -15,21 +16,25 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Flags holds the parsed shared observability flag values.
 type Flags struct {
 	Metrics  string
 	JSON     bool
+	Trace    string
 	Progress bool
 	PProf    string
 }
 
-// Register installs -metrics, -metrics-json, -progress, and -pprof on fs.
+// Register installs -metrics, -metrics-json, -trace, -progress, and
+// -pprof on fs.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Metrics, "metrics", "", "write a metric snapshot to this file on exit ('-' for stderr)")
 	fs.BoolVar(&f.JSON, "metrics-json", false, "write the -metrics snapshot as JSON instead of Prometheus text")
+	fs.StringVar(&f.Trace, "trace", "", "record a flight-recorder trace and write it to this NDJSON file on exit (plus FILE.manifest.json)")
 	fs.BoolVar(&f.Progress, "progress", false, "print progress lines to stderr")
 	fs.StringVar(&f.PProf, "pprof", "", "write a CPU profile to this file")
 	return f
@@ -53,10 +58,28 @@ type Session struct {
 	Registry *obs.Registry
 	// Tracer is non-nil when -metrics was given; it spans wall time.
 	Tracer *obs.Tracer
+	// Trace is non-nil when -trace was given; pass it to sim/experiments
+	// configs and Close dumps it with a provenance manifest.
+	Trace *trace.Recorder
 
 	mu        sync.Mutex
+	manifest  trace.Manifest
 	pprofFile *os.File
 	closed    bool
+}
+
+// DescribeRun fills the trace manifest's run-provenance fields (driver,
+// seed, workers, free-form config). No-op without -trace.
+func (s *Session) DescribeRun(driver string, seed uint64, workers int, config string) {
+	if s == nil || s.Trace == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.manifest.Driver = driver
+	s.manifest.Seed = seed
+	s.manifest.Workers = workers
+	s.manifest.Config = config
 }
 
 // Start opens the session: creates the registry and wall-clock tracer when
@@ -68,6 +91,9 @@ func (f *Flags) Start() (*Session, error) {
 	if f.Metrics != "" {
 		s.Registry = obs.NewRegistry()
 		s.Tracer = obs.NewTracer(wallClock{start: time.Now()}, s.Registry)
+	}
+	if f.Trace != "" {
+		s.Trace = trace.NewRecorder(0)
 	}
 	if f.PProf != "" {
 		file, err := os.Create(f.PProf)
@@ -102,6 +128,11 @@ func (s *Session) Close() error {
 			return err
 		}
 	}
+	if s.Trace != nil {
+		if err := s.dumpTraceLocked(); err != nil {
+			return err
+		}
+	}
 	if s.Registry == nil {
 		return nil
 	}
@@ -127,6 +158,37 @@ func (s *Session) Close() error {
 		}
 	}
 	return err
+}
+
+// dumpTraceLocked writes the recorder's NDJSON to the -trace file and its
+// provenance manifest (toolchain, event counts, DescribeRun fields) next
+// to it as FILE.manifest.json.
+func (s *Session) dumpTraceLocked() error {
+	f, err := os.Create(s.flags.Trace)
+	if err != nil {
+		return err
+	}
+	werr := s.Trace.WriteNDJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	m := trace.NewManifest(s.Trace)
+	m.Driver = s.manifest.Driver
+	m.Seed = s.manifest.Seed
+	m.Workers = s.manifest.Workers
+	m.Config = s.manifest.Config
+	mf, err := os.Create(s.flags.Trace + ".manifest.json")
+	if err != nil {
+		return err
+	}
+	werr = m.WriteJSON(mf)
+	if cerr := mf.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // Progressf prints one progress line to stderr when -progress is on. Safe

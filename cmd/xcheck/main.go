@@ -34,12 +34,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("xcheck", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 25, "scenarios to check (seeds seed..seed+n-1)")
-		seed    = fs.Uint64("seed", 1, "first scenario seed")
-		budget  = fs.Duration("budget", 0, "wall-clock budget; scenarios not started in time are skipped (0 = unbounded)")
-		workers = fs.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
-		emit    = fs.String("emit", "", "directory for shrunken-reproducer corpus seeds (empty = don't write)")
-		verbose = fs.Bool("v", false, "print every scenario, not just violations")
+		n        = fs.Int("n", 25, "scenarios to check (seeds seed..seed+n-1)")
+		seed     = fs.Uint64("seed", 1, "first scenario seed")
+		budget   = fs.Duration("budget", 0, "wall-clock budget; scenarios not started in time are skipped (0 = unbounded)")
+		workers  = fs.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		emit     = fs.String("emit", "", "directory for shrunken-reproducer corpus seeds (empty = don't write)")
+		traceDir = fs.String("trace-dir", ".trace", "directory for flight-recorder dumps of violating scenarios (empty = don't dump)")
+		verbose  = fs.Bool("v", false, "print every scenario, not just violations")
 	)
 	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +107,17 @@ func run(args []string, out io.Writer) error {
 		violations += len(rep.Violations)
 		for _, v := range rep.Violations {
 			fmt.Fprintf(out, "seed %d [%s]: %s\n", seeds[r.Index], v.Oracle, v.Detail)
+		}
+		// Dump the flight recorders with provenance manifests so the
+		// violation can be replayed and diffed offline (hotspottrace).
+		if *traceDir != "" {
+			paths, err := rep.WriteTraceArtifacts(*traceDir)
+			if err != nil {
+				return err
+			}
+			for _, p := range paths {
+				fmt.Fprintf(out, "seed %d: trace artifact %s\n", seeds[r.Index], p)
+			}
 		}
 		// Shrink against the first oracle that fired and keep the minimal
 		// reproducer.

@@ -14,6 +14,8 @@ import (
 	"sort"
 
 	"repro/internal/ipv4"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ThresholdFleet is a set of non-overlapping detector prefixes (typically
@@ -29,6 +31,8 @@ type ThresholdFleet struct {
 	union     *ipv4.Set
 	metrics   fleetMetrics // see Instrument; zero value is inert
 	downSet   *ipv4.Set    // see SetDownSet; nil means every detector is up
+	trace     *trace.Recorder
+	traceClk  obs.Clock
 }
 
 // NewThresholdFleet builds a fleet. Prefixes must not overlap; threshold
@@ -85,7 +89,28 @@ func (f *ThresholdFleet) RecordHit(dst ipv4.Addr) {
 		f.alerted[i] = true
 		f.nAlerted++
 		f.metrics.recordAlert(f.nAlerted)
+		if f.trace != nil {
+			t := 0.0
+			if f.traceClk != nil {
+				t = f.traceClk.Seconds()
+			}
+			// Hits replay during the drivers' serial phase, so alert
+			// events land between the tick's infection edges and its
+			// probe summary; tick -1 marks them as clock-stamped rather
+			// than tick-loop-emitted.
+			f.trace.Append(trace.Event{Tick: -1, T: t, Kind: trace.KindAlert, Agent: -1, Victim: -1,
+				Addr: f.prefixes[i].String(), Vector: "threshold", N: f.counts[i]})
+		}
 	}
+}
+
+// Trace attaches a flight recorder: each detector's threshold crossing
+// appends one trace.KindAlert event stamped with the injected clock's
+// simulated time (nil clock stamps 0). Like Instrument, attaching draws
+// no randomness and never perturbs detection.
+func (f *ThresholdFleet) Trace(rec *trace.Recorder, clock obs.Clock) {
+	f.trace = rec
+	f.traceClk = clock
 }
 
 func (f *ThresholdFleet) lookup(dst ipv4.Addr) int {

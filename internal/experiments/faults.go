@@ -16,6 +16,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/faults"
 	"repro/internal/ipv4"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -172,6 +173,15 @@ func RunExtFaults(cfg ExtFaultsConfig) (*Result, error) {
 		}
 		fleet.SetDownSet(plan.DownSpace())
 		first := -1.0
+		// Grid points run concurrently against one recorder; scoping stamps
+		// each point's events with its label so the interleaved dump stays
+		// attributable (per-point content is deterministic, cross-point
+		// interleaving follows completion order).
+		rec := cfg.Fig5.Trace.Scoped("ext-faults " + pt.label())
+		clk := &obs.SimClock{}
+		if rec != nil {
+			fleet.Trace(rec, clk)
+		}
 		res, err := sim.RunFast(sim.FastConfig{
 			Pop:         pop,
 			Model:       &sim.HitListModel{List: set},
@@ -185,6 +195,8 @@ func RunExtFaults(cfg ExtFaultsConfig) (*Result, error) {
 			SensorSet: fleet.Union(),
 			Faults:    plan,
 			Metrics:   cfg.Fig5.Metrics,
+			Trace:     rec,
+			Clock:     clk,
 			// Grid points run concurrently against one registry; both knobs
 			// are needed to keep each point's series distinct.
 			MetricLabels: []string{

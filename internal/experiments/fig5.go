@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/worm"
 )
 
@@ -44,12 +45,17 @@ type Fig5Config struct {
 	// sensor fleet (see DESIGN.md for the metric-name contract). Telemetry
 	// never perturbs a run.
 	Metrics *obs.Registry
+	// Trace, when non-nil, is the flight recorder attached to simulation
+	// runs; sweep-style experiments scope it per sub-run. Like Metrics,
+	// attaching never perturbs a run.
+	Trace *trace.Recorder
 }
 
 // attachObs wires an experiment Obs into the config's callback fields.
 func (c *Fig5Config) attachObs(o *Obs, stage string) {
 	c.OnProgress = o.progressFunc(stage)
 	c.Metrics = o.registry()
+	c.Trace = o.trace()
 }
 
 // progress reports a completed sub-run, if a handler is installed.

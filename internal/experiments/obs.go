@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // Obs carries the observability context for an experiment run: a metric
@@ -22,6 +23,10 @@ type Obs struct {
 	// total count completed sub-runs. Sweeps that run concurrently invoke
 	// it from multiple goroutines; handlers must be safe for that.
 	Progress func(stage string, done, total int)
+	// Trace, when non-nil, is the flight recorder experiment runs attach to
+	// their simulations; sweep-style experiments scope it per grid point
+	// (trace.Recorder.Scoped) so interleaved events stay attributable.
+	Trace *trace.Recorder
 	// Sweep carries resilience options (retries, backoff, per-task
 	// deadlines, salvage) for experiments that run parameter sweeps; the
 	// zero value is the plain fail-fast pool.
@@ -37,6 +42,14 @@ func (o *Obs) registry() *obs.Registry {
 		return nil
 	}
 	return o.Registry
+}
+
+// trace returns the flight recorder, or nil.
+func (o *Obs) trace() *trace.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
 }
 
 // span opens a tracer span, or returns a nil (inert) span.

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// TraceCursor emits fault-plan state transitions into a flight recorder.
+// The drivers hold one per run and call Observe once per tick: the cursor
+// compares the plan's current burst state and outage count against the
+// previous tick's and appends a trace.KindFault event per change, so a
+// trace shows *when* the channel went bad and *when* sensor blocks
+// dropped out, not just that a plan was attached.
+//
+// The zero value starts from the fault-free baseline (good channel, zero
+// withdrawn blocks), so a plan that is already degraded at t=0 emits its
+// transitions on the first Observe. Observing draws no randomness — plan
+// queries are pure reads — and a nil recorder or nil plan records
+// nothing, keeping trace-off runs byte-identical.
+type TraceCursor struct {
+	burst bool
+	down  int
+}
+
+// Observe appends fault-transition events for tick (at simulated time t)
+// to rec, comparing plan state against the previous observation.
+func (c *TraceCursor) Observe(rec *trace.Recorder, plan *Plan, tick int, t float64) {
+	if rec == nil || plan == nil {
+		return
+	}
+	if bad := plan.BurstBad(t); bad != c.burst {
+		c.burst = bad
+		detail := "good"
+		if bad {
+			detail = "bad"
+		}
+		rec.Append(trace.Event{Tick: tick, T: t, Kind: trace.KindFault, Agent: -1, Victim: -1, Vector: "burst", Detail: detail})
+	}
+	if down := plan.DownBlocks(t); down != c.down {
+		c.down = down
+		rec.Append(trace.Event{Tick: tick, T: t, Kind: trace.KindFault, Agent: -1, Victim: -1, Vector: "outage",
+			N: uint64(down), Detail: fmt.Sprintf("%d blocks withdrawn", down)})
+	}
+}

@@ -74,44 +74,62 @@ func writePromHistogram(bw *bufio.Writer, e *entry) error {
 	return err
 }
 
-// histJSON is the JSON shape of one histogram.
+// counterJSON is the JSON shape of one counter series.
+type counterJSON struct {
+	Series string `json:"series"`
+	Value  uint64 `json:"value"`
+}
+
+// gaugeJSON is the JSON shape of one gauge series.
+type gaugeJSON struct {
+	Series string  `json:"series"`
+	Value  float64 `json:"value"`
+}
+
+// histJSON is the JSON shape of one histogram series.
 type histJSON struct {
+	Series  string    `json:"series"`
 	Count   uint64    `json:"count"`
 	Sum     float64   `json:"sum"`
 	Bounds  []float64 `json:"bounds"`
 	Buckets []uint64  `json:"buckets"` // non-cumulative; last is +Inf
 }
 
-// snapshotJSON is the JSON exposition shape.
+// snapshotJSON is the JSON exposition shape. Each section is an array in
+// the registry's sorted order (family, then label set) — the same order as
+// the Prometheus exposition — so the byte-stability of the dump is the
+// registry's explicit contract, not a side effect of map-key sorting.
 type snapshotJSON struct {
-	Counters   map[string]uint64   `json:"counters"`
-	Gauges     map[string]float64  `json:"gauges"`
-	Histograms map[string]histJSON `json:"histograms"`
+	Counters   []counterJSON `json:"counters"`
+	Gauges     []gaugeJSON   `json:"gauges"`
+	Histograms []histJSON    `json:"histograms"`
 }
 
-// WriteJSON writes the registry as one JSON object with counters, gauges,
-// and histograms keyed by series (map keys are emitted sorted, so output
-// is deterministic). A nil registry writes an empty snapshot.
+// WriteJSON writes the registry as one JSON object with counter, gauge,
+// and histogram arrays sorted by series (family then label set, matching
+// WritePrometheus). Two dumps of the same quiescent registry are
+// byte-identical. A nil registry writes an empty snapshot.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	snap := snapshotJSON{
-		Counters:   map[string]uint64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]histJSON{},
+		Counters:   []counterJSON{},
+		Gauges:     []gaugeJSON{},
+		Histograms: []histJSON{},
 	}
 	if r != nil {
 		for _, e := range r.sorted() {
 			switch e.kind {
 			case kindCounter:
-				snap.Counters[e.key] = e.ctr.Value()
+				snap.Counters = append(snap.Counters, counterJSON{Series: e.key, Value: e.ctr.Value()})
 			case kindGauge:
-				snap.Gauges[e.key] = e.gauge.Value()
+				snap.Gauges = append(snap.Gauges, gaugeJSON{Series: e.key, Value: e.gauge.Value()})
 			case kindHistogram:
-				snap.Histograms[e.key] = histJSON{
+				snap.Histograms = append(snap.Histograms, histJSON{
+					Series:  e.key,
 					Count:   e.hist.Count(),
 					Sum:     e.hist.Sum(),
 					Bounds:  e.hist.Bounds(),
 					Buckets: e.hist.BucketCounts(),
-				}
+				})
 			}
 		}
 	}

@@ -127,9 +127,16 @@ func TestJSONExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	var snap struct {
-		Counters   map[string]uint64  `json:"counters"`
-		Gauges     map[string]float64 `json:"gauges"`
-		Histograms map[string]struct {
+		Counters []struct {
+			Series string `json:"series"`
+			Value  uint64 `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Series string  `json:"series"`
+			Value  float64 `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Series  string    `json:"series"`
 			Count   uint64    `json:"count"`
 			Sum     float64   `json:"sum"`
 			Bounds  []float64 `json:"bounds"`
@@ -139,15 +146,104 @@ func TestJSONExposition(t *testing.T) {
 	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
 	}
-	if snap.Counters[`c{k="v"}`] != 5 {
+	if len(snap.Counters) != 1 || snap.Counters[0].Series != `c{k="v"}` || snap.Counters[0].Value != 5 {
 		t.Errorf("counters = %v", snap.Counters)
 	}
-	if math.Abs(snap.Gauges["g"]-1.5) > 1e-12 {
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Series != "g" || math.Abs(snap.Gauges[0].Value-1.5) > 1e-12 {
 		t.Errorf("gauges = %v", snap.Gauges)
 	}
-	hs, ok := snap.Histograms["h"]
-	if !ok || hs.Count != 1 || len(hs.Buckets) != 2 || hs.Buckets[0] != 1 {
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	hs := snap.Histograms[0]
+	if hs.Series != "h" || hs.Count != 1 || len(hs.Buckets) != 2 || hs.Buckets[0] != 1 {
 		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+}
+
+// TestExpositionBytesPinned pins both exposition formats byte for byte: a
+// fixed registry must dump exactly these bytes, in registry-sorted series
+// order, on every platform and Go version. A diff here means the dump
+// format changed — bump deliberately, never accidentally.
+func TestExpositionBytesPinned(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "code", "200").Add(3)
+	r.Counter("requests_total", "code", "500").Add(1)
+	r.Gauge("temperature").Set(0.25)
+	h := r.Histogram("latency_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(20.5)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	wantProm := `# TYPE latency_seconds histogram
+latency_seconds_bucket{le="1"} 1
+latency_seconds_bucket{le="10"} 1
+latency_seconds_bucket{le="+Inf"} 2
+latency_seconds_sum 21
+latency_seconds_count 2
+# TYPE requests_total counter
+requests_total{code="200"} 3
+requests_total{code="500"} 1
+# TYPE temperature gauge
+temperature 0.25
+`
+	if prom.String() != wantProm {
+		t.Errorf("Prometheus exposition drifted:\ngot:\n%s\nwant:\n%s", prom.String(), wantProm)
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{
+  "counters": [
+    {
+      "series": "requests_total{code=\"200\"}",
+      "value": 3
+    },
+    {
+      "series": "requests_total{code=\"500\"}",
+      "value": 1
+    }
+  ],
+  "gauges": [
+    {
+      "series": "temperature",
+      "value": 0.25
+    }
+  ],
+  "histograms": [
+    {
+      "series": "latency_seconds",
+      "count": 2,
+      "sum": 21,
+      "bounds": [
+        1,
+        10
+      ],
+      "buckets": [
+        1,
+        0,
+        1
+      ]
+    }
+  ]
+}
+`
+	if js.String() != wantJSON {
+		t.Errorf("JSON exposition drifted:\ngot:\n%s\nwant:\n%s", js.String(), wantJSON)
+	}
+
+	// An empty registry still dumps a complete, stable skeleton.
+	var empty strings.Builder
+	if err := NewRegistry().WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\n  \"counters\": [],\n  \"gauges\": [],\n  \"histograms\": []\n}\n"; empty.String() != want {
+		t.Errorf("empty JSON snapshot drifted:\ngot %q want %q", empty.String(), want)
 	}
 }
 
@@ -236,5 +332,51 @@ func TestBucketHelpers(t *testing.T) {
 		if math.Abs(lin[i]-wantLin[i]) > 1e-9 {
 			t.Fatalf("LinearBuckets = %v", lin)
 		}
+	}
+}
+
+// TestExpBucketsEdges covers the degenerate shapes callers actually build:
+// a single bucket, and non-integer growth factors whose bounds must stay
+// strictly ascending (equal adjacent bounds would make a zero-width
+// bucket the histogram could never fill).
+func TestExpBucketsEdges(t *testing.T) {
+	if got := ExpBuckets(5, 2, 1); len(got) != 1 || got[0] != 5 {
+		t.Errorf("single bucket = %v, want [5]", got)
+	}
+
+	frac := ExpBuckets(0.1, 1.5, 8)
+	if len(frac) != 8 || frac[0] != 0.1 {
+		t.Fatalf("fractional growth = %v", frac)
+	}
+	for i := 1; i < len(frac); i++ {
+		if frac[i] <= frac[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v", i, frac)
+		}
+		if r := frac[i] / frac[i-1]; math.Abs(r-1.5) > 1e-12 {
+			t.Fatalf("growth ratio %v at %d, want 1.5", r, i)
+		}
+	}
+	// A factor barely above 1 must still grow every step.
+	tiny := ExpBuckets(1, 1.0000001, 4)
+	for i := 1; i < len(tiny); i++ {
+		if tiny[i] <= tiny[i-1] {
+			t.Fatalf("tiny factor collapsed at %d: %v", i, tiny)
+		}
+	}
+
+	for name, fn := range map[string]func(){
+		"zero start":     func() { ExpBuckets(0, 2, 3) },
+		"factor one":     func() { ExpBuckets(1, 1, 3) },
+		"no buckets":     func() { ExpBuckets(1, 2, 0) },
+		"negative start": func() { ExpBuckets(-1, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
 	}
 }

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -61,5 +63,67 @@ func TestTracerWriteJSON(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("JSON missing %q:\n%s", want, b.String())
 		}
+	}
+}
+
+// TestTracerConcurrentSpans hammers Start/End from many goroutines against
+// a frozen SimClock: no record may be lost or torn, and the span histogram
+// must agree with the record count. This is the guarantee that lets sweep
+// workers share one CLI tracer without coordination.
+func TestTracerConcurrentSpans(t *testing.T) {
+	clock := &SimClock{}
+	clock.Set(42)
+	reg := NewRegistry()
+	tr := NewTracer(clock, reg)
+
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("worker/%d", w)
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start(name)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	recs := tr.Records()
+	if len(recs) != workers*perWorker {
+		t.Fatalf("got %d records, want %d", len(recs), workers*perWorker)
+	}
+	perName := make(map[string]int)
+	for _, r := range recs {
+		// The clock is frozen, so every record is exactly (42, 42); any
+		// other value means a torn read or a lost write.
+		if r.Start != 42 || r.End != 42 || r.Duration() != 0 {
+			t.Fatalf("torn record %+v", r)
+		}
+		perName[r.Name]++
+	}
+	var histTotal uint64
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("worker/%d", w)
+		if perName[name] != perWorker {
+			t.Errorf("%s: %d records, want %d", name, perName[name], perWorker)
+		}
+		histTotal += reg.Histogram("obs_span_seconds", nil, "name", name).Count()
+	}
+	if histTotal != workers*perWorker {
+		t.Errorf("span histogram total %d, want %d", histTotal, workers*perWorker)
+	}
+
+	// The snapshot must serialize after the stampede like after any quiet
+	// sequence of spans.
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "worker/0") {
+		t.Error("WriteJSON lost span names")
 	}
 }

@@ -18,6 +18,8 @@ import (
 	"sort"
 
 	"repro/internal/ipv4"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Block is a named darknet address block.
@@ -87,6 +89,9 @@ type Sensor struct {
 
 	up     bool   // whether the sensor is in service (NewSensor starts up)
 	missed uint64 // in-block probes that arrived while down
+
+	trace    *trace.Recorder // see Trace; nil records nothing
+	traceClk obs.Clock
 }
 
 // NewSensor returns an empty sensor for block.
@@ -136,6 +141,14 @@ func (s *Sensor) Observe(src, dst ipv4.Addr) bool {
 	idx := s.slash24Index(dst)
 	s.attempts[idx]++
 	s.total++
+	if s.total == 1 && s.trace != nil {
+		t := 0.0
+		if s.traceClk != nil {
+			t = s.traceClk.Seconds()
+		}
+		s.trace.Append(trace.Event{Tick: -1, T: t, Kind: trace.KindAlert, Agent: -1, Victim: -1,
+			Addr: s.block.Prefix.String(), Vector: "first", Detail: s.block.Label})
+	}
 	key := uint64(idx)<<32 | uint64(uint32(src))
 	if _, dup := s.pairSeen[key]; !dup {
 		s.pairSeen[key] = struct{}{}
@@ -154,6 +167,16 @@ func (s *Sensor) slash24Index(dst ipv4.Addr) int {
 		return 0
 	}
 	return int(dst.Slash24() - s.base24)
+}
+
+// Trace attaches a flight recorder: the sensor's first recorded probe —
+// the moment worm traffic first reached this darknet block — appends one
+// trace.KindAlert event (Vector "first") stamped with the injected
+// clock's simulated time. Reset starts a new recording epoch, so the
+// first probe after a reset traces again.
+func (s *Sensor) Trace(rec *trace.Recorder, clock obs.Clock) {
+	s.trace = rec
+	s.traceClk = clock
 }
 
 // ObserveKind records a probe like Observe and additionally reports
@@ -289,6 +312,14 @@ func (f *Fleet) Sensors() []*Sensor {
 	out := make([]*Sensor, len(f.sensors))
 	copy(out, f.sensors)
 	return out
+}
+
+// Trace attaches a flight recorder to every sensor in the fleet (see
+// Sensor.Trace).
+func (f *Fleet) Trace(rec *trace.Recorder, clock obs.Clock) {
+	for _, s := range f.sensors {
+		s.Trace(rec, clock)
+	}
 }
 
 // SetUp puts the labelled sensor in or out of service; it reports whether

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // FastConfig configures the aggregated driver.
@@ -66,6 +67,13 @@ type FastConfig struct {
 	// delivery probability; sensor draws landing on withdrawn blocks are
 	// OutcomeSensorDown and never reach Sensors.
 	Faults *faults.Plan
+	// Trace, when non-nil, receives the run's flight-recorder events.
+	// The fast driver draws infections in aggregate, so its edges carry
+	// no infector (Agent -1) and are attributed to the mixture component
+	// that drew them (Vector "c0", "c1", … in the model's component
+	// order). Attaching a recorder draws no randomness and never perturbs
+	// the run (DESIGN.md §12).
+	Trace *trace.Recorder
 }
 
 // Containment is a global response policy: detection-triggered filtering
@@ -323,10 +331,22 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		}
 		st.newlyInf = st.newlyInf[:0]
 	}
+	rec := cfg.Trace
+	rec.Append(trace.Event{Tick: 0, T: 0, Kind: trace.KindPhase, Agent: -1, Victim: -1, Vector: "start", Detail: "fast"})
 	for _, id := range st.r.SampleWithoutReplacement(n, cfg.SeedHosts) {
 		infect(int32(id), 0)
+		rec.AppendInfection(0, 0, -1, id, uint32(st.pop.Host(id).Addr), "seed")
 	}
 	compact()
+	// compVec caches the per-component attribution labels ("c0", "c1", …)
+	// so traced runs do not re-render them per infection.
+	var compVec []string
+	vecName := func(ci int32) string {
+		for int(ci) >= len(compVec) {
+			compVec = append(compVec, fmt.Sprintf("c%d", len(compVec)))
+		}
+		return compVec[ci]
+	}
 
 	steps := int(cfg.MaxSeconds / cfg.TickSeconds)
 	res := &Result{InfectionTime: infTime, Series: make([]TickInfo, 0, steps)}
@@ -358,12 +378,14 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		p float64 // expected probes this tick
 	}
 	snaps := make([]snap, 0, 64)
+	var faultCursor faults.TraceCursor
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
 		if reporter != nil {
 			reporter.Advance(t)
 		}
+		faultCursor.Observe(rec, cfg.Faults, step, t)
 		// The burst channel multiplies this tick's delivery probability:
 		// expected hit counts shrink by the channel's current loss exactly
 		// as the exact driver's per-probe Bernoulli would on average.
@@ -400,6 +422,8 @@ func RunFast(cfg FastConfig) (*Result, error) {
 						if !infected[victim] {
 							infect(victim, t)
 							newInf++
+							rec.AppendInfection(step, t, -1, int(victim),
+								uint32(st.pop.Host(int(victim)).Addr), vecName(ci))
 						}
 					}
 				}
@@ -425,6 +449,10 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		res.Series = append(res.Series, info)
 		res.Final = info
 		res.Outcomes.Merge(outcomes)
+		if rec != nil {
+			rec.Append(trace.Event{Tick: step, T: t, Kind: trace.KindProbes, Agent: -1, Victim: -1,
+				N: probesEmitted, Detail: outcomes.String()})
+		}
 		metrics.flushTick(info)
 		metrics.flushFaults(cfg.Faults, t)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
@@ -444,6 +472,8 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		// every observation exactly as a real collector drain would.
 		reporter.Flush()
 	}
+	rec.Append(trace.Event{Tick: len(res.Series), T: res.Final.Time, Kind: trace.KindPhase,
+		Agent: -1, Victim: -1, Vector: "end", Detail: "fast", N: uint64(res.Final.Infected)})
 	return res, nil
 }
 

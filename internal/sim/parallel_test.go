@@ -154,8 +154,8 @@ func TestRunExactParallelHitListShared(t *testing.T) {
 		prefixes, _ := worm.BuildGreedySlash16HitList(pop.Addrs(true), 8)
 		list := ipv4.SetOfPrefixes(prefixes...)
 		res, err := RunExact(ExactConfig{
-			Pop:     pop,
-			Factory: worm.HitListFactory{ListSet: list},
+			Pop:      pop,
+			Factory:  worm.HitListFactory{ListSet: list},
 			ScanRate: 800, TickSeconds: 1, MaxSeconds: 40, SeedHosts: 6, Seed: 77,
 			Workers: workers,
 		})

@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/worm"
 )
 
@@ -162,6 +163,13 @@ type ExactConfig struct {
 	// are OutcomeBurstLost; probes landing on withdrawn monitored space
 	// are OutcomeSensorDown and never reach OnProbe.
 	Faults *faults.Plan
+	// Trace, when non-nil, receives the run's flight-recorder events:
+	// phase boundaries, seed and infection edges (with infector→victim
+	// provenance), per-tick probe summaries, and fault transitions. Like
+	// Metrics, attaching a recorder never perturbs the run — events are
+	// appended only from the serial merge phase, in agent order, so trace
+	// bytes are identical for every worker count (DESIGN.md §12).
+	Trace *trace.Recorder
 }
 
 func (c *ExactConfig) validate() error {
@@ -245,8 +253,11 @@ type exactAgent struct {
 // exactInfEvent is a phase-1 probe that reached at least one
 // snapshot-susceptible victim. The victim ids live in the worker's flat
 // victims buffer (nVictims consecutive entries); fallback is the outcome
-// the probe takes if every victim was claimed by an earlier agent.
+// the probe takes if every victim was claimed by an earlier agent; agent
+// is the probing host, kept so the merge phase can attribute the
+// infection edge in the flight recorder.
 type exactInfEvent struct {
+	agent    int32
 	fallback ProbeOutcome
 	nVictims int32
 }
@@ -326,8 +337,11 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 			gen:  cfg.Factory.New(h.Addr, rng.Mix64(cfg.Seed^uint64(id)<<1|1)),
 		})
 	}
+	rec := cfg.Trace
+	rec.Append(trace.Event{Tick: 0, T: 0, Kind: trace.KindPhase, Agent: -1, Victim: -1, Vector: "start", Detail: "exact"})
 	for _, id := range r.SampleWithoutReplacement(n, cfg.SeedHosts) {
 		infect(id, 0)
+		rec.AppendInfection(0, 0, -1, id, uint32(pop.Host(id).Addr), "seed")
 	}
 
 	probesPerTick := int(cfg.ScanRate*cfg.TickSeconds + 0.5) // ≥1, by validation
@@ -349,12 +363,14 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 	}
 
 	ws := make([]exactWorker, workers)
+	var faultCursor faults.TraceCursor
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
 		cfg.Clock.Set(t)
 		if reporter != nil {
 			reporter.Advance(t)
 		}
+		faultCursor.Observe(rec, cfg.Faults, step, t)
 		burstLoss := cfg.Faults.BurstLoss(t)
 
 		// Phase 1: classify this tick's probes against the tick-start
@@ -405,7 +421,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 						if nv == 0 {
 							w.outcomes[fb]++
 						} else {
-							w.events = append(w.events, exactInfEvent{fallback: fb, nVictims: nv})
+							w.events = append(w.events, exactInfEvent{agent: a.id, fallback: fb, nVictims: nv})
 						}
 						continue
 					}
@@ -447,7 +463,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 					if nv == 0 {
 						w.outcomes[fb]++
 					} else {
-						w.events = append(w.events, exactInfEvent{fallback: fb, nVictims: nv})
+						w.events = append(w.events, exactInfEvent{agent: a.id, fallback: fb, nVictims: nv})
 					}
 				}
 			}
@@ -490,6 +506,8 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 						infect(int(vid), t)
 						newInf++
 						hit = true
+						rec.AppendInfection(step, t, int(ev.agent), int(vid),
+							uint32(pop.Host(int(vid)).Addr), "scan")
 					}
 				}
 				off += int(ev.nVictims)
@@ -515,6 +533,10 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		res.Series = append(res.Series, info)
 		res.Final = info
 		res.Outcomes.Merge(outcomes)
+		if rec != nil {
+			rec.Append(trace.Event{Tick: step, T: t, Kind: trace.KindProbes, Agent: -1, Victim: -1,
+				N: probes, Detail: outcomes.String()})
+		}
 		metrics.flushTick(info)
 		metrics.flushFaults(cfg.Faults, t)
 		if cfg.OnTick != nil && !cfg.OnTick(info) {
@@ -529,5 +551,7 @@ func RunExact(cfg ExactConfig) (*Result, error) {
 		// every observation exactly as a real collector drain would.
 		reporter.Flush()
 	}
+	rec.Append(trace.Event{Tick: len(res.Series), T: res.Final.Time, Kind: trace.KindPhase,
+		Agent: -1, Victim: -1, Vector: "end", Detail: "exact", N: uint64(res.Final.Infected)})
 	return res, nil
 }

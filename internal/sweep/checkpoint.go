@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"repro/internal/trace"
 	"sort"
 	"sync"
 )
@@ -136,19 +137,22 @@ func MapCheckpointed[T, R any](ctx context.Context, inputs []T, key func(i int, 
 	for i, in := range inputs {
 		i, in := i, in
 		tasks[i] = func(ctx context.Context) (R, error) {
+			k := key(i, in)
 			var cached R
-			if hit, err := cp.Lookup(key(i, in), &cached); err != nil {
+			if hit, err := cp.Lookup(k, &cached); err != nil {
 				return cached, err
 			} else if hit {
+				opts.Trace.Append(trace.Event{Tick: i, Kind: trace.KindCheckpoint, Agent: -1, Victim: -1, Vector: "hit", Detail: k})
 				return cached, nil
 			}
 			v, err := fn(ctx, in)
 			if err != nil {
 				return v, err
 			}
-			if err := cp.Save(key(i, in), v); err != nil {
+			if err := cp.Save(k, v); err != nil {
 				return v, err
 			}
+			opts.Trace.Append(trace.Event{Tick: i, Kind: trace.KindCheckpoint, Agent: -1, Victim: -1, Vector: "save", Detail: k})
 			return v, nil
 		}
 	}

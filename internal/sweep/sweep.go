@@ -20,6 +20,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Task is one unit of sweep work; it must be safe to run concurrently with
@@ -64,6 +66,13 @@ type Options struct {
 	// render the task's input so a failure identifies its sweep point
 	// instead of a bare index.
 	TaskLabel func(i int) string
+	// Trace, when non-nil, receives sweep provenance events: salvaged
+	// task failures (trace.KindSalvage, appended serially in task order
+	// after the pool drains) and MapCheckpointed's store decisions
+	// (trace.KindCheckpoint "hit"/"save", appended as tasks complete —
+	// per-task content is deterministic, cross-task order follows
+	// completion and is excluded from the byte-identity contract).
+	Trace *trace.Recorder
 }
 
 // ExpBackoff returns a deterministic doubling backoff schedule: base,
@@ -224,6 +233,8 @@ feed:
 			if !opts.Salvage {
 				return results, fmt.Errorf("sweep: task %s: %w", opts.label(i), results[i].Err)
 			}
+			opts.Trace.Append(trace.Event{Tick: i, Kind: trace.KindSalvage, Agent: -1, Victim: -1,
+				Vector: te.Label, N: uint64(results[i].Attempts), Detail: results[i].Err.Error()})
 			failed = append(failed, te)
 		}
 	}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Divergence is the first point where two traces disagree. Index is the
+// 1-based event position (header line included); A and B are the
+// divergent events, nil on the side whose trace ended early. Context
+// holds the events common to both traces immediately before the
+// divergence, oldest first — the "call context": the enclosing phase,
+// tick summary, and infections leading up to the split.
+type Divergence struct {
+	Index   int
+	A, B    *Event
+	Context []Event
+}
+
+// String renders the divergence for humans, one line per event.
+func (d *Divergence) String() string {
+	var b strings.Builder
+	for _, ev := range d.Context {
+		fmt.Fprintf(&b, "  = %s", eventLine(&ev))
+	}
+	fmt.Fprintf(&b, "event %d diverges:\n", d.Index)
+	if d.A != nil {
+		fmt.Fprintf(&b, "  a %s", eventLine(d.A))
+	} else {
+		b.WriteString("  a <trace ended>\n")
+	}
+	if d.B != nil {
+		fmt.Fprintf(&b, "  b %s", eventLine(d.B))
+	} else {
+		b.WriteString("  b <trace ended>\n")
+	}
+	return b.String()
+}
+
+// eventLine renders one event as its canonical NDJSON line.
+func eventLine(ev *Event) string {
+	buf, err := appendEvent(nil, ev)
+	if err != nil {
+		return fmt.Sprintf("%+v\n", *ev)
+	}
+	return string(buf)
+}
+
+// Diff streams two NDJSON traces and returns the first divergent event
+// with up to contextN preceding common events (≤0 means 3), or nil when
+// the traces are event-for-event identical. Comparison is on parsed
+// events, so formatting-only differences (which canonical traces never
+// contain) do not count; header drop-counts do.
+func Diff(a, b io.Reader, contextN int) (*Divergence, error) {
+	if contextN <= 0 {
+		contextN = 3
+	}
+	sa := newEventScanner(a)
+	sb := newEventScanner(b)
+	ctx := make([]Event, 0, contextN)
+	idx := 0
+	for {
+		idx++
+		ea, okA, err := sa.next()
+		if err != nil {
+			return nil, fmt.Errorf("trace a: %w", err)
+		}
+		eb, okB, err := sb.next()
+		if err != nil {
+			return nil, fmt.Errorf("trace b: %w", err)
+		}
+		if !okA && !okB {
+			return nil, nil
+		}
+		if okA && okB && ea == eb {
+			if len(ctx) == contextN {
+				copy(ctx, ctx[1:])
+				ctx = ctx[:contextN-1]
+			}
+			ctx = append(ctx, ea)
+			continue
+		}
+		d := &Divergence{Index: idx, Context: append([]Event(nil), ctx...)}
+		if okA {
+			d.A = &ea
+		}
+		if okB {
+			d.B = &eb
+		}
+		return d, nil
+	}
+}
+
+// eventScanner streams events off an NDJSON reader.
+type eventScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newEventScanner(r io.Reader) *eventScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return &eventScanner{sc: sc}
+}
+
+// next returns the next event, or ok=false at a clean end of trace.
+func (s *eventScanner) next() (Event, bool, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return Event{}, false, fmt.Errorf("line %d: %w", s.line+1, err)
+		}
+		return Event{}, false, nil
+	}
+	s.line++
+	ev, err := ParseEvent(s.sc.Bytes())
+	if err != nil {
+		return Event{}, false, fmt.Errorf("line %d: %w", s.line, err)
+	}
+	return ev, true, nil
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceNDJSON is the trace round-trip fuzz target: any bytes that
+// parse as a trace must re-emit to canonical NDJSON that parses back to
+// the identical events and re-emits byte-for-byte the same — the
+// emit-idempotence that makes traces diffable with bytes.Equal.
+func FuzzTraceNDJSON(f *testing.F) {
+	seed, err := MarshalEvents(treeEvents())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	var hdr bytes.Buffer
+	if err := NewRecorder(4).WriteNDJSON(&hdr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hdr.Bytes())
+	f.Add([]byte(`{"tick":0,"t":0,"kind":"header","agent":-1,"victim":-1,"vector":"v1"}` + "\n"))
+	f.Add([]byte(`{"tick":3,"t":1.5,"kind":"infection","agent":0,"victim":17,"addr":"10.0.0.42","vector":"scan"}` + "\n"))
+	f.Add([]byte(`{"tick":-1,"t":2.25,"kind":"alert","agent":-1,"victim":-1,"addr":"1.2.3.0/24","vector":"threshold","n":5,"detail":"x","run":"p0"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input is fine; crashing on it is not
+		}
+		out, err := MarshalEvents(events)
+		if err != nil {
+			t.Fatalf("valid trace failed to re-emit: %v", err)
+		}
+		back, err := ReadNDJSON(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parse of canonical emission failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(events, back) {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", events, back)
+		}
+		again, err := MarshalEvents(back)
+		if err != nil {
+			t.Fatalf("second emission failed: %v", err)
+		}
+		if !bytes.Equal(out, again) {
+			t.Fatalf("canonical emission not byte-stable:\n%s\nvs\n%s", out, again)
+		}
+		// The tree builder must never panic on any parseable trace; a
+		// structural error return is fine.
+		if tree, err := BuildTree(events); err == nil {
+			_ = tree.Stats()
+		}
+	})
+}

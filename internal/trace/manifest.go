@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest is the run-provenance record dumped alongside a trace: enough
+// to re-create the run (scenario/config and seed), to place it (driver,
+// workers), and to pin the toolchain that produced it.
+type Manifest struct {
+	SchemaVersion string `json:"schema_version"`
+	// Driver names the producing driver ("exact", "fast", …).
+	Driver string `json:"driver,omitempty"`
+	// Seed is the run's RNG seed.
+	Seed uint64 `json:"seed"`
+	// Workers is the exact driver's worker count (0 when not applicable).
+	Workers int `json:"workers,omitempty"`
+	// ScenarioHash is the SHA-256 of the canonical scenario/config JSON.
+	ScenarioHash string `json:"scenario_hash,omitempty"`
+	// Scenario is the canonical scenario/config JSON itself.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Config is a free-form rendering of non-scenario configuration.
+	Config string `json:"config,omitempty"`
+	// GoVersion and Module pin the toolchain and module that produced the
+	// trace (Module is "path@version", "(devel)" for local builds).
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	// Events and Dropped mirror the trace's retained/evicted counts.
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// HashJSON returns the hex SHA-256 of canonical JSON bytes — the
+// scenario-hash convention shared by manifests and artifact file names.
+func HashJSON(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// NewManifest builds a manifest for one recorder's contents, stamping the
+// schema version, toolchain, and event counts. Callers fill the run
+// fields (Driver, Seed, Workers, Scenario…) before writing.
+func NewManifest(r *Recorder) *Manifest {
+	m := &Manifest{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		Module:        "(unknown)",
+		Events:        r.Len(),
+		Dropped:       r.Dropped(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		m.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			m.Module += "@" + bi.Main.Version
+		}
+	}
+	return m
+}
+
+// SetScenario records the canonical scenario JSON and its hash.
+func (m *Manifest) SetScenario(canonicalJSON []byte) {
+	m.Scenario = append(json.RawMessage(nil), canonicalJSON...)
+	m.ScenarioHash = HashJSON(canonicalJSON)
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

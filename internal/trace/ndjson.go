@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxLineBytes bounds one NDJSON line; real events are well under 1 KB,
+// the slack covers long Detail strings (outcome ledgers, error text).
+const maxLineBytes = 1 << 20
+
+// WriteNDJSON dumps the recorder as NDJSON: a header event (schema
+// version, dropped count) followed by the retained events in append
+// order. A nil recorder writes only the header of an empty trace.
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	var err error
+	hdr := Event{Tick: 0, T: 0, Kind: KindHeader, Agent: -1, Victim: -1, Vector: SchemaVersion}
+	if r != nil {
+		hdr = r.header()
+	}
+	if buf, err = appendEvent(buf[:0], &hdr); err != nil {
+		return err
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		ev := ev
+		if buf, err = appendEvent(buf[:0], &ev); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEvent decodes one NDJSON line. Unknown fields are rejected: a
+// trace produced by a newer schema must fail loudly, not drop data.
+func ParseEvent(line []byte) (Event, error) {
+	var ev Event
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ev); err != nil {
+		return Event{}, err
+	}
+	// A second value on the line is malformed NDJSON.
+	if dec.More() {
+		return Event{}, fmt.Errorf("trace: trailing data after event")
+	}
+	return ev, nil
+}
+
+// ReadNDJSON parses a full NDJSON trace, returning the events in file
+// order. The header event, when present as the first line, is returned
+// like any other event (tools key on KindHeader). Blank lines are
+// rejected: a trace is machine-written, so any irregularity is damage.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		ev, err := ParseEvent(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+	}
+	return out, nil
+}
+
+// MarshalEvents renders events as canonical NDJSON bytes (no header —
+// callers that need one include it in events).
+func MarshalEvents(events []Event) ([]byte, error) {
+	var buf []byte
+	var err error
+	out := make([]byte, 0, 64*len(events))
+	for i := range events {
+		if buf, err = appendEvent(buf[:0], &events[i]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}

@@ -1,0 +1,459 @@
+// Package trace is the simulation flight recorder: a deterministic,
+// bounded-memory event log on the injected simulated clock. Where
+// internal/obs answers "how much" (counters, histograms), trace answers
+// "what happened, in what order" — infection edges with infector→victim
+// provenance, per-tick probe-window summaries, sensor alerts, fault
+// transitions, sweep checkpoint/salvage decisions, and driver phase
+// boundaries — so a cross-driver divergence or oracle failure bisects to a
+// single event instead of a shrunken scenario.
+//
+// Three properties shape the design, mirroring internal/obs:
+//
+//   - Determinism. Appending events draws no randomness and reads no wall
+//     clock; every event carries the simulated time its emitter passed in.
+//     The sim drivers emit events only from their serial sections (the
+//     phase-2 merge, in agent order — DESIGN.md §9), so trace bytes are
+//     identical across worker counts, and attaching a recorder is
+//     byte-invisible to every existing output.
+//
+//   - Bounded memory. The recorder is a ring of at most MaxEvents entries;
+//     when full, the oldest event is evicted and a dropped counter bumps.
+//     Eviction is deterministic — same run, same drops — and the dump
+//     header carries the drop count so a truncated trace is never mistaken
+//     for a complete one.
+//
+//   - Byte-stable serialization. Events serialize to NDJSON with a fixed
+//     field order (struct declaration order) and shortest-exact floats, so
+//     two traces are comparable with bytes.Equal and a divergence is
+//     findable by streaming line comparison (see Diff).
+package trace
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+)
+
+// Event kinds. The set is append-only: tools key on these strings.
+const (
+	// KindHeader is the synthetic first line of a dump: Vector carries the
+	// schema version, N the number of evicted (dropped) events.
+	KindHeader = "header"
+	// KindPhase marks a driver phase boundary: Vector is "start" or "end",
+	// Detail the driver name; on "end" N is the final infected count.
+	KindPhase = "phase"
+	// KindInfection is one infection edge. Agent is the infector host id
+	// (-1 when unattributed: seed hosts, and the fast driver's aggregated
+	// draws), Victim the infected host id, Addr its address, Vector the
+	// attribution ("seed", "scan", or the fast driver's mixture component).
+	KindInfection = "infection"
+	// KindProbes is a per-tick probe-window summary: N is the tick's probe
+	// count, Detail its outcome ledger.
+	KindProbes = "probes"
+	// KindAlert is a detector crossing its threshold (Vector "threshold",
+	// Addr the detector prefix, N its hit count at the crossing) or a
+	// darknet sensor's first recorded probe (Vector "first", Detail the
+	// block label).
+	KindAlert = "alert"
+	// KindFault is a fault-plan state transition: Vector "burst" with
+	// Detail "bad"/"good", or Vector "outage" with N the number of
+	// withdrawn sensor blocks.
+	KindFault = "fault"
+	// KindCheckpoint is a sweep checkpoint decision: Vector "hit" (result
+	// replayed from the store) or "save", Detail the checkpoint key, Tick
+	// the task index.
+	KindCheckpoint = "checkpoint"
+	// KindSalvage is a sweep task failure kept by Salvage mode: Detail the
+	// error, Tick the task index.
+	KindSalvage = "salvage"
+)
+
+// SchemaVersion identifies the event schema; the dump header carries it.
+const SchemaVersion = "v1"
+
+// Event is one flight-recorder entry. Field order is the serialization
+// contract: NDJSON emits fields in declaration order, so reordering or
+// inserting fields is a schema change (bump SchemaVersion).
+//
+// Tick is the simulation step the event belongs to (0 for pre-run events,
+// the task index for sweep events, -1 for events emitted outside the tick
+// loop); T is the simulated time in seconds. Agent and Victim are host ids
+// with -1 meaning "not applicable" — 0 is a valid host id, so absence
+// needs an explicit sentinel.
+type Event struct {
+	Tick   int     `json:"tick"`
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Agent  int     `json:"agent"`
+	Victim int     `json:"victim"`
+	Addr   string  `json:"addr,omitempty"`
+	Vector string  `json:"vector,omitempty"`
+	N      uint64  `json:"n,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	Run    string  `json:"run,omitempty"`
+}
+
+// DefaultMaxEvents bounds a recorder constructed with NewRecorder(0):
+// 1<<20 events ≈ 80 MB worst case, far above any xcheck scenario and
+// small enough to never threaten a sweep's memory budget.
+const DefaultMaxEvents = 1 << 20
+
+// Block sizing for the ring storage: 4096 compact events ≈ 320 KB per
+// block, allocated lazily as the ring grows, reused in place once full.
+const (
+	blockBits = 12
+	blockSize = 1 << blockBits
+)
+
+// Address storage modes for compactEvent.amode.
+const (
+	addrNone     uint8 = iota // Addr was ""
+	addrPacked                // canonical dotted quad packed into addr
+	addrInterned              // anything else; addr indexes the intern table
+)
+
+// compactEvent is the in-ring representation of one Event. A simulation's
+// trace is dominated by infection events, so the ring would otherwise be
+// the largest object on the garbage collector's scan path; the compact
+// form is pointer-free (the blocks land in noscan spans the collector
+// never walks), and a steady-state Append allocates nothing. Kind,
+// Vector, Run, and non-address Addr strings are interned in the
+// recorder's table; canonical dotted-quad addresses pack into a uint32
+// and are re-rendered on read; the rare Detail strings live in a side
+// map keyed by ring slot.
+type compactEvent struct {
+	t         float64
+	n         uint64
+	tick      int64
+	agent     int64
+	victim    int64
+	kind      uint32 // intern index
+	vector    uint32 // intern index
+	run       uint32 // intern index
+	addr      uint32 // packed quad or intern index, per amode
+	amode     uint8
+	hasDetail bool // Detail lives in recorderState.details[slot]
+}
+
+// internCache is a small direct-mapped memo over the intern table:
+// emitters cycle through a handful of Kind/Vector/Run constants (the fast
+// driver alternates its mixture-component labels per infection), so most
+// interning is a few short string compares instead of a map lookup.
+// Entries rotate through the fixed slots in insertion order.
+type internCache struct {
+	s    [4]string
+	id   [4]uint32
+	next uint8
+}
+
+// recorderState is the shared ring behind one recorder and its scopes.
+//
+// Interning keeps memory bounded only if the label-like fields (Kind,
+// Vector, Run, non-address Addr values) have bounded cardinality — the
+// same contract internal/obs puts on metric labels. Detail is exempt
+// (kept per-slot in details, evicted with its event) precisely because
+// outcome ledgers and error strings are per-event unique; an interned
+// copy would outlive its ring slot.
+type recorderState struct {
+	mu      sync.Mutex
+	max     int
+	blocks  [][]compactEvent
+	details map[int]string // ring slot -> Detail, for hasDetail events
+	head    int            // index of the oldest event when full
+	n       int            // live event count
+	dropped uint64
+
+	interned []string
+	lookup   map[string]uint32
+	kindMemo internCache
+	vecMemo  internCache
+	runMemo  internCache
+}
+
+// internNew interns v without consulting a memo.
+func (s *recorderState) internNew(v string) uint32 {
+	id, ok := s.lookup[v]
+	if !ok {
+		id = uint32(len(s.interned))
+		s.interned = append(s.interned, v)
+		s.lookup[v] = id
+	}
+	return id
+}
+
+// intern interns v through the given memo.
+func (s *recorderState) intern(c *internCache, v string) uint32 {
+	for i := range c.s {
+		if v == c.s[i] {
+			return c.id[i]
+		}
+	}
+	id := s.internNew(v)
+	c.s[c.next], c.id[c.next] = v, id
+	c.next = (c.next + 1) & 3
+	return id
+}
+
+// packQuad parses a canonical dotted-quad IPv4 address ("1.2.3.4": four
+// decimal octets 0–255, no leading zeros). Only the canonical form is
+// accepted so formatQuad is an exact inverse and a packed address
+// round-trips byte-identically.
+func packQuad(s string) (uint32, bool) {
+	var v uint32
+	i := 0
+	for oct := 0; oct < 4; oct++ {
+		if oct > 0 {
+			if i >= len(s) || s[i] != '.' {
+				return 0, false
+			}
+			i++
+		}
+		start := i
+		var o uint32
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			o = o*10 + uint32(s[i]-'0')
+			if o > 255 {
+				return 0, false
+			}
+			i++
+		}
+		if d := i - start; d == 0 || (d > 1 && s[start] == '0') {
+			return 0, false
+		}
+		v = v<<8 | o
+	}
+	return v, i == len(s)
+}
+
+// formatQuad renders a packed IPv4 address in the canonical dotted-quad
+// form packQuad accepts.
+func formatQuad(v uint32) string {
+	buf := make([]byte, 0, 15)
+	for i := 3; i >= 0; i-- {
+		buf = strconv.AppendUint(buf, uint64(v>>(8*i)&0xFF), 10)
+		if i > 0 {
+			buf = append(buf, '.')
+		}
+	}
+	return string(buf)
+}
+
+// compress converts an Event to its in-ring form (Detail is passed to
+// store separately). Caller holds s.mu.
+func (s *recorderState) compress(ev *Event) compactEvent {
+	ce := compactEvent{
+		t:      ev.T,
+		n:      ev.N,
+		tick:   int64(ev.Tick),
+		agent:  int64(ev.Agent),
+		victim: int64(ev.Victim),
+		kind:   s.intern(&s.kindMemo, ev.Kind),
+		vector: s.intern(&s.vecMemo, ev.Vector),
+		run:    s.intern(&s.runMemo, ev.Run),
+	}
+	if ev.Addr != "" {
+		if v, ok := packQuad(ev.Addr); ok {
+			ce.addr, ce.amode = v, addrPacked
+		} else {
+			ce.addr, ce.amode = s.internNew(ev.Addr), addrInterned
+		}
+	}
+	return ce
+}
+
+// inflate reconstructs the Event stored at ring slot i. Caller holds s.mu.
+func (s *recorderState) inflate(i int, ce *compactEvent) Event {
+	ev := Event{
+		Tick:   int(ce.tick),
+		T:      ce.t,
+		Kind:   s.interned[ce.kind],
+		Agent:  int(ce.agent),
+		Victim: int(ce.victim),
+		Vector: s.interned[ce.vector],
+		N:      ce.n,
+		Run:    s.interned[ce.run],
+	}
+	if ce.hasDetail {
+		ev.Detail = s.details[i]
+	}
+	switch ce.amode {
+	case addrPacked:
+		ev.Addr = formatQuad(ce.addr)
+	case addrInterned:
+		ev.Addr = s.interned[ce.addr]
+	}
+	return ev
+}
+
+// slot returns the ring slot for logical index i, allocating its block on
+// first touch. Caller holds s.mu.
+func (s *recorderState) slot(i int) *compactEvent {
+	b := i >> blockBits
+	if s.blocks[b] == nil {
+		s.blocks[b] = make([]compactEvent, blockSize)
+	}
+	return &s.blocks[b][i&(blockSize-1)]
+}
+
+// Recorder is a bounded flight recorder. The zero value is not usable;
+// construct with NewRecorder. All methods are nil-safe, so an untraced
+// run pays one branch per would-be event. Append is mutex-guarded for
+// safety under concurrent sweeps; determinism of the event *order* is the
+// emitters' contract (serial sections only — see the package comment).
+type Recorder struct {
+	state *recorderState
+	run   string
+}
+
+// NewRecorder returns a recorder bounded to max events (≤0 means
+// DefaultMaxEvents).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	return &Recorder{state: &recorderState{
+		max:      max,
+		blocks:   make([][]compactEvent, (max+blockSize-1)>>blockBits),
+		details:  make(map[int]string),
+		interned: []string{""},
+		lookup:   map[string]uint32{"": 0},
+	}}
+}
+
+// Scoped returns a view of the same recorder that stamps run into every
+// appended event's Run field — concurrent sweep points sharing one
+// recorder label their events so an interleaved dump is attributable.
+// A nil recorder scopes to nil.
+func (r *Recorder) Scoped(run string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{state: r.state, run: run}
+}
+
+// Append records one event. Nil-safe. When the ring is full the oldest
+// event is evicted and the dropped counter bumps.
+func (r *Recorder) Append(ev Event) {
+	if r == nil {
+		return
+	}
+	if r.run != "" {
+		ev.Run = r.run
+	}
+	s := r.state
+	s.mu.Lock()
+	s.store(s.compress(&ev), ev.Detail)
+	s.mu.Unlock()
+}
+
+// store inserts one compact event, evicting the oldest when the ring is
+// full. Caller holds s.mu.
+func (s *recorderState) store(ce compactEvent, detail string) {
+	var i int
+	if s.n < s.max {
+		i = s.n // head stays 0 until the ring first fills
+		s.n++
+	} else {
+		i = s.head
+		s.head++
+		if s.head == s.max {
+			s.head = 0
+		}
+		s.dropped++
+	}
+	p := s.slot(i)
+	if p.hasDetail {
+		delete(s.details, i) // evicted event's Detail must not leak in
+	}
+	if detail != "" {
+		ce.hasDetail = true
+		s.details[i] = detail
+	}
+	*p = ce
+}
+
+// AppendInfection records one infection edge without materializing the
+// dotted-quad address string — the drivers' hot path, one event per
+// infected host. It is exactly equivalent to Append of the corresponding
+// KindInfection Event: the packed address renders canonically on read.
+// Nil-safe.
+func (r *Recorder) AppendInfection(tick int, t float64, infector, victim int, addr uint32, vector string) {
+	if r == nil {
+		return
+	}
+	s := r.state
+	s.mu.Lock()
+	s.store(compactEvent{
+		t:      t,
+		tick:   int64(tick),
+		agent:  int64(infector),
+		victim: int64(victim),
+		kind:   s.intern(&s.kindMemo, KindInfection),
+		vector: s.intern(&s.vecMemo, vector),
+		run:    s.intern(&s.runMemo, r.run),
+		addr:   addr,
+		amode:  addrPacked,
+	}, "")
+	s.mu.Unlock()
+}
+
+// Len returns the number of live (retained) events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	s := r.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Dropped returns how many events were evicted by the ring bound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	s := r.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Events returns a copy of the retained events in append order (oldest
+// first). Nil recorders return nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	s := r.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, s.n)
+	for k := 0; k < s.n; k++ {
+		i := s.head + k
+		if i >= s.max {
+			i -= s.max
+		}
+		b := s.blocks[i>>blockBits]
+		out = append(out, s.inflate(i, &b[i&(blockSize-1)]))
+	}
+	return out
+}
+
+// header builds the synthetic first event of a dump.
+func (r *Recorder) header() Event {
+	return Event{Tick: 0, T: 0, Kind: KindHeader, Agent: -1, Victim: -1, Vector: SchemaVersion, N: r.Dropped()}
+}
+
+// appendEvent encodes ev as one canonical NDJSON line (with trailing
+// newline) appended to buf. encoding/json emits struct fields in
+// declaration order and floats in shortest-exact form, so the line is
+// byte-stable for equal events.
+func appendEvent(buf []byte, ev *Event) ([]byte, error) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return buf, err
+	}
+	buf = append(buf, line...)
+	return append(buf, '\n'), nil
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRecorderAppendOrder(t *testing.T) {
+	r := NewRecorder(10)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{Tick: i, Kind: KindProbes, Agent: -1, Victim: -1})
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 5/0", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Tick != i {
+			t.Fatalf("event %d has tick %d", i, ev.Tick)
+		}
+	}
+}
+
+func TestRecorderEvictsOldest(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.Append(Event{Tick: i, Kind: KindProbes, Agent: -1, Victim: -1})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d, want 3", r.Len())
+	}
+	if r.Dropped() != 4 {
+		t.Fatalf("dropped=%d, want 4", r.Dropped())
+	}
+	evs := r.Events()
+	want := []int{4, 5, 6}
+	for i, ev := range evs {
+		if ev.Tick != want[i] {
+			t.Fatalf("retained ticks %v, want %v", ticks(evs), want)
+		}
+	}
+	var b bytes.Buffer
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs2, err := ReadNDJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs2[0].Kind != KindHeader || evs2[0].N != 4 {
+		t.Fatalf("header %+v does not carry the drop count", evs2[0])
+	}
+}
+
+func ticks(evs []Event) []int {
+	out := make([]int, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Tick
+	}
+	return out
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{Kind: KindProbes})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if r.Scoped("x") != nil {
+		t.Fatal("nil recorder scoped to non-nil")
+	}
+	var b bytes.Buffer
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadNDJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindHeader {
+		t.Fatalf("nil recorder dump = %v, want lone header", evs)
+	}
+}
+
+func TestScopedStampsRun(t *testing.T) {
+	r := NewRecorder(0)
+	r.Scoped("point-3").Append(Event{Tick: 1, Kind: KindProbes, Agent: -1, Victim: -1})
+	r.Append(Event{Tick: 2, Kind: KindProbes, Agent: -1, Victim: -1})
+	evs := r.Events()
+	if evs[0].Run != "point-3" || evs[1].Run != "" {
+		t.Fatalf("runs = %q, %q", evs[0].Run, evs[1].Run)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	r.Append(Event{Tick: 0, T: 0, Kind: KindPhase, Agent: -1, Victim: -1, Vector: "start", Detail: "exact"})
+	r.Append(Event{Tick: 0, T: 0, Kind: KindInfection, Agent: -1, Victim: 0, Addr: "10.0.0.1", Vector: "seed"})
+	r.Append(Event{Tick: 3, T: 1.5, Kind: KindInfection, Agent: 0, Victim: 17, Addr: "10.0.0.42", Vector: "scan"})
+	r.Append(Event{Tick: 3, T: 1.5, Kind: KindProbes, Agent: -1, Victim: -1, N: 250, Detail: "delivered=249 infection=1"})
+	r.Append(Event{Tick: -1, T: 1.5, Kind: KindAlert, Agent: -1, Victim: -1, Addr: "1.2.3.0/24", Vector: "threshold", N: 5})
+
+	var b bytes.Buffer
+	if err := r.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	first := b.String()
+	evs, err := ReadNDJSON(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := MarshalEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != string(again) {
+		t.Fatalf("NDJSON did not round-trip:\n%s\nvs\n%s", first, again)
+	}
+	// The retained events (header aside) must match what was appended.
+	if got := evs[1:]; !reflect.DeepEqual(got, r.Events()) {
+		t.Fatalf("parsed events %v != recorded %v", got, r.Events())
+	}
+}
+
+func TestParseEventRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"tick":0,"kind":"probes","agent":-1,"victim":-1,"mystery":1}`, // unknown field
+		`{"tick":0}{"tick":1}`, // two values on one line
+	} {
+		if _, err := ParseEvent([]byte(bad)); err == nil {
+			t.Errorf("ParseEvent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestManifest(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 3; i++ {
+		r.Append(Event{Tick: i, Kind: KindProbes, Agent: -1, Victim: -1})
+	}
+	m := NewManifest(r)
+	m.Driver = "exact"
+	m.Seed = 42
+	m.Workers = 4
+	m.SetScenario([]byte(`{"pop_size":100}`))
+	if m.Events != 2 || m.Dropped != 1 {
+		t.Fatalf("events=%d dropped=%d, want 2/1", m.Events, m.Dropped)
+	}
+	if m.GoVersion == "" || m.Module == "" {
+		t.Fatalf("toolchain fields empty: %+v", m)
+	}
+	if len(m.ScenarioHash) != 64 {
+		t.Fatalf("scenario hash %q not sha256 hex", m.ScenarioHash)
+	}
+	var b bytes.Buffer
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 42 || back.Driver != "exact" || back.ScenarioHash != m.ScenarioHash {
+		t.Fatalf("manifest did not round-trip: %+v", back)
+	}
+}

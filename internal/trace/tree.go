@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one attributed infection: Infector infected Victim at simulated
+// time T through Vector. Infector is -1 when the driver cannot attribute
+// the edge to a single host (the fast driver's aggregated draws).
+type Edge struct {
+	Infector int     `json:"infector"`
+	Victim   int     `json:"victim"`
+	T        float64 `json:"t"`
+	Vector   string  `json:"vector,omitempty"`
+}
+
+// Tree is the who-infected-whom structure of one run (Wang et al.,
+// "Characterizing Internet Worm Infection Structure"): the seed hosts are
+// the roots, every later infection an edge. Unattributed edges (Infector
+// -1) hang directly under a virtual root at depth 1.
+type Tree struct {
+	// Seeds are the initially infected hosts, in seeding order.
+	Seeds []int `json:"seeds"`
+	// Edges are the non-seed infections, in infection order.
+	Edges []Edge `json:"edges"`
+}
+
+// BuildTree extracts the infection tree from a run's events. It rejects
+// structurally impossible traces — a host infected twice, or an edge from
+// a host the trace never saw infected — because a tree built over them
+// would silently misattribute provenance.
+func BuildTree(events []Event) (*Tree, error) {
+	t := &Tree{}
+	infected := make(map[int]bool)
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != KindInfection {
+			continue
+		}
+		if ev.Victim < 0 {
+			return nil, fmt.Errorf("trace: infection event with victim %d", ev.Victim)
+		}
+		if infected[ev.Victim] {
+			return nil, fmt.Errorf("trace: host %d infected twice", ev.Victim)
+		}
+		if ev.Agent >= 0 && !infected[ev.Agent] {
+			return nil, fmt.Errorf("trace: host %d infected by %d, which the trace never saw infected", ev.Victim, ev.Agent)
+		}
+		infected[ev.Victim] = true
+		if ev.Vector == "seed" {
+			t.Seeds = append(t.Seeds, ev.Victim)
+			continue
+		}
+		t.Edges = append(t.Edges, Edge{Infector: ev.Agent, Victim: ev.Victim, T: ev.T, Vector: ev.Vector})
+	}
+	return t, nil
+}
+
+// Size returns the number of infected hosts: seeds plus edge victims
+// (BuildTree guarantees each host appears at most once).
+func (t *Tree) Size() int { return len(t.Seeds) + len(t.Edges) }
+
+// DegreeCount is one row of the out-degree distribution.
+type DegreeCount struct {
+	// Degree is the number of victims a host infected.
+	Degree int `json:"degree"`
+	// Hosts is how many infected hosts have that out-degree.
+	Hosts int `json:"hosts"`
+}
+
+// VectorCount attributes edge counts to one vector.
+type VectorCount struct {
+	Vector string `json:"vector"`
+	Edges  int    `json:"edges"`
+}
+
+// Stats summarizes the tree's shape.
+type Stats struct {
+	// Nodes is the infected-host count (== Tree.Size()).
+	Nodes int `json:"nodes"`
+	// Seeds is the root count.
+	Seeds int `json:"seeds"`
+	// Edges is the non-seed infection count.
+	Edges int `json:"edges"`
+	// Unattributed is how many edges carry no infector (fast driver).
+	Unattributed int `json:"unattributed"`
+	// Depth is the longest root-to-leaf hop count (seeds are depth 0;
+	// unattributed edges are depth 1).
+	Depth int `json:"depth"`
+	// MaxWidth is the largest number of hosts at any one depth.
+	MaxWidth int `json:"max_width"`
+	// MaxDegree is the largest out-degree of any host.
+	MaxDegree int `json:"max_degree"`
+	// Degrees is the out-degree distribution over infected hosts,
+	// ascending by degree (degree-0 leaves included).
+	Degrees []DegreeCount `json:"degrees"`
+	// Vectors attributes the edges per vector, sorted by vector name.
+	Vectors []VectorCount `json:"vectors"`
+}
+
+// Stats computes the tree's shape summary. Edges must be in infection
+// order (as BuildTree produces them): a parent's infection precedes its
+// children's, so depths resolve in one pass.
+func (t *Tree) Stats() Stats {
+	s := Stats{Nodes: t.Size(), Seeds: len(t.Seeds), Edges: len(t.Edges)}
+	depth := make(map[int]int, s.Nodes)
+	widths := make(map[int]int)
+	outDeg := make(map[int]int, s.Nodes)
+	for _, id := range t.Seeds {
+		depth[id] = 0
+		widths[0]++
+		outDeg[id] = 0
+	}
+	vectors := make(map[string]int)
+	for _, e := range t.Edges {
+		d := 1
+		if e.Infector >= 0 {
+			d = depth[e.Infector] + 1
+			outDeg[e.Infector]++
+		} else {
+			s.Unattributed++
+		}
+		depth[e.Victim] = d
+		widths[d]++
+		outDeg[e.Victim] = 0
+		if d > s.Depth {
+			s.Depth = d
+		}
+		vectors[e.Vector]++
+	}
+	for d := 0; d <= s.Depth; d++ {
+		if widths[d] > s.MaxWidth {
+			s.MaxWidth = widths[d]
+		}
+	}
+	// Fold out-degrees into a distribution; iterate the histogram by
+	// ascending degree, never by map order.
+	degHist := make(map[int]int)
+	for _, d := range outDeg {
+		degHist[d]++
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	for d := 0; d <= s.MaxDegree; d++ {
+		if n := degHist[d]; n > 0 {
+			s.Degrees = append(s.Degrees, DegreeCount{Degree: d, Hosts: n})
+		}
+	}
+	names := make([]string, 0, len(vectors))
+	for v := range vectors {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		s.Vectors = append(s.Vectors, VectorCount{Vector: v, Edges: vectors[v]})
+	}
+	return s
+}

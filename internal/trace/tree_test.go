@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// treeEvents builds a small attributed run:
+//
+//	seeds 1, 2
+//	1 → 3 (t=1), 1 → 4 (t=1), 3 → 5 (t=2), plus one unattributed 9 (t=2)
+func treeEvents() []Event {
+	return []Event{
+		{Tick: 0, T: 0, Kind: KindPhase, Agent: -1, Victim: -1, Vector: "start", Detail: "exact"},
+		{Tick: 0, T: 0, Kind: KindInfection, Agent: -1, Victim: 1, Vector: "seed"},
+		{Tick: 0, T: 0, Kind: KindInfection, Agent: -1, Victim: 2, Vector: "seed"},
+		{Tick: 1, T: 1, Kind: KindInfection, Agent: 1, Victim: 3, Vector: "scan"},
+		{Tick: 1, T: 1, Kind: KindInfection, Agent: 1, Victim: 4, Vector: "scan"},
+		{Tick: 1, T: 1, Kind: KindProbes, Agent: -1, Victim: -1, N: 20},
+		{Tick: 2, T: 2, Kind: KindInfection, Agent: 3, Victim: 5, Vector: "scan"},
+		{Tick: 2, T: 2, Kind: KindInfection, Agent: -1, Victim: 9, Vector: "c1"},
+		{Tick: 2, T: 2, Kind: KindPhase, Agent: -1, Victim: -1, Vector: "end", Detail: "exact", N: 6},
+	}
+}
+
+func TestBuildTreeAndStats(t *testing.T) {
+	tree, err := BuildTree(treeEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tree.Seeds, []int{1, 2}) {
+		t.Fatalf("seeds %v", tree.Seeds)
+	}
+	if tree.Size() != 6 || len(tree.Edges) != 4 {
+		t.Fatalf("size=%d edges=%d, want 6/4", tree.Size(), len(tree.Edges))
+	}
+	s := tree.Stats()
+	if s.Nodes != 6 || s.Seeds != 2 || s.Edges != 4 || s.Unattributed != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Depths: 1,2 at 0; 3,4,9 at 1; 5 at 2 → depth 2, max width 3.
+	if s.Depth != 2 || s.MaxWidth != 3 {
+		t.Fatalf("depth=%d width=%d, want 2/3", s.Depth, s.MaxWidth)
+	}
+	// Out-degrees: host 1 → 2; host 3 → 1; hosts 2,4,5,9 → 0.
+	wantDeg := []DegreeCount{{Degree: 0, Hosts: 4}, {Degree: 1, Hosts: 1}, {Degree: 2, Hosts: 1}}
+	if !reflect.DeepEqual(s.Degrees, wantDeg) {
+		t.Fatalf("degrees %v, want %v", s.Degrees, wantDeg)
+	}
+	if s.MaxDegree != 2 {
+		t.Fatalf("max degree %d", s.MaxDegree)
+	}
+	wantVec := []VectorCount{{Vector: "c1", Edges: 1}, {Vector: "scan", Edges: 3}}
+	if !reflect.DeepEqual(s.Vectors, wantVec) {
+		t.Fatalf("vectors %v, want %v", s.Vectors, wantVec)
+	}
+}
+
+func TestBuildTreeRejectsBadStructure(t *testing.T) {
+	double := []Event{
+		{Kind: KindInfection, Agent: -1, Victim: 1, Vector: "seed"},
+		{Kind: KindInfection, Agent: -1, Victim: 1, Vector: "seed"},
+	}
+	if _, err := BuildTree(double); err == nil {
+		t.Error("double infection accepted")
+	}
+	orphan := []Event{
+		{Kind: KindInfection, Agent: 7, Victim: 1, Vector: "scan"},
+	}
+	if _, err := BuildTree(orphan); err == nil {
+		t.Error("edge from never-infected host accepted")
+	}
+	negative := []Event{
+		{Kind: KindInfection, Agent: -1, Victim: -1, Vector: "seed"},
+	}
+	if _, err := BuildTree(negative); err == nil {
+		t.Error("negative victim accepted")
+	}
+}
+
+func TestDiffFindsFirstDivergence(t *testing.T) {
+	a := treeEvents()
+	b := treeEvents()
+	b[6].Victim = 6 // 3 → 6 instead of 3 → 5
+	na, err := MarshalEvents(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := MarshalEvents(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(bytes.NewReader(na), bytes.NewReader(nb), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("divergence not found")
+	}
+	if d.Index != 7 {
+		t.Fatalf("diverged at %d, want 7", d.Index)
+	}
+	if d.A == nil || d.B == nil || d.A.Victim != 5 || d.B.Victim != 6 {
+		t.Fatalf("divergent events %+v vs %+v", d.A, d.B)
+	}
+	if len(d.Context) != 2 || d.Context[1].Kind != KindProbes {
+		t.Fatalf("context %v", d.Context)
+	}
+	if s := d.String(); s == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestDiffIdenticalAndTruncated(t *testing.T) {
+	n, err := MarshalEvents(treeEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(bytes.NewReader(n), bytes.NewReader(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("identical traces diverged: %v", d)
+	}
+	short, err := MarshalEvents(treeEvents()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Diff(bytes.NewReader(n), bytes.NewReader(short), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Index != 6 || d.B != nil || d.A == nil {
+		t.Fatalf("truncation not reported: %+v", d)
+	}
+}

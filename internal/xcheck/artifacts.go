@@ -1,0 +1,83 @@
+package xcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// namedTrace pairs one run's flight recorder with the provenance needed
+// to build its manifest.
+type namedTrace struct {
+	label   string // file-name component: "exact", "fast0", …
+	driver  string
+	seed    uint64
+	workers int
+	rec     *trace.Recorder
+}
+
+// keepTrace retains a run's recorder for artifact dumping. Nil recorders
+// (runs that predate the flight recorder, or test doubles) are skipped.
+func (r *Report) keepTrace(label, driver string, seed uint64, workers int, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	r.traces = append(r.traces, namedTrace{label: label, driver: driver, seed: seed, workers: workers, rec: rec})
+}
+
+// WriteTraceArtifacts dumps every retained flight recorder into dir as
+// NDJSON plus a provenance manifest per trace — scenario hash and
+// canonical JSON, driver, seed, worker count, toolchain — so a flagged
+// scenario can be replayed and diffed offline (cmd/hotspottrace). File
+// names are <scenario-hash-prefix>-<label>.trace.ndjson and
+// .manifest.json; the returned paths list everything written. Callers
+// normally invoke this only when the report has violations.
+func (r *Report) WriteTraceArtifacts(dir string) ([]string, error) {
+	if len(r.traces) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("xcheck: trace artifacts: %w", err)
+	}
+	scJSON := r.Scenario.JSON()
+	short := trace.HashJSON(scJSON)[:12]
+	var paths []string
+	for _, nt := range r.traces {
+		base := filepath.Join(dir, fmt.Sprintf("%s-%s", short, nt.label))
+		tracePath := base + ".trace.ndjson"
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return paths, fmt.Errorf("xcheck: trace artifacts: %w", err)
+		}
+		werr := nt.rec.WriteNDJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return paths, fmt.Errorf("xcheck: trace artifacts: %w", werr)
+		}
+		paths = append(paths, tracePath)
+
+		m := trace.NewManifest(nt.rec)
+		m.Driver = nt.driver
+		m.Seed = nt.seed
+		m.Workers = nt.workers
+		m.SetScenario(scJSON)
+		manifestPath := base + ".manifest.json"
+		mf, err := os.Create(manifestPath)
+		if err != nil {
+			return paths, fmt.Errorf("xcheck: trace artifacts: %w", err)
+		}
+		werr = m.WriteJSON(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return paths, fmt.Errorf("xcheck: trace artifacts: %w", werr)
+		}
+		paths = append(paths, manifestPath)
+	}
+	return paths, nil
+}

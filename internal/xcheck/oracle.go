@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/epidemic"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Oracle names, used to label violations and to let the shrinker hold a
@@ -15,6 +16,8 @@ const (
 	OracleFleet        = "fleet"         // sensor accounting vs outcome counts
 	OracleDifferential = "differential"  // exact vs fast trajectories
 	OracleAnalytic     = "analytic"      // SI model tracking + FitBeta recovery
+	OracleTreeSize     = "tree-size"     // trace reconstructs a tree covering every infection
+	OracleTreeTime     = "tree-time"     // edge times match and respect infection order
 )
 
 // Violation is one oracle failure.
@@ -35,6 +38,10 @@ type Report struct {
 	Ticks         int    `json:"ticks"`
 	Differential  bool   `json:"differential"`
 	Analytic      bool   `json:"analytic"`
+
+	// traces retains every run's flight recorder so a failing report can
+	// dump them with provenance manifests (see WriteTraceArtifacts).
+	traces []namedTrace
 }
 
 // Ok reports whether every oracle passed.
@@ -116,16 +123,21 @@ func CheckScenario(sc Scenario) (*Report, error) {
 
 	checkInvariants(rep, "exact", ref.res, a.pop.Size())
 	checkFleet(rep, "exact", &sc, ref)
+	checkTree(rep, "exact", ref)
+	rep.keepTrace("exact", "exact", sc.SimSeed, 1, ref.trace)
 
 	if sc.Differential() && a.model != nil {
 		fasts := make([]*runOutput, 0, fastReplicas)
 		for i := 0; i < fastReplicas; i++ {
-			fr, err := runFast(&sc, a, fastReplicaSeed(sc.SimSeed, i))
+			seed := fastReplicaSeed(sc.SimSeed, i)
+			fr, err := runFast(&sc, a, seed)
 			if err != nil {
 				return nil, err
 			}
 			checkInvariants(rep, fmt.Sprintf("fast[%d]", i), fr.res, a.pop.Size())
 			checkFleet(rep, fmt.Sprintf("fast[%d]", i), &sc, fr)
+			checkTree(rep, fmt.Sprintf("fast[%d]", i), fr)
+			rep.keepTrace(fmt.Sprintf("fast%d", i), "fast", seed, 0, fr.trace)
 			fasts = append(fasts, fr)
 		}
 		checkDifferential(rep, &sc, ref, fasts)
@@ -179,6 +191,56 @@ func checkInvariants(rep *Report, label string, res *sim.Result, popSize int) {
 	}
 	if recorded != res.Final.Infected {
 		rep.addf(OracleInvariant, "%s: %d infection times for %d infected", label, recorded, res.Final.Infected)
+	}
+}
+
+// checkTree audits the run's flight recorder against its result: the
+// infection events must reconstruct into a provenance tree that covers
+// every infection exactly once (tree-size family), with every edge's time
+// equal to the victim's recorded infection time and strictly after the
+// infector's own infection (tree-time family). Seeds must be rooted at
+// t=0. One violation per family per run is enough to localize the bug.
+func checkTree(rep *Report, label string, out *runOutput) {
+	if out.trace == nil {
+		return
+	}
+	tree, err := trace.BuildTree(out.trace.Events())
+	if err != nil {
+		rep.addf(OracleTreeSize, "%s: trace does not reconstruct a tree: %v", label, err)
+		return
+	}
+	if got, want := tree.Size(), out.res.Final.Infected; got != want {
+		rep.addf(OracleTreeSize, "%s: tree covers %d hosts, run infected %d", label, got, want)
+	}
+	for _, id := range tree.Seeds {
+		if id >= len(out.res.InfectionTime) || out.res.InfectionTime[id] != 0 {
+			rep.addf(OracleTreeTime, "%s: seed %d not recorded as infected at t=0", label, id)
+			return
+		}
+	}
+	for _, e := range tree.Edges {
+		if e.Victim >= len(out.res.InfectionTime) {
+			rep.addf(OracleTreeTime, "%s: edge victim %d outside population", label, e.Victim)
+			return
+		}
+		if it := out.res.InfectionTime[e.Victim]; it != e.T {
+			rep.addf(OracleTreeTime,
+				"%s: edge infects %d at t=%v but InfectionTime says %v", label, e.Victim, e.T, it)
+			return
+		}
+		if e.Infector >= 0 {
+			if e.Infector >= len(out.res.InfectionTime) {
+				rep.addf(OracleTreeTime, "%s: infector %d outside population", label, e.Infector)
+				return
+			}
+			pt := out.res.InfectionTime[e.Infector]
+			if pt < 0 || pt >= e.T {
+				rep.addf(OracleTreeTime,
+					"%s: edge %d→%d at t=%v but infector's own infection is at %v",
+					label, e.Infector, e.Victim, e.T, pt)
+				return
+			}
+		}
 	}
 }
 

@@ -9,9 +9,11 @@ import (
 	"repro/internal/faults"
 	"repro/internal/ipv4"
 	"repro/internal/netenv"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/worm"
 )
 
@@ -159,13 +161,18 @@ func build(sc *Scenario) (*artifacts, error) {
 type runOutput struct {
 	res   *sim.Result
 	fleet *detect.ThresholdFleet // nil without sensors
+	trace *trace.Recorder        // flight recorder attached to the run
 }
 
 // runExact executes the scenario on the exact driver with the given worker
 // count. Each call builds a fresh fleet so observation state never leaks
-// between the byte-identity runs.
+// between the byte-identity runs. Every run carries a flight recorder:
+// the byte-identity oracle compares trace bytes alongside run outputs,
+// and the tree oracles audit the recorded infection provenance.
 func runExact(sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
-	out := &runOutput{}
+	rec := trace.NewRecorder(0)
+	clk := &obs.SimClock{}
+	out := &runOutput{trace: rec}
 	cfg := sim.ExactConfig{
 		Pop:              a.pop,
 		Factory:          a.factory,
@@ -178,12 +185,15 @@ func runExact(sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
 		Workers:          workers,
 		Faults:           a.plan,
 		StopWhenInfected: sc.StopWhenInfect,
+		Trace:            rec,
+		Clock:            clk,
 	}
 	if a.sensorSet != nil {
 		fleet, err := detect.NewThresholdFleet(a.sensors, sc.SensorThreshold)
 		if err != nil {
 			return nil, fmt.Errorf("xcheck: fleet: %w", err)
 		}
+		fleet.Trace(rec, clk)
 		out.fleet = fleet
 		cfg.SensorSet = a.sensorSet
 		cfg.OnProbe = func(_, dst ipv4.Addr) { fleet.RecordHit(dst) }
@@ -202,7 +212,9 @@ func runExact(sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
 // runFast executes the scenario on the fast driver with the given seed
 // (differential replicas run under distinct derived seeds).
 func runFast(sc *Scenario, a *artifacts, seed uint64) (*runOutput, error) {
-	out := &runOutput{}
+	rec := trace.NewRecorder(0)
+	clk := &obs.SimClock{}
+	out := &runOutput{trace: rec}
 	cfg := sim.FastConfig{
 		Pop:              a.pop,
 		Model:            a.model,
@@ -214,12 +226,15 @@ func runFast(sc *Scenario, a *artifacts, seed uint64) (*runOutput, error) {
 		LossRate:         sc.LossRate,
 		Faults:           a.plan,
 		StopWhenInfected: sc.StopWhenInfect,
+		Trace:            rec,
+		Clock:            clk,
 	}
 	if a.sensorSet != nil {
 		fleet, err := detect.NewThresholdFleet(a.sensors, sc.SensorThreshold)
 		if err != nil {
 			return nil, fmt.Errorf("xcheck: fleet: %w", err)
 		}
+		fleet.Trace(rec, clk)
 		out.fleet = fleet
 		cfg.Sensors = fleet
 		cfg.SensorSet = a.sensorSet
@@ -259,6 +274,14 @@ func serializeRun(out *runOutput) string {
 	if out.fleet != nil {
 		fmt.Fprintf(&b, "fleet total=%d alerted=%d counts=%v\n",
 			out.fleet.TotalHits(), out.fleet.NumAlerted(), out.fleet.Counts())
+	}
+	// The trace rides along in the byte-identity comparison, so worker-count
+	// invariance of the flight recorder is enforced on every scenario.
+	if out.trace != nil {
+		b.WriteString("trace\n")
+		if err := out.trace.WriteNDJSON(&b); err != nil {
+			fmt.Fprintf(&b, "trace-error %v\n", err)
+		}
 	}
 	return b.String()
 }

@@ -106,22 +106,25 @@ func TestParseScenarioStrict(t *testing.T) {
 // space: each mutation must fail validation, never panic or pass.
 func TestValidateRejects(t *testing.T) {
 	mutations := map[string]func(*Scenario){
-		"unknown worm":    func(s *Scenario) { s.Worm = "flash" },
-		"zero pop":        func(s *Scenario) { s.PopSize = 0 },
-		"huge pop":        func(s *Scenario) { s.PopSize = maxPopSize + 1 },
-		"nan rate":        func(s *Scenario) { s.ScanRate = nan() },
-		"zero tick":       func(s *Scenario) { s.TickSeconds = 0 },
-		"inf horizon":     func(s *Scenario) { s.MaxSeconds = inf() },
-		"excess ppt":      func(s *Scenario) { s.ScanRate = 2 * maxScenarioPPT },
-		"excess ticks":    func(s *Scenario) { s.MaxSeconds = 2 * maxTicksPerRun * s.TickSeconds },
-		"zero workers":    func(s *Scenario) { s.Workers = 0 },
-		"excess workers":  func(s *Scenario) { s.Workers = maxWorkers + 1 },
-		"zero seeds":      func(s *Scenario) { s.SeedHosts = 0 },
-		"nan loss":        func(s *Scenario) { s.LossRate = nan() },
-		"total loss":      func(s *Scenario) { s.LossRate = 1 },
-		"oversized list":  func(s *Scenario) { s.HitListSlash16s = s.Slash16s + 1 },
-		"orphan outage":   func(s *Scenario) { s.SensorOutages = []OutageWindow{{Start: 0, End: 5}} },
-		"inverted window": func(s *Scenario) { s.Sensors, s.SensorThreshold = 4, 1; s.SensorOutages = []OutageWindow{{Start: 5, End: 5}} },
+		"unknown worm":   func(s *Scenario) { s.Worm = "flash" },
+		"zero pop":       func(s *Scenario) { s.PopSize = 0 },
+		"huge pop":       func(s *Scenario) { s.PopSize = maxPopSize + 1 },
+		"nan rate":       func(s *Scenario) { s.ScanRate = nan() },
+		"zero tick":      func(s *Scenario) { s.TickSeconds = 0 },
+		"inf horizon":    func(s *Scenario) { s.MaxSeconds = inf() },
+		"excess ppt":     func(s *Scenario) { s.ScanRate = 2 * maxScenarioPPT },
+		"excess ticks":   func(s *Scenario) { s.MaxSeconds = 2 * maxTicksPerRun * s.TickSeconds },
+		"zero workers":   func(s *Scenario) { s.Workers = 0 },
+		"excess workers": func(s *Scenario) { s.Workers = maxWorkers + 1 },
+		"zero seeds":     func(s *Scenario) { s.SeedHosts = 0 },
+		"nan loss":       func(s *Scenario) { s.LossRate = nan() },
+		"total loss":     func(s *Scenario) { s.LossRate = 1 },
+		"oversized list": func(s *Scenario) { s.HitListSlash16s = s.Slash16s + 1 },
+		"orphan outage":  func(s *Scenario) { s.SensorOutages = []OutageWindow{{Start: 0, End: 5}} },
+		"inverted window": func(s *Scenario) {
+			s.Sensors, s.SensorThreshold = 4, 1
+			s.SensorOutages = []OutageWindow{{Start: 5, End: 5}}
+		},
 	}
 	for name, mutate := range mutations {
 		sc := analyticScenario()

@@ -24,3 +24,13 @@ go test -run '^$' -bench "$pattern" -benchmem \
   go run ./cmd/benchsnap -date "$date" -o "$out"
 
 echo "wrote $out"
+
+# Overhead gate (intra-snapshot, so host speed drift between snapshots
+# can't mask it): attaching the flight recorder must stay within 10% of
+# the plain fast driver's ns/op. Skipped for custom patterns that don't
+# run both benchmarks.
+if grep -q '"name": "BenchmarkRunFastCodeRedIITrace"' "$out"; then
+  echo "==> benchsnap -overhead (trace recorder <=10% over plain fast driver)"
+  go run ./cmd/benchsnap \
+    -overhead 'BenchmarkRunFastCodeRedII=BenchmarkRunFastCodeRedIITrace:10' "$out"
+fi

@@ -28,8 +28,20 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go run ./cmd/xcheck -n 25 -budget 60s"
-go run ./cmd/xcheck -n 25 -budget 60s
+echo "==> go run ./cmd/xcheck -n 25 -budget 60s -trace-dir .trace"
+go run ./cmd/xcheck -n 25 -budget 60s -trace-dir .trace
+
+# Flight-recorder smoke: one traced CLI run end to end (record, dump,
+# summarize) so a broken -trace path or NDJSON schema fails the gate with
+# a one-line repro rather than surfacing in a debugging session.
+echo "==> flight-recorder smoke (hotspotsim -trace + hotspottrace summarize)"
+trace_start=$(date +%s)
+mkdir -p .trace
+go run ./cmd/hotspotsim -worm hitlist -pop 5000 -t 100 -rate 200 -sensors 200 \
+  -seed 7 -trace .trace/smoke.ndjson > /dev/null
+go run ./cmd/hotspottrace summarize .trace/smoke.ndjson
+go run ./cmd/hotspottrace tree .trace/smoke.ndjson > /dev/null
+echo "trace smoke: recorded and summarized in $(( $(date +%s) - trace_start ))s"
 
 # Non-blocking: surface benchmark regressions between the two most recent
 # committed snapshots without failing the gate (exit 2 = regression is
