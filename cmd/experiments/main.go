@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/cmd/internal/obsflags"
@@ -21,13 +24,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the sweep context: in-flight grid points stop
+	// at tick boundaries, completed points are already flushed to the
+	// -checkpoint file, and a rerun resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		runID  = fs.String("run", "all", "experiment id (see -list) or 'all'")
@@ -76,6 +84,7 @@ func run(args []string) error {
 		Tracer:   sess.Tracer,
 		Progress: sess.ProgressFunc(),
 		Trace:    sess.Trace,
+		Ctx:      ctx,
 		Sweep: sweep.Options{
 			Retries:     *retries,
 			TaskTimeout: *taskTimeout,

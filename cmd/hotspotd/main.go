@@ -1,0 +1,110 @@
+// Command hotspotd serves outbreak simulations over HTTP: POST a
+// canonical xcheck scenario, get back a deterministic NDJSON tick series.
+// The server is built for hostile weather — bounded admission queue with
+// load shedding, scenario-hash job coalescing, an LRU result cache over a
+// durable store, a synced admission journal for crash-safe recovery, and
+// graceful drain on SIGINT/SIGTERM (see DESIGN.md §13).
+//
+// Usage:
+//
+//	hotspotd -addr 127.0.0.1:8377 -dir /var/lib/hotspotd -drain 10s
+//
+// With -dir set, accepted jobs survive crashes: a restarted server replays
+// the journal, re-runs incomplete jobs, and — because scenarios are
+// deterministic — reproduces the interrupted results byte for byte.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hotspotd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal path), then drains within
+// the -drain deadline. Jobs the deadline parks are not lost: they stay
+// accepted in the journal and the next start resumes them.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspotd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8377", "listen address (host:port; port 0 picks a free port)")
+	dir := fs.String("dir", "", "state directory (journal + result store); empty disables crash recovery")
+	queue := fs.Int("queue", 64, "admission queue depth; submissions beyond it are shed with 429")
+	workers := fs.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+	cacheN := fs.Int("cache", 256, "in-memory result cache entries")
+	retries := fs.Int("retries", 0, "per-job retry budget with exponential backoff")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-attempt run deadline (0 = unbounded)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+	maxBody := fs.Int64("max-body", 1<<20, "maximum request body bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := serve.New(serve.Config{
+		Dir:          *dir,
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CacheEntries: *cacheN,
+		MaxBodyBytes: *maxBody,
+		Retries:      *retries,
+		JobTimeout:   *jobTimeout,
+		Metrics:      obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	if n := srv.Recovered(); n > 0 {
+		fmt.Fprintf(out, "hotspotd: recovered %d incomplete jobs from journal\n", n)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hotspotd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		return err // listener failed underneath us
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "hotspotd: draining (deadline %s)\n", *drain)
+	if err := srv.Drain(*drain); err != nil {
+		// Parked jobs are the deadline's designed outcome, not a failure:
+		// they resume on the next start. Report and exit cleanly.
+		fmt.Fprintf(out, "hotspotd: %v\n", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(out, "hotspotd: drained\n")
+	return nil
+}

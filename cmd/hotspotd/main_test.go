@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/xcheck"
+)
+
+// syncBuffer lets the test poll run's output while run writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+func waitListen(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never announced its address; output:\n%s", out.String())
+	return ""
+}
+
+func TestServeSubmitAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dir", t.TempDir(), "-drain", "15s"}, &out)
+	}()
+	addr := waitListen(t, &out)
+
+	sc := xcheck.Scenario{
+		Worm: xcheck.WormUniform, PopSize: 80, Slash8s: 1, Slash16s: 2,
+		PopSeed: 11, ScanRate: 60, TickSeconds: 1, MaxSeconds: 20,
+		SeedHosts: 2, SimSeed: 12, Workers: 1,
+	}
+	_, want, err := serve.OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/run", "application/json", bytes.NewReader(sc.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("served bytes differ from one-shot run")
+	}
+
+	cancel() // stands in for SIGTERM: same NotifyContext path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("drain never completed; output:\n%s", out.String())
+	}
+}
+
+func TestRejectsExtraArgs(t *testing.T) {
+	if err := run(context.Background(), []string{"bogus"}, io.Discard); err == nil {
+		t.Fatal("extra positional args accepted")
+	}
+}

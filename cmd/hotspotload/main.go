@@ -1,0 +1,432 @@
+// Command hotspotload is a deterministic load and chaos harness for
+// hotspotd. It hammers the submission path with concurrent clients —
+// duplicate scenarios, malformed bodies, oversized bodies, and clients
+// that disconnect mid-wait — and, in its default in-process mode, drains
+// the server mid-test with a deadline short enough to park jobs, then
+// restarts it on the same state directory to exercise journal recovery.
+//
+// Two invariants are asserted at the end:
+//
+//   - Zero lost accepted jobs: every scenario the server acknowledged
+//     (accepted, coalesced, or cached) must produce a result, across the
+//     mid-test restart.
+//   - Byte identity: every served result must equal the same scenario's
+//     one-shot run (serve.OneShot) byte for byte.
+//
+// Client behavior is seeded (-seed) so a failing run can be replayed.
+// With -addr the harness targets an already-running server instead and
+// skips the restart chaos (the caller owns the process lifecycle — this
+// is how scripts/check.sh smoke-tests the real binary).
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/xcheck"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hotspotload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadScenario builds the v-th distinct scenario of a seeded load run.
+// Each is cheap (a few ms) but multi-tick, so drains can interrupt runs
+// at tick boundaries.
+func loadScenario(seed, v uint64) xcheck.Scenario {
+	return xcheck.Scenario{
+		Worm:            xcheck.WormHitList,
+		PopSize:         80 + int(v%5)*12,
+		Slash8s:         1,
+		Slash16s:        2,
+		HitListSlash16s: 2,
+		PopSeed:         rng.Mix64(seed ^ (v << 1)),
+		ScanRate:        60,
+		TickSeconds:     1,
+		MaxSeconds:      20 + float64(v%4)*5,
+		SeedHosts:       2 + int(v%2),
+		SimSeed:         rng.Mix64(seed + v),
+		Workers:         1 + int(v%2),
+	}
+}
+
+// stats tallies client-side observations; all fields are guarded by mu.
+type stats struct {
+	mu         sync.Mutex
+	submitted  int
+	accepted   int
+	coalesced  int
+	cached     int
+	shedRetry  int // 429s that later succeeded
+	shedGiveUp int // 429s that exhausted the retry budget (not lost: never accepted)
+	malformed  int // 400s for deliberately bad bodies
+	oversized  int // 413s for deliberately huge bodies
+	disconnect int // clients that abandoned a result wait
+	wrongCode  int // contract violations: unexpected status codes
+}
+
+func (s *stats) add(f func(*stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s)
+}
+
+// harness is one load run's shared state.
+type harness struct {
+	seed     uint64
+	distinct int
+	expected map[string][]byte // job id -> one-shot bytes
+	byID     map[string]xcheck.Scenario
+
+	mu          sync.Mutex
+	acceptedIDs map[string]struct{} // every id the server acknowledged
+
+	st  stats
+	out io.Writer
+}
+
+func (h *harness) acknowledge(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.acceptedIDs[id] = struct{}{}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspotload", flag.ContinueOnError)
+	n := fs.Int("n", 2000, "total submissions across all clients")
+	distinct := fs.Int("distinct", 8, "distinct scenarios (duplicates exercise coalescing and caching)")
+	clients := fs.Int("clients", 32, "concurrent client goroutines")
+	seed := fs.Uint64("seed", 1, "seed for client decision streams")
+	quick := fs.Bool("quick", false, "small preset (n=300, clients=16) for CI")
+	addr := fs.String("addr", "", "target an external server at this host:port (skips the restart chaos; start the server with -max-body <= 128KiB so the oversized-body probes draw 413s)")
+	dir := fs.String("dir", "", "state directory for the in-process server (default: a temp dir)")
+	queue := fs.Int("queue", 32, "in-process server queue depth (small enough to exercise shedding)")
+	workers := fs.Int("workers", 4, "in-process server workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*n, *clients = 300, 16
+	}
+	if *distinct < 1 || *n < *distinct || *clients < 1 {
+		return fmt.Errorf("need distinct >= 1, n >= distinct, clients >= 1")
+	}
+
+	h := &harness{
+		seed:        *seed,
+		distinct:    *distinct,
+		expected:    make(map[string][]byte),
+		byID:        make(map[string]xcheck.Scenario),
+		acceptedIDs: make(map[string]struct{}),
+		out:         out,
+	}
+	// Precompute the reference bytes every served result must match. The
+	// burst scenarios (offset 1000) are submitted right before the mid-test
+	// drain so the restart has incomplete work to recover.
+	var variants []uint64
+	for v := uint64(0); v < uint64(*distinct); v++ {
+		variants = append(variants, v)
+	}
+	for v := uint64(1000); v < uint64(1000+16); v++ {
+		variants = append(variants, v)
+	}
+	for _, v := range variants {
+		sc := loadScenario(*seed, v)
+		id, body, err := serve.OneShot(ctx, sc)
+		if err != nil {
+			return fmt.Errorf("one-shot reference for variant %d: %w", v, err)
+		}
+		h.expected[id] = body
+		h.byID[id] = sc
+	}
+
+	if *addr != "" {
+		base := "http://" + *addr
+		h.phase(ctx, base, *n, *clients, 0)
+		return h.verify(ctx, base)
+	}
+
+	stateDir := *dir
+	if stateDir == "" {
+		var err error
+		stateDir, err = os.MkdirTemp("", "hotspotload-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(stateDir)
+	}
+	newServer := func() (*serve.Server, *httptest.Server, error) {
+		srv, err := serve.New(serve.Config{
+			Dir:          stateDir,
+			QueueDepth:   *queue,
+			Workers:      *workers,
+			MaxBodyBytes: 64 << 10,
+			Metrics:      obs.NewRegistry(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv.Handler()), nil
+	}
+
+	// Phase A: first half of the load, then a distinct-scenario burst
+	// followed by an immediate too-short drain — the SIGTERM stand-in —
+	// so jobs park with their journal accepts outstanding.
+	srv1, ts1, err := newServer()
+	if err != nil {
+		return err
+	}
+	defer ts1.Close()
+	h.phase(ctx, ts1.URL, *n/2, *clients, 0)
+	for _, v := range variants[*distinct:] {
+		sc := loadScenario(*seed, v)
+		h.submitOnce(ctx, ts1.URL, sc, &h.st)
+	}
+	if err := srv1.Drain(time.Millisecond); err != nil {
+		fmt.Fprintf(out, "hotspotload: mid-test drain: %v\n", err)
+	}
+
+	// Restart on the same directory: the journal re-admits parked work.
+	srv2, ts2, err := newServer()
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer ts2.Close()
+	fmt.Fprintf(out, "hotspotload: restart recovered %d incomplete jobs\n", srv2.Recovered())
+
+	// Phase B: the rest of the load against the recovered server.
+	h.phase(ctx, ts2.URL, *n-*n/2, *clients, 1)
+	err = h.verify(ctx, ts2.URL)
+	if derr := srv2.Drain(30 * time.Second); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// phase runs one burst of load: clients goroutines splitting total
+// submissions, each with its own seeded decision stream.
+func (h *harness) phase(ctx context.Context, base string, total, clients, phase int) {
+	if total < clients {
+		clients = total
+	}
+	if clients == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		per := total / clients
+		if c < total%clients {
+			per++
+		}
+		wg.Add(1)
+		go func(c, per int) {
+			defer wg.Done()
+			r := rng.NewXoshiroStream(h.seed, uint64(c)+1, uint64(phase))
+			for i := 0; i < per; i++ {
+				h.oneRequest(ctx, base, r)
+			}
+		}(c, per)
+	}
+	wg.Wait()
+}
+
+// oneRequest plays one seeded client move: mostly normal submissions of a
+// duplicate-heavy scenario mix, with malformed bodies, oversized bodies,
+// and mid-wait disconnects blended in.
+func (h *harness) oneRequest(ctx context.Context, base string, r *rng.Xoshiro) {
+	h.st.add(func(s *stats) { s.submitted++ })
+	roll := r.Intn(100)
+	switch {
+	case roll < 4: // malformed: must 400, never crash
+		bad := [][]byte{nil, []byte(`{`), []byte(`{"worm":"uniform","bogus":1}`), []byte(`{"worm":"x"}`)}
+		code, _, _ := post(ctx, base+"/scenarios", bad[r.Intn(len(bad))])
+		if code == http.StatusBadRequest {
+			h.st.add(func(s *stats) { s.malformed++ })
+		} else {
+			h.st.add(func(s *stats) { s.wrongCode++ })
+		}
+	case roll < 6: // oversized: must 413
+		code, _, _ := post(ctx, base+"/scenarios", bytes.Repeat([]byte{'x'}, 128<<10))
+		if code == http.StatusRequestEntityTooLarge {
+			h.st.add(func(s *stats) { s.oversized++ })
+		} else {
+			h.st.add(func(s *stats) { s.wrongCode++ })
+		}
+	case roll < 10: // disconnect mid-wait: job must survive the client
+		sc := loadScenario(h.seed, uint64(r.Intn(h.distinct)))
+		if id, ok := h.submitOnce(ctx, base, sc, &h.st); ok {
+			waitCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
+			req, err := http.NewRequestWithContext(waitCtx, http.MethodGet, base+"/jobs/"+id+"/result", nil)
+			if err == nil {
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+			}
+			cancel()
+			h.st.add(func(s *stats) { s.disconnect++ })
+		}
+	default: // normal duplicate-heavy submission
+		sc := loadScenario(h.seed, uint64(r.Intn(h.distinct)))
+		h.submitOnce(ctx, base, sc, &h.st)
+	}
+}
+
+// submitOnce submits one scenario, retrying shed (429) responses with a
+// small backoff. It records acknowledged ids for final verification.
+func (h *harness) submitOnce(ctx context.Context, base string, sc xcheck.Scenario, st *stats) (string, bool) {
+	body := sc.JSON()
+	shed := false
+	for attempt := 0; attempt < 400; attempt++ {
+		code, _, err := post(ctx, base+"/scenarios", body)
+		switch {
+		case err != nil:
+			st.add(func(s *stats) { s.wrongCode++ })
+			return "", false
+		case code == http.StatusAccepted || code == http.StatusOK:
+			id := serve.ScenarioID(body)
+			h.acknowledge(id)
+			st.add(func(s *stats) {
+				if shed {
+					s.shedRetry++
+				}
+				switch code {
+				case http.StatusAccepted:
+					s.accepted++ // accepted or coalesced; split server-side in /metrics
+				default:
+					s.cached++
+				}
+			})
+			return id, true
+		case code == http.StatusTooManyRequests:
+			shed = true
+			time.Sleep(5 * time.Millisecond)
+		default:
+			st.add(func(s *stats) { s.wrongCode++ })
+			return "", false
+		}
+	}
+	st.add(func(s *stats) { s.shedGiveUp++ })
+	return "", false
+}
+
+func post(ctx context.Context, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+// verify asserts the run's two invariants against the (final) server:
+// every acknowledged id serves a result, and every result matches its
+// one-shot bytes. Unacknowledged distinct scenarios are submitted now so
+// coverage is total even if every earlier attempt was shed.
+func (h *harness) verify(ctx context.Context, base string) error {
+	for id := range h.expected {
+		h.mu.Lock()
+		_, seen := h.acceptedIDs[id]
+		h.mu.Unlock()
+		if !seen {
+			h.submitOnce(ctx, base, h.byID[id], &h.st)
+		}
+	}
+	h.mu.Lock()
+	ids := make([]string, 0, len(h.acceptedIDs))
+	for id := range h.acceptedIDs {
+		ids = append(ids, id)
+	}
+	h.mu.Unlock()
+	sort.Strings(ids)
+
+	lost, divergent := 0, 0
+	for _, id := range ids {
+		want, known := h.expected[id]
+		if !known {
+			return fmt.Errorf("internal: acknowledged id %s has no reference bytes", id)
+		}
+		got, err := getResult(ctx, base, id)
+		if err != nil {
+			fmt.Fprintf(h.out, "hotspotload: LOST accepted job %s: %v\n", id[:12], err)
+			lost++
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			fmt.Fprintf(h.out, "hotspotload: DIVERGENT result for %s (%d vs %d bytes)\n", id[:12], len(got), len(want))
+			divergent++
+		}
+	}
+
+	st := &h.st
+	st.mu.Lock()
+	fmt.Fprintf(h.out,
+		"hotspotload: submitted=%d accepted=%d cached=%d shed-retried=%d shed-gave-up=%d malformed=%d oversized=%d disconnects=%d wrong-code=%d verified=%d\n",
+		st.submitted, st.accepted, st.cached, st.shedRetry, st.shedGiveUp,
+		st.malformed, st.oversized, st.disconnect, st.wrongCode, len(ids))
+	wrong := st.wrongCode
+	st.mu.Unlock()
+
+	switch {
+	case lost > 0:
+		return fmt.Errorf("%d accepted jobs lost", lost)
+	case divergent > 0:
+		return fmt.Errorf("%d results diverged from one-shot bytes", divergent)
+	case wrong > 0:
+		return fmt.Errorf("%d responses broke the status-code contract", wrong)
+	}
+	fmt.Fprintf(h.out, "hotspotload: ok — zero lost jobs, all %d results byte-identical to one-shot runs\n", len(ids))
+	return nil
+}
+
+// getResult fetches one job's NDJSON body, retrying transient 503s
+// (drain-parked jobs pre-restart) briefly.
+func getResult(ctx context.Context, base, id string) ([]byte, error) {
+	var last error
+	for attempt := 0; attempt < 100; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/result", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return body, nil
+		case http.StatusServiceUnavailable:
+			last = fmt.Errorf("parked: %s", body)
+			time.Sleep(20 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return nil, last
+}

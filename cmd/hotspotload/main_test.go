@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestQuickChaos runs the full in-process chaos cycle — concurrent
+// duplicate-heavy load, malformed and oversized bodies, mid-wait
+// disconnects, a mid-test deadline drain, and a journal-recovery restart —
+// and requires the harness's own invariants (zero lost accepted jobs,
+// byte-identical results) to hold. `go test -race ./...` therefore covers
+// the acceptance chaos run on every tier-1 pass.
+func TestQuickChaos(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-dir", t.TempDir()}, &out); err != nil {
+		t.Fatalf("chaos run: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ok — zero lost jobs") {
+		t.Fatalf("missing success line:\n%s", s)
+	}
+	if !strings.Contains(s, "restart recovered") {
+		t.Fatalf("restart never happened:\n%s", s)
+	}
+}
+
+func TestRejectsBadFlagCombos(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-n", "2", "-distinct", "8"}, &out); err == nil {
+		t.Fatal("n < distinct accepted")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/cmd/internal/obsflags"
 	"repro/internal/detect"
@@ -35,7 +37,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the run context: the simulation stops at the
+	// next tick boundary, no partial summary reaches the -checkpoint file
+	// (completed entries are flushed atomically as they finish), and a
+	// rerun resumes from whatever the interrupted run completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hotspotsim:", err)
 		os.Exit(1)
 	}
@@ -88,7 +96,7 @@ type runSummary struct {
 	AlertedCurve  seriesData      `json:"alerted_curve"`
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hotspotsim", flag.ContinueOnError)
 	var (
 		wormName    = fs.String("worm", "uniform", "uniform|hitlist|codered2")
@@ -162,7 +170,7 @@ func run(args []string) error {
 	defer sess.Close()
 
 	simulate := func() (runSummary, error) {
-		return simulateRun(simParams{
+		return simulateRun(ctx, simParams{
 			wormName:    *wormName,
 			driver:      *driver,
 			workers:     *workers,
@@ -196,7 +204,7 @@ func run(args []string) error {
 		key := fmt.Sprintf("hotspotsim|worm=%s|driver=%s|workers=%d|hl=%d|pop=%d|nat=%g|rate=%g|seeds=%d|t=%g|seed=%d|sensors=%d|placement=%s|thr=%d|contain=%g/%g|outage=%g|faults=%s",
 			*wormName, *driver, *workers, *hitListSize, *popSize, *nat, *scanRate, *seeds, *maxSeconds,
 			*seed, *sensors, *placement, *threshold, *containAt, *containDrop, *outage, fjson)
-		vals, err := sweep.MapCheckpointed(context.Background(), []int{0},
+		vals, err := sweep.MapCheckpointed(ctx, []int{0},
 			func(int, int) string { return key },
 			func(context.Context, int) (runSummary, error) { return simulate() },
 			cp, sweep.Options{})
@@ -234,7 +242,10 @@ type simParams struct {
 	faults      faults.Config
 }
 
-func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
+// simulateRun runs one simulation, stopping at the next tick boundary if
+// ctx is cancelled; an interrupted run returns ctx's error so its partial
+// summary never reaches a checkpoint.
+func simulateRun(ctx context.Context, p simParams, sess *obsflags.Session) (runSummary, error) {
 	var summary runSummary
 	popCfg := population.DefaultCodeRedII(p.seed)
 	if p.popSize != popCfg.Size {
@@ -376,7 +387,7 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 		if tickProgress != nil {
 			tickProgress(ti.Time, ti.Infected)
 		}
-		return true
+		return ctx.Err() == nil
 	}
 	cfg.OnTick = onTick
 
@@ -407,6 +418,9 @@ func simulateRun(p simParams, sess *obsflags.Session) (runSummary, error) {
 	}
 	if err != nil {
 		return summary, err
+	}
+	if err := ctx.Err(); err != nil {
+		return summary, err // interrupted: the truncated result is not a run
 	}
 	if fleet != nil {
 		fleet.ExportMetrics(sess.Registry)

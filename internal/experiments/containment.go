@@ -76,7 +76,7 @@ func RunExtContainment(cfg ExtContainmentConfig) (*Result, error) {
 		infected  float64
 		engagedAt float64
 	}
-	outcomes, err := sweep.Map(context.Background(), variants,
+	outcomes, err := sweep.Map(cfg.Fig5.ctx(), variants,
 		func(_ context.Context, v variant) (outcome, error) {
 			simCfg := sim.FastConfig{
 				Pop:         pop,

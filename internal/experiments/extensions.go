@@ -67,7 +67,7 @@ func RunExtThreshold(cfg ExtThresholdConfig) (*Result, error) {
 		infected  float64
 	}
 	var done atomic.Int64
-	outcomes, err := sweep.Map(context.Background(), cfg.Thresholds,
+	outcomes, err := sweep.Map(cfg.Fig5.ctx(), cfg.Thresholds,
 		func(_ context.Context, threshold uint64) (outcome, error) {
 			fleet, err := detect.NewThresholdFleet(placements, threshold)
 			if err != nil {
@@ -154,7 +154,7 @@ func RunExtNATSweep(cfg ExtNATSweepConfig) (*Result, error) {
 		timeTo20 float64
 	}
 	var done atomic.Int64
-	outcomes, err := sweep.Map(context.Background(), cfg.NATFractions,
+	outcomes, err := sweep.Map(cfg.Fig5.ctx(), cfg.NATFractions,
 		func(_ context.Context, nat float64) (outcome, error) {
 			pop, err := population.Synthesize(cfg.Fig5.Pop)
 			if err != nil {

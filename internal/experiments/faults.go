@@ -236,7 +236,7 @@ func RunExtFaults(cfg ExtFaultsConfig) (*Result, error) {
 			cfg.Fig5.Seed, cfg.Fig5.Pop.Size, cfg.HitListSize, cfg.Fig5.ScanRate,
 			cfg.Fig5.MaxSeconds, cfg.Fig5.AlertThreshold, pt.Burst, pt.Outage)
 	}
-	outcomes, err := sweep.MapCheckpointed(context.Background(), grid, key, run, cfg.Checkpoint, opts)
+	outcomes, err := sweep.MapCheckpointed(cfg.Fig5.ctx(), grid, key, run, cfg.Checkpoint, opts)
 	if err != nil {
 		return nil, err
 	}

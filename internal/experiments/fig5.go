@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,10 @@ type Fig5Config struct {
 	// runs; sweep-style experiments scope it per sub-run. Like Metrics,
 	// attaching never perturbs a run.
 	Trace *trace.Recorder
+	// Ctx, when non-nil, cancels in-flight parameter sweeps (the CLIs wire
+	// their signal context here): unstarted points are skipped, completed
+	// ones keep their checkpoint entries, and a rerun resumes from there.
+	Ctx context.Context
 }
 
 // attachObs wires an experiment Obs into the config's callback fields.
@@ -56,6 +61,15 @@ func (c *Fig5Config) attachObs(o *Obs, stage string) {
 	c.OnProgress = o.progressFunc(stage)
 	c.Metrics = o.registry()
 	c.Trace = o.trace()
+	c.Ctx = o.ctx()
+}
+
+// ctx returns the cancellation context (context.Background when unset).
+func (c *Fig5Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // progress reports a completed sub-run, if a handler is installed.

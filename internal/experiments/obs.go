@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/obs"
@@ -34,6 +35,11 @@ type Obs struct {
 	// Checkpoint, when non-nil, is handed to sweep-style experiments so an
 	// interrupted run resumes without recomputing finished grid points.
 	Checkpoint *sweep.Checkpoint
+	// Ctx, when non-nil, cancels in-flight sweeps: on SIGINT/SIGTERM the
+	// CLIs cancel it so grid points finish or stop at tick boundaries,
+	// completed points stay flushed in Checkpoint, and a rerun resumes
+	// from there.
+	Ctx context.Context
 }
 
 // registry returns the metric registry, or nil.
@@ -74,6 +80,14 @@ func (o *Obs) sweepOptions() sweep.Options {
 		return sweep.Options{}
 	}
 	return o.Sweep
+}
+
+// ctx returns the cancellation context (context.Background for nil).
+func (o *Obs) ctx() context.Context {
+	if o == nil || o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // checkpoint returns the sweep checkpoint, or nil.

@@ -1,0 +1,16 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format — the /metrics endpoint of anything built on this
+// registry. A nil registry serves an empty (but well-formed) exposition,
+// so wiring the endpoint never needs a nil check.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The registry snapshot cannot fail; write errors mean the client
+		// went away, which an exposition endpoint has nothing to say about.
+		_ = r.WritePrometheus(w)
+	})
+}

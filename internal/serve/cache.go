@@ -1,0 +1,58 @@
+package serve
+
+import "container/list"
+
+// finished is one completed job's terminal state: either the NDJSON result
+// body or the failure message.
+type finished struct {
+	Result []byte
+	Err    string
+}
+
+// lruCache is a bounded most-recently-used result cache keyed by job id.
+// It is not self-locking: the Server guards it with its own mutex. The
+// durable result store (sweep.Checkpoint) backs it, so eviction only costs
+// a disk lookup, never a re-run.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	id string
+	f  finished
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached entry and marks it most recently used.
+func (c *lruCache) get(id string) (finished, bool) {
+	el, ok := c.items[id]
+	if !ok {
+		return finished{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).f, true
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entry beyond capacity.
+func (c *lruCache) add(id string, f finished) {
+	if el, ok := c.items[id]; ok {
+		el.Value.(*cacheEntry).f = f
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, f: f})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).id)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzServeSubmit throws arbitrary bytes at the HTTP submission path. The
+// server must never panic, never run unbounded work (Validate's work-
+// product cap plus the per-attempt JobTimeout bound anything admitted),
+// and always answer with one of the contract's status codes.
+func FuzzServeSubmit(f *testing.F) {
+	f.Add(scenarioJSON(1))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"worm":"uniform","bogus":1}`))
+	f.Add([]byte(`{"worm":"hitlist","pop_size":1e309}`))
+	f.Add([]byte(`{"worm":"uniform","pop_size":80,"slash8s":1,"slash16s":2,` +
+		`"pop_seed":1,"scan_rate":60,"tick_seconds":1,"max_seconds":20,` +
+		`"seed_hosts":2,"sim_seed":1,"workers":1}`))
+	f.Add(bytes.Repeat([]byte(`[`), 4096))
+
+	s, err := New(Config{
+		QueueDepth:   8,
+		Workers:      2,
+		MaxBodyBytes: 4096,
+		JobTimeout:   250 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	f.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(30 * time.Second)
+	})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := http.Post(ts.URL+"/scenarios", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted, http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+			http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("submission answered %d for %q", resp.StatusCode, body)
+		}
+	})
+}

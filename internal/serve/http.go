@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/xcheck"
+)
+
+// submitResponse is the JSON body returned by POST /scenarios.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP interface:
+//
+//	POST /scenarios          submit a scenario; 202 accepted/coalesced,
+//	                         200 cached, 400 invalid, 413 oversized,
+//	                         429 queue full (Retry-After), 503 draining
+//	POST /run                submit and stream the NDJSON result
+//	GET  /jobs/{id}          job status
+//	GET  /jobs/{id}/result   block for and stream the NDJSON result
+//	GET  /metrics            Prometheus exposition
+//	GET  /healthz            liveness (always 200 while serving)
+//	GET  /readyz             readiness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scenarios", s.handleSubmit)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// readScenario parses a bounded request body into a validated scenario.
+// It writes the error response itself and reports ok=false on failure.
+func (s *Server) readScenario(w http.ResponseWriter, r *http.Request) (xcheck.Scenario, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.m.oversized.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds "+strconv.FormatInt(tooBig.Limit, 10)+" bytes")
+		} else {
+			s.m.invalid.Inc()
+			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		}
+		return xcheck.Scenario{}, false
+	}
+	sc, err := xcheck.ParseScenario(body)
+	if err == nil {
+		err = sc.Validate()
+	}
+	if err != nil {
+		s.m.invalid.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return xcheck.Scenario{}, false
+	}
+	return sc, true
+}
+
+// submit runs the admission flow and maps its outcome to an HTTP status,
+// writing rejection responses itself. ok is true only for admitted
+// (accepted, coalesced, or cached) submissions.
+func (s *Server) submit(w http.ResponseWriter, sc xcheck.Scenario) (id string, st SubmitStatus, ok bool) {
+	id, st, err := s.Submit(sc)
+	switch {
+	case err == nil:
+		return id, st, true
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return "", "", false
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.readScenario(w, r)
+	if !ok {
+		return
+	}
+	id, st, ok := s.submit(w, sc)
+	if !ok {
+		return
+	}
+	status := http.StatusAccepted
+	if st == StatusCached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{ID: id, Status: string(st)})
+}
+
+// handleRun is submit-and-wait: the response streams the job's NDJSON
+// result once it completes. A client disconnect abandons only the wait —
+// the job itself keeps running and its result stays retrievable.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.readScenario(w, r)
+	if !ok {
+		return
+	}
+	id, _, ok := s.submit(w, sc)
+	if !ok {
+		return
+	}
+	s.streamResult(w, r, id)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, ok := s.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.streamResult(w, r, r.PathValue("id"))
+}
+
+// streamResult waits for the job (bounded by the client's own context) and
+// writes its NDJSON body.
+func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, id string) {
+	body, err := s.Result(r.Context(), id)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrParked):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case r.Context().Err() != nil:
+		// Client went away mid-wait; nothing useful to write.
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain(30 * time.Second)
+	})
+	return s, ts
+}
+
+func postScenario(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Metrics: obs.NewRegistry()})
+	sc := testScenario(100)
+	wantID, want, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postScenario(t, ts.URL+"/scenarios", sc.JSON())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != wantID || sr.Status != string(StatusAccepted) {
+		t.Fatalf("submit response %+v", sr)
+	}
+
+	res, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", res.StatusCode, got)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("result content-type %q", ct)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("HTTP result differs from one-shot bytes")
+	}
+
+	st, err := http.Get(ts.URL + "/jobs/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody, _ := io.ReadAll(st.Body)
+	st.Body.Close()
+	if st.StatusCode != http.StatusOK || !strings.Contains(string(stBody), StateDone) {
+		t.Fatalf("status: %d %s", st.StatusCode, stBody)
+	}
+
+	// Resubmit: cached, HTTP 200.
+	resp2, body2 := postScenario(t, ts.URL+"/scenarios", sc.JSON())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp2.StatusCode, body2)
+	}
+}
+
+func TestHTTPRunStreams(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sc := testScenario(101)
+	_, want, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, got := postScenario(t, ts.URL+"/run", sc.JSON())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("streamed result differs from one-shot bytes")
+	}
+}
+
+func TestHTTPRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 512, Metrics: obs.NewRegistry()})
+
+	cases := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"malformed", []byte(`{"worm":`), http.StatusBadRequest},
+		{"unknown field", []byte(`{"worm":"uniform","bogus":1}`), http.StatusBadRequest},
+		{"empty", nil, http.StatusBadRequest},
+		{"invalid scenario", []byte(`{"worm":"uniform","pop_size":5}`), http.StatusBadRequest},
+		{"oversized", bytes.Repeat([]byte("x"), 4096), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, body := postScenario(t, ts.URL+"/scenarios", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: %d (%s), want %d", tc.name, resp.StatusCode, body, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/no-such-job/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFullRetryAfter(t *testing.T) {
+	started, release := gate(t)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Metrics: obs.NewRegistry()})
+
+	resp, body := postScenario(t, ts.URL+"/scenarios", scenarioJSON(110))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %d %s", resp.StatusCode, body)
+	}
+	<-started
+	resp, body = postScenario(t, ts.URL+"/scenarios", scenarioJSON(111))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fill: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postScenario(t, ts.URL+"/scenarios", scenarioJSON(112))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	close(release)
+}
+
+func TestHTTPHealthAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz: %d", c)
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("readyz: %d", c)
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", c)
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", c)
+	}
+	resp, _ := postScenario(t, ts.URL+"/scenarios", scenarioJSON(120))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Metrics: obs.NewRegistry()})
+	resp, body := postScenario(t, ts.URL+"/scenarios", scenarioJSON(130))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if mres.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mres.StatusCode)
+	}
+	for _, want := range []string{
+		`serve_submit_total{result="accepted"} 1`,
+		"serve_queue_depth",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+}
+
+// TestHTTPClientDisconnectKeepsJob exercises the mid-run disconnect path:
+// a client that abandons POST /run does not kill the job — the result is
+// still retrievable afterwards.
+func TestHTTPClientDisconnectKeepsJob(t *testing.T) {
+	started, release := gate(t)
+	s, ts := newTestServer(t, Config{Workers: 1})
+	sc := testScenario(140)
+	_, want, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/run", bytes.NewReader(sc.JSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	id := <-started // job admitted and running
+	cancel()        // client walks away mid-run
+	wg.Wait()
+	close(release)
+
+	got, err := s.Result(waitCtx(t), id)
+	if err != nil {
+		t.Fatalf("wait after disconnect: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-disconnect result differs from one-shot bytes")
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalRecord is one line of the admission journal. The journal is
+// append-only NDJSON: an "accept" record (with the scenario's canonical
+// bytes) when a job is admitted, and a "done" record when it completes or
+// fails. A job that has an accept with no matching done is incomplete and
+// is re-enqueued on restart; because runs are deterministic, the rerun
+// reproduces the lost result byte for byte.
+type journalRecord struct {
+	Op       string          `json:"op"` // "accept" | "done"
+	ID       string          `json:"id"`
+	Scenario json.RawMessage `json:"scenario,omitempty"` // accept: canonical scenario JSON
+	OK       bool            `json:"ok,omitempty"`       // done: whether the job succeeded
+	Error    string          `json:"error,omitempty"`    // done: failure detail
+}
+
+// journal is the crash-safe admission log. Appends are single writes of
+// one newline-terminated record, synced to disk before the admission is
+// acknowledged, so an acknowledged job survives any crash. A crash mid-
+// append can leave at most one torn trailing line; recovery truncates it
+// (the half-written job was never acknowledged, so dropping it is correct).
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// pendingJob is one incomplete entry recovered from the journal.
+type pendingJob struct {
+	id       string
+	scenario []byte
+}
+
+// openJournal opens (creating if needed) the journal at path, replays it,
+// and returns the incomplete jobs in admission order. Replay applies
+// records in order — accept marks a job pending, done clears it — so a job
+// re-admitted after an earlier failure is correctly pending again.
+func openJournal(path string) (*journal, []pendingJob, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("serve: read journal: %w", err)
+	}
+
+	// Replay complete lines; stop at the first torn or undecodable line
+	// and truncate the file there (only a crash mid-append writes one, and
+	// that admission was never acknowledged).
+	valid := 0
+	pendingIdx := make(map[string]int)
+	var pending []pendingJob
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn trailing line
+		}
+		line := data[off : off+nl]
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		switch rec.Op {
+		case "accept":
+			if _, dup := pendingIdx[rec.ID]; !dup {
+				pendingIdx[rec.ID] = len(pending)
+				pending = append(pending, pendingJob{id: rec.ID, scenario: append([]byte(nil), rec.Scenario...)})
+			}
+		case "done":
+			if i, ok := pendingIdx[rec.ID]; ok {
+				pending[i].id = "" // tombstone; compacted below
+				delete(pendingIdx, rec.ID)
+			}
+		}
+		off += nl + 1
+		valid = off
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, fmt.Errorf("serve: truncate torn journal: %w", err)
+		}
+	}
+	out := pending[:0]
+	for _, p := range pending {
+		if p.id != "" {
+			out = append(out, p)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	return &journal{f: f}, out, nil
+}
+
+// append writes one record and syncs it to disk before returning, so the
+// caller may acknowledge the admission (or completion) to the client.
+func (j *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal record: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	return nil
+}
+
+// accept journals a job admission with its canonical scenario bytes.
+func (j *journal) accept(id string, canonical []byte) error {
+	return j.append(journalRecord{Op: "accept", ID: id, Scenario: canonical})
+}
+
+// done journals a job completion (or terminal failure).
+func (j *journal) done(id string, ok bool, errMsg string) error {
+	return j.append(journalRecord{Op: "done", ID: id, OK: ok, Error: errMsg})
+}
+
+// close releases the journal file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

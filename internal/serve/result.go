@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/sim"
+	"repro/internal/xcheck"
+)
+
+// ScenarioID is the cache and coalescing key: the SHA-256 of the
+// scenario's canonical JSON bytes (xcheck.Scenario.JSON — strict parse
+// followed by struct marshal, so two submissions that differ only in JSON
+// formatting map to one id). Scenarios are deterministic, so the id names
+// the result as much as the request.
+func ScenarioID(canonical []byte) string {
+	h := sha256.Sum256(canonical)
+	return hex.EncodeToString(h[:])
+}
+
+// resultHeader is the first NDJSON line of a job result.
+type resultHeader struct {
+	Job   string `json:"job"`
+	Worm  string `json:"worm"`
+	Pop   int    `json:"pop"`
+	Ticks int    `json:"ticks"`
+}
+
+// resultTick is one per-tick NDJSON line.
+type resultTick struct {
+	T        float64 `json:"t"`
+	Infected int     `json:"infected"`
+	New      int     `json:"new"`
+	Probes   uint64  `json:"probes"`
+}
+
+// resultFinal is the trailing NDJSON line: cumulative totals plus the
+// probe-outcome breakdown (the conservation ledger).
+type resultFinal struct {
+	Final    bool    `json:"final"`
+	T        float64 `json:"t"`
+	Infected int     `json:"infected"`
+	Probes   uint64  `json:"probes"`
+	Outcomes string  `json:"outcomes"`
+}
+
+// ResultNDJSON renders a completed run as the service's canonical NDJSON
+// body: a header line, one line per tick, and a final-summary line. Every
+// field is a pure function of the run result (floats round-trip exactly
+// through encoding/json), so the encoding preserves the driver's
+// byte-identity contract: same scenario, same bytes — across worker
+// counts, process restarts, and machines.
+func ResultNDJSON(id string, sc *xcheck.Scenario, res *sim.Result) []byte {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	// Encode never fails on these field types; swallow the impossible
+	// error once here rather than at every call site.
+	_ = enc.Encode(resultHeader{Job: id, Worm: sc.Worm, Pop: len(res.InfectionTime), Ticks: len(res.Series)})
+	for _, ti := range res.Series {
+		_ = enc.Encode(resultTick{T: ti.Time, Infected: ti.Infected, New: ti.NewInfections, Probes: ti.Probes})
+	}
+	_ = enc.Encode(resultFinal{
+		Final:    true,
+		T:        res.Final.Time,
+		Infected: res.Final.Infected,
+		Probes:   res.Outcomes.Total(),
+		Outcomes: res.Outcomes.String(),
+	})
+	return b.Bytes()
+}
+
+// OneShot runs one scenario to completion outside any server — the
+// reference a served result must match byte for byte. The load harness
+// and the recovery tests compare server output against this.
+func OneShot(ctx context.Context, sc xcheck.Scenario) (id string, body []byte, err error) {
+	id = ScenarioID(sc.JSON())
+	res, err := xcheck.RunScenario(ctx, sc)
+	if err != nil {
+		return id, nil, err
+	}
+	return id, ResultNDJSON(id, &sc, res), nil
+}

@@ -1,0 +1,576 @@
+// Package serve is the outbreak-simulation service core behind
+// cmd/hotspotd: a bounded, fault-tolerant scheduler that turns canonical
+// xcheck scenarios into deterministic NDJSON results.
+//
+// The robustness contract (DESIGN.md §13) has four legs, each
+// test-enforced:
+//
+//   - Admission control. The queue is bounded; a full queue rejects with
+//     ErrQueueFull (HTTP 429 + Retry-After) instead of growing goroutines
+//     or memory without bound. Every admission decision is counted.
+//
+//   - Coalescing and caching. A scenario's identity is the SHA-256 of its
+//     canonical JSON (ScenarioID). Identical submissions while a job is
+//     queued or running join that job (singleflight); submissions of a
+//     finished scenario are cache hits — first from a bounded in-memory
+//     LRU, then from the durable result store.
+//
+//   - Crash-safe recovery. Admissions are journaled (synced NDJSON) before
+//     they are acknowledged, and results persist in a sweep.Checkpoint
+//     store. On restart, accepted-but-incomplete jobs are re-enqueued and,
+//     because scenarios are deterministic, reproduce the result that the
+//     crash interrupted byte for byte.
+//
+//   - Graceful drain. Drain stops admissions, lets in-flight and queued
+//     jobs finish within a deadline, and parks whatever remains: parked
+//     jobs stay accepted in the journal and complete after restart.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+	"repro/internal/xcheck"
+)
+
+// Sentinel errors surfaced by Submit and Wait.
+var (
+	// ErrQueueFull rejects an admission when the bounded queue is at
+	// capacity; the client should retry after a backoff (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining rejects an admission while the server is draining
+	// (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrParked reports a job that was accepted but parked by a drain
+	// deadline; it will complete after the next restart.
+	ErrParked = errors.New("serve: job parked by drain; restarts will resume it")
+	// ErrUnknownJob reports an id no journal, queue, or cache knows.
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Config tunes a Server. The zero value of every field has a usable
+// default.
+type Config struct {
+	// Dir is the state directory (journal + result store). Empty means
+	// volatile: no journal, no durable results, no crash recovery.
+	Dir string
+	// QueueDepth bounds jobs admitted but not yet picked up by a worker
+	// (default 64). Admissions beyond it are shed with ErrQueueFull.
+	QueueDepth int
+	// Workers bounds concurrently running jobs (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the in-memory result LRU (default 256).
+	CacheEntries int
+	// MaxBodyBytes bounds HTTP submission bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Retries re-runs a failed job this many times with a deterministic
+	// exponential backoff (sweep.ExpBackoff on RetryBackoff).
+	Retries int
+	// RetryBackoff is the backoff schedule's base delay (default 50ms,
+	// capped at 16x).
+	RetryBackoff time.Duration
+	// JobTimeout, when positive, bounds each run attempt.
+	JobTimeout time.Duration
+	// Metrics, when non-nil, receives the serve_* counter and gauge
+	// families (see DESIGN.md §13 for the name contract).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// SubmitStatus is the admission outcome of one submission.
+type SubmitStatus string
+
+const (
+	// StatusAccepted: a new job was admitted and queued.
+	StatusAccepted SubmitStatus = "accepted"
+	// StatusCoalesced: an identical job is already queued or running; the
+	// submission joined it.
+	StatusCoalesced SubmitStatus = "coalesced"
+	// StatusCached: the result already exists (memory or disk); no run.
+	StatusCached SubmitStatus = "cached"
+)
+
+// Job states reported by Status.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+	StateParked  = "parked"
+)
+
+// job is one admitted scenario run. done closes exactly once, after
+// result/err/state are final.
+type job struct {
+	id        string
+	sc        xcheck.Scenario
+	canonical []byte
+	state     string // guarded by Server.mu
+	done      chan struct{}
+	result    []byte // set before done closes
+	err       error  // set before done closes
+}
+
+// metrics bundles the server's obs handles; nil handles (no registry)
+// no-op.
+type metrics struct {
+	accepted, coalesced, cachedMem, cachedDisk *obs.Counter
+	shed, rejectedDraining, invalid, oversized *obs.Counter
+	completed, failed, parked, recovered       *obs.Counter
+	runs                                       *obs.Counter
+	queueDepth, inflight, draining, cacheLen   *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	sub := func(result string) *obs.Counter { return r.Counter("serve_submit_total", "result", result) }
+	jobs := func(state string) *obs.Counter { return r.Counter("serve_jobs_total", "state", state) }
+	return metrics{
+		accepted:         sub("accepted"),
+		coalesced:        sub("coalesced"),
+		cachedMem:        sub("cached_mem"),
+		cachedDisk:       sub("cached_disk"),
+		shed:             sub("shed"),
+		rejectedDraining: sub("draining"),
+		invalid:          sub("invalid"),
+		oversized:        sub("oversized"),
+		completed:        jobs("completed"),
+		failed:           jobs("failed"),
+		parked:           jobs("parked"),
+		recovered:        jobs("recovered"),
+		runs:             r.Counter("serve_runs_total"),
+		queueDepth:       r.Gauge("serve_queue_depth"),
+		inflight:         r.Gauge("serve_inflight"),
+		draining:         r.Gauge("serve_draining"),
+		cacheLen:         r.Gauge("serve_cache_entries"),
+	}
+}
+
+// testExecuteStart, when non-nil, is called at the top of every job run.
+// Tests use it to hold a run open so concurrent identical submissions
+// deterministically coalesce instead of racing the run to completion; the
+// run context lets a blocked test run still honor drain cancellation.
+var testExecuteStart func(ctx context.Context, id string)
+
+// Server is the scheduler. Construct with New, serve HTTP with Handler,
+// stop with Drain (or Close).
+type Server struct {
+	cfg     Config
+	journal *journal          // nil when Dir == ""
+	store   *sweep.Checkpoint // nil when Dir == ""
+	m       metrics
+
+	queue   chan *job
+	runCtx  context.Context
+	stopRun context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	live        map[string]*job // queued or running, by id
+	cache       *lruCache
+	pending     int // jobs enqueued but not yet picked up
+	draining    bool
+	queueClosed bool
+	drained     chan struct{} // closed when Drain finishes
+	recovered   int
+}
+
+// New opens the state directory, replays the journal, re-enqueues
+// incomplete jobs, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		m:       newMetrics(cfg.Metrics),
+		live:    make(map[string]*job),
+		cache:   newLRU(cfg.CacheEntries),
+		drained: make(chan struct{}),
+	}
+	s.runCtx, s.stopRun = context.WithCancel(context.Background())
+
+	var pending []pendingJob
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
+		store, err := sweep.OpenCheckpoint(filepath.Join(cfg.Dir, "results.ckpt"))
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.journal, pending, err = openJournal(filepath.Join(cfg.Dir, "journal.ndjson"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Recovered jobs bypass admission control — they were admitted in a
+	// previous life — so the queue must have room for all of them on top
+	// of the configured depth.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, p := range pending {
+		s.recoverJob(p)
+	}
+	s.recovered = len(pending)
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// recoverJob re-admits one incomplete journal entry. A result already in
+// the durable store (the crash landed between result save and the done
+// record) completes immediately; anything else re-runs from scratch and,
+// by determinism, reproduces the interrupted result exactly.
+func (s *Server) recoverJob(p pendingJob) {
+	if s.store != nil {
+		var body string
+		if hit, err := s.store.Lookup(p.id, &body); err == nil && hit {
+			s.completeRecovered(p.id, finished{Result: []byte(body)})
+			return
+		}
+	}
+	sc, err := xcheck.ParseScenario(p.scenario)
+	if err == nil {
+		err = sc.Validate()
+	}
+	if err != nil {
+		// Journaled scenario no longer parses (schema drift across an
+		// upgrade): terminally fail it rather than refusing to start.
+		s.completeRecovered(p.id, finished{Err: err.Error()})
+		return
+	}
+	j := &job{id: p.id, sc: sc, canonical: append([]byte(nil), p.scenario...), state: StateQueued, done: make(chan struct{})}
+	s.live[j.id] = j
+	s.pending++
+	s.queue <- j
+	s.m.recovered.Inc()
+	s.m.queueDepth.Set(float64(s.pending))
+}
+
+// completeRecovered finalizes a recovered job without running it.
+func (s *Server) completeRecovered(id string, f finished) {
+	if s.journal != nil {
+		_ = s.journal.done(id, f.Err == "", f.Err)
+	}
+	s.cache.add(id, f)
+	s.m.cacheLen.Set(float64(s.cache.len()))
+	s.m.recovered.Inc()
+}
+
+// Recovered reports how many incomplete jobs the journal replay
+// re-admitted at startup.
+func (s *Server) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Submit admits one scenario and returns its job id and the admission
+// outcome. The scenario is re-validated (Submit is safe on hostile
+// inputs). Errors: ErrQueueFull when load must be shed, ErrDraining
+// during drain, or a journal write failure (the job is not admitted).
+func (s *Server) Submit(sc xcheck.Scenario) (string, SubmitStatus, error) {
+	if err := sc.Validate(); err != nil {
+		return "", "", err
+	}
+	canonical := sc.JSON()
+	id := ScenarioID(canonical)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.m.rejectedDraining.Inc()
+		return id, "", ErrDraining
+	}
+	if _, ok := s.live[id]; ok {
+		s.m.coalesced.Inc()
+		return id, StatusCoalesced, nil
+	}
+	if _, ok := s.cache.get(id); ok {
+		s.m.cachedMem.Inc()
+		return id, StatusCached, nil
+	}
+	if s.store != nil {
+		var body string
+		if hit, err := s.store.Lookup(id, &body); err == nil && hit {
+			s.cache.add(id, finished{Result: []byte(body)})
+			s.m.cacheLen.Set(float64(s.cache.len()))
+			s.m.cachedDisk.Inc()
+			return id, StatusCached, nil
+		}
+	}
+	if s.pending >= s.cfg.QueueDepth {
+		s.m.shed.Inc()
+		return id, "", ErrQueueFull
+	}
+	// Journal before acknowledging: once Submit returns StatusAccepted the
+	// job survives any crash. The send cannot block — pending < QueueDepth
+	// ≤ cap(queue) is enforced above under the same lock.
+	if s.journal != nil {
+		if err := s.journal.accept(id, canonical); err != nil {
+			return id, "", err
+		}
+	}
+	j := &job{id: id, sc: sc, canonical: canonical, state: StateQueued, done: make(chan struct{})}
+	s.live[id] = j
+	s.pending++
+	s.queue <- j
+	s.m.accepted.Inc()
+	s.m.queueDepth.Set(float64(s.pending))
+	return id, StatusAccepted, nil
+}
+
+// worker drains the queue until it closes, parking jobs once the run
+// context is cancelled (drain deadline or hard stop).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.runCtx.Err() != nil {
+			s.park(j)
+			continue
+		}
+		s.mu.Lock()
+		s.pending--
+		j.state = StateRunning
+		s.m.queueDepth.Set(float64(s.pending))
+		s.m.inflight.Add(1)
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the sweep layer: per-attempt deadline,
+// seeded exponential-backoff retries, panic isolation, and — when a
+// durable store is configured — checkpointed results, so a re-run of an
+// already-completed job (recovery races, duplicate journal entries)
+// replays the stored bytes instead of recomputing.
+func (s *Server) runJob(j *job) {
+	opts := sweep.Options{
+		Retries:     s.cfg.Retries,
+		Backoff:     sweep.ExpBackoff(s.cfg.RetryBackoff, 16*s.cfg.RetryBackoff),
+		TaskTimeout: s.cfg.JobTimeout,
+		TaskLabel:   func(int) string { return j.id },
+	}
+	key := func(int, xcheck.Scenario) string { return j.id }
+	out, err := sweep.MapCheckpointed(s.runCtx, []xcheck.Scenario{j.sc}, key, s.execute, s.store, opts)
+	if s.runCtx.Err() != nil {
+		// Drain or shutdown interrupted the run; the job stays accepted in
+		// the journal and completes after restart.
+		s.mu.Lock()
+		s.m.inflight.Add(-1)
+		s.mu.Unlock()
+		s.park(j)
+		return
+	}
+	var body string
+	if err == nil {
+		body = out[0]
+	}
+	s.finish(j, body, err)
+}
+
+// execute is the sweep task body: one deterministic scenario run encoded
+// as NDJSON.
+func (s *Server) execute(ctx context.Context, sc xcheck.Scenario) (string, error) {
+	s.m.runs.Inc()
+	if testExecuteStart != nil {
+		testExecuteStart(ctx, ScenarioID(sc.JSON()))
+	}
+	res, err := xcheck.RunScenario(ctx, sc)
+	if err != nil {
+		return "", err
+	}
+	id := ScenarioID(sc.JSON())
+	return string(ResultNDJSON(id, &sc, res)), nil
+}
+
+// finish publishes a job's terminal state: journal first (a crash after
+// the run but before the done record is healed by recovery's store
+// lookup), then cache, then the done broadcast.
+func (s *Server) finish(j *job, body string, err error) {
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	if s.journal != nil {
+		if jerr := s.journal.done(j.id, err == nil, errMsg); jerr != nil && err == nil {
+			// The result is durable in the store; the stale accept record
+			// only costs a cache-hit recovery at next startup.
+			_ = jerr
+		}
+	}
+	s.mu.Lock()
+	delete(s.live, j.id)
+	if err == nil {
+		j.state = StateDone
+		j.result = []byte(body)
+		s.cache.add(j.id, finished{Result: j.result})
+		s.m.completed.Inc()
+	} else {
+		j.state = StateFailed
+		j.err = err
+		s.cache.add(j.id, finished{Err: errMsg})
+		s.m.failed.Inc()
+	}
+	s.m.inflight.Add(-1)
+	s.m.cacheLen.Set(float64(s.cache.len()))
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// park abandons a job without completing it: its journal accept record
+// stands, so the next restart re-enqueues and finishes it. The job stays
+// in the live map (parking only happens while draining, when no new
+// submissions can collide with it) so Status and Wait keep answering.
+func (s *Server) park(j *job) {
+	s.mu.Lock()
+	j.state = StateParked
+	j.err = ErrParked
+	s.m.parked.Inc()
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Status reports a job's lifecycle state. ok is false for unknown ids.
+func (s *Server) Status(id string) (state string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, live := s.live[id]; live {
+		return j.state, true
+	}
+	if f, hit := s.cache.get(id); hit {
+		if f.Err != "" {
+			return StateFailed, true
+		}
+		return StateDone, true
+	}
+	if s.store != nil {
+		var body string
+		if hit, err := s.store.Lookup(id, &body); err == nil && hit {
+			return StateDone, true
+		}
+	}
+	return "", false
+}
+
+// Result blocks until the job completes (or ctx is done) and returns its
+// NDJSON result. Completed jobs return immediately from the cache or the
+// durable store. Errors: ErrUnknownJob, ErrParked, ctx.Err(), or the
+// job's own failure.
+func (s *Server) Result(ctx context.Context, id string) ([]byte, error) {
+	s.mu.Lock()
+	if j, live := s.live[id]; live {
+		s.mu.Unlock()
+		//lint:deterministic both arms only pick between returning the finished result and honoring caller cancellation; neither reads or writes simulation state, so no ordering can leak into a run
+		select {
+		case <-j.done:
+			return j.result, j.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer s.mu.Unlock()
+	if f, hit := s.cache.get(id); hit {
+		if f.Err != "" {
+			return nil, fmt.Errorf("serve: job failed: %s", f.Err)
+		}
+		return f.Result, nil
+	}
+	if s.store != nil {
+		var body string
+		if hit, err := s.store.Lookup(id, &body); err == nil && hit {
+			s.cache.add(id, finished{Result: []byte(body)})
+			s.m.cacheLen.Set(float64(s.cache.len()))
+			return []byte(body), nil
+		}
+	}
+	return nil, ErrUnknownJob
+}
+
+// Draining reports whether admissions are closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops the server: admissions close immediately, queued
+// and in-flight jobs get until the deadline to finish, and whatever
+// remains is parked (still accepted in the journal; a restart resumes
+// it). Idempotent: concurrent and repeat calls wait for the first drain
+// to finish. Returns nil when every job finished, or an error naming how
+// many were parked.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.drained
+		return nil
+	}
+	s.draining = true
+	s.m.draining.Set(1)
+	if !s.queueClosed {
+		close(s.queue)
+		s.queueClosed = true
+	}
+	s.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var timedOut bool
+	select {
+	case <-workersDone:
+	case <-timer.C:
+		timedOut = true
+		s.stopRun() // in-flight runs stop at the next tick; queued jobs park
+		<-workersDone
+	}
+	s.stopRun()
+
+	var err error
+	if s.journal != nil {
+		err = s.journal.close()
+	}
+	if timedOut {
+		parked := uint64(0)
+		if s.m.parked != nil {
+			parked = s.m.parked.Value()
+		}
+		err = errors.Join(err, fmt.Errorf("serve: drain deadline: %d jobs parked for restart", parked))
+	}
+	close(s.drained)
+	return err
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+	"repro/internal/xcheck"
+)
+
+// testScenario builds a cheap, valid, deterministic scenario; distinct
+// variants produce distinct canonical bytes (and so distinct job ids).
+func testScenario(variant uint64) xcheck.Scenario {
+	return xcheck.Scenario{
+		Worm:            xcheck.WormHitList,
+		PopSize:         80,
+		Slash8s:         1,
+		Slash16s:        2,
+		HitListSlash16s: 2,
+		PopSeed:         1000 + variant,
+		ScanRate:        60,
+		TickSeconds:     1,
+		MaxSeconds:      25,
+		SeedHosts:       3,
+		SimSeed:         2000 + variant,
+		Workers:         1,
+	}
+}
+
+// scenarioJSON is testScenario's canonical bytes (JSON needs an
+// addressable receiver).
+func scenarioJSON(variant uint64) []byte {
+	sc := testScenario(variant)
+	return sc.JSON()
+}
+
+// gate installs a testExecuteStart hook that blocks every run until
+// release is closed (or the run context is cancelled, so drains still
+// finish). started receives each run's job id as it begins.
+func gate(t *testing.T) (started chan string, release chan struct{}) {
+	t.Helper()
+	started = make(chan string, 64)
+	release = make(chan struct{})
+	testExecuteStart = func(ctx context.Context, id string) {
+		started <- id
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	t.Cleanup(func() { testExecuteStart = nil })
+	return started, release
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func mustDrain(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestSubmitWaitByteIdentity(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+
+	sc := testScenario(1)
+	wantID, want, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, st, err := s.Submit(sc)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st != StatusAccepted {
+		t.Fatalf("status = %q, want accepted", st)
+	}
+	if id != wantID {
+		t.Fatalf("job id %q != scenario id %q", id, wantID)
+	}
+	got, err := s.Result(waitCtx(t), id)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served result differs from one-shot run:\nserved: %q\noneshot: %q", got, want)
+	}
+	if !strings.HasPrefix(string(got), `{"job":"`+id+`"`) {
+		t.Fatalf("result header malformed: %q", got[:min(len(got), 80)])
+	}
+}
+
+func TestSubmitRejectsInvalid(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+	sc := testScenario(1)
+	sc.PopSize = 5 // below the floor
+	if _, _, err := s.Submit(sc); err == nil {
+		t.Fatal("invalid scenario admitted")
+	}
+}
+
+func TestCoalescingSingleRun(t *testing.T) {
+	started, release := gate(t)
+	reg := obs.NewRegistry()
+	s, err := New(Config{Workers: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+
+	const n = 24
+	sc := testScenario(7)
+	_, want, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id0, st, err := s.Submit(sc)
+	if err != nil || st != StatusAccepted {
+		t.Fatalf("first submit: %q, %v", st, err)
+	}
+	<-started // the one run is now in flight and holding the gate
+
+	var wg sync.WaitGroup
+	statuses := make([]SubmitStatus, n-1)
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, st, err := s.Submit(sc)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if id != id0 {
+				t.Errorf("submit %d: id %q != %q", i, id, id0)
+			}
+			statuses[i] = st
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	for i, st := range statuses {
+		if st != StatusCoalesced {
+			t.Errorf("submit %d: status %q, want coalesced", i, st)
+		}
+	}
+	var bodies [n][]byte
+	var bw sync.WaitGroup
+	for i := 0; i < n; i++ {
+		bw.Add(1)
+		go func(i int) {
+			defer bw.Done()
+			body, err := s.Result(waitCtx(t), id0)
+			if err != nil {
+				t.Errorf("wait %d: %v", i, err)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	bw.Wait()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(bodies[i], want) {
+			t.Fatalf("waiter %d got divergent bytes", i)
+		}
+	}
+	if runs := reg.Counter("serve_runs_total").Value(); runs != 1 {
+		t.Fatalf("serve_runs_total = %d, want exactly 1 for %d submissions", runs, n)
+	}
+	if acc := reg.Counter("serve_submit_total", "result", "accepted").Value(); acc != 1 {
+		t.Fatalf("accepted = %d, want 1", acc)
+	}
+	if co := reg.Counter("serve_submit_total", "result", "coalesced").Value(); co != n-1 {
+		t.Fatalf("coalesced = %d, want %d", co, n-1)
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	started, release := gate(t)
+	reg := obs.NewRegistry()
+	s, err := New(Config{Workers: 1, QueueDepth: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+
+	// Job 0 occupies the single worker (held by the gate); 1 and 2 fill
+	// the queue; 3 must be shed.
+	if _, _, err := s.Submit(testScenario(10)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for v := uint64(11); v <= 12; v++ {
+		if _, st, err := s.Submit(testScenario(v)); err != nil || st != StatusAccepted {
+			t.Fatalf("fill %d: %q, %v", v, st, err)
+		}
+	}
+	if _, _, err := s.Submit(testScenario(13)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if shed := reg.Counter("serve_submit_total", "result", "shed").Value(); shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+	close(release)
+	// Once the queue clears the same scenario is admissible again.
+	id, err := func() (string, error) {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			id, st, err := s.Submit(testScenario(13))
+			if !errors.Is(err, ErrQueueFull) {
+				if st == StatusCached || st == StatusAccepted || st == StatusCoalesced {
+					return id, err
+				}
+				return id, err
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return "", fmt.Errorf("queue never cleared")
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(waitCtx(t), id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitMemoryAndDisk(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := New(Config{Dir: dir, CacheEntries: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+
+	scA, scB := testScenario(20), testScenario(21)
+	idA, _, err := s.Submit(scA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := s.Result(waitCtx(t), idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Immediate resubmit: in-memory hit.
+	if _, st, err := s.Submit(scA); err != nil || st != StatusCached {
+		t.Fatalf("mem resubmit: %q, %v", st, err)
+	}
+	if v := reg.Counter("serve_submit_total", "result", "cached_mem").Value(); v != 1 {
+		t.Fatalf("cached_mem = %d, want 1", v)
+	}
+
+	// Run B to evict A from the single-entry LRU, then resubmit A: the
+	// durable store answers, not a re-run.
+	idB, _, err := s.Submit(scB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(waitCtx(t), idB); err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := reg.Counter("serve_runs_total").Value()
+	if _, st, err := s.Submit(scA); err != nil || st != StatusCached {
+		t.Fatalf("disk resubmit: %q, %v", st, err)
+	}
+	if v := reg.Counter("serve_submit_total", "result", "cached_disk").Value(); v != 1 {
+		t.Fatalf("cached_disk = %d, want 1", v)
+	}
+	if runs := reg.Counter("serve_runs_total").Value(); runs != runsBefore {
+		t.Fatalf("disk hit re-ran the scenario (%d -> %d runs)", runsBefore, runs)
+	}
+	got, err := s.Result(waitCtx(t), idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantA) {
+		t.Fatal("disk-cached bytes differ from original run")
+	}
+}
+
+func TestDrainGraceful(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Workers: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for v := uint64(30); v < 34; v++ {
+		id, _, err := s.Submit(testScenario(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("server not marked draining")
+	}
+	for _, id := range ids {
+		if st, ok := s.Status(id); !ok || st != StateDone {
+			t.Fatalf("job %s after graceful drain: state %q ok=%v, want done", id[:8], st, ok)
+		}
+	}
+	if _, _, err := s.Submit(testScenario(99)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+	if v := reg.Counter("serve_jobs_total", "state", "parked").Value(); v != 0 {
+		t.Fatalf("graceful drain parked %d jobs", v)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(time.Second); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+func TestDrainDeadlineParksAndRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	started, _ := gate(t)
+	reg := obs.NewRegistry()
+	s, err := New(Config{Dir: dir, Workers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three accepted jobs: one blocked in flight (by the gate), two queued.
+	var ids []string
+	var want [][]byte
+	for v := uint64(40); v < 43; v++ {
+		sc := testScenario(v)
+		_, body, err := OneShot(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, st, err := s.Submit(sc)
+		if err != nil || st != StatusAccepted {
+			t.Fatalf("submit %d: %q, %v", v, st, err)
+		}
+		ids, want = append(ids, id), append(want, body)
+	}
+	<-started
+
+	// The gate never releases, so the deadline must fire: the in-flight
+	// job is cancelled at a tick boundary and parked, the queued two are
+	// parked unrun. All three stay accepted in the journal.
+	err = s.Drain(100 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "parked") {
+		t.Fatalf("drain error = %v, want parked-jobs deadline error", err)
+	}
+	if v := reg.Counter("serve_jobs_total", "state", "parked").Value(); v != 3 {
+		t.Fatalf("parked = %d, want 3", v)
+	}
+	for _, id := range ids {
+		if _, err := s.Result(waitCtx(t), id); !errors.Is(err, ErrParked) {
+			t.Fatalf("wait on parked job: %v, want ErrParked", err)
+		}
+	}
+
+	// Restart on the same directory: the journal re-admits all three and
+	// the deterministic reruns reproduce the one-shot bytes exactly.
+	testExecuteStart = nil
+	reg2 := obs.NewRegistry()
+	s2, err := New(Config{Dir: dir, Workers: 2, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s2)
+	if got := s2.Recovered(); got != 3 {
+		t.Fatalf("recovered = %d, want 3", got)
+	}
+	for i, id := range ids {
+		got, err := s2.Result(waitCtx(t), id)
+		if err != nil {
+			t.Fatalf("wait recovered %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("recovered job %d: bytes differ from one-shot run", i)
+		}
+	}
+	if v := reg2.Counter("serve_jobs_total", "state", "recovered").Value(); v != 3 {
+		t.Fatalf("recovered counter = %d, want 3", v)
+	}
+}
+
+func TestRecoveryUsesStoredResultWithoutRerun(t *testing.T) {
+	// Simulate a crash between the result-store save and the journal done
+	// record: the store has the bytes, the journal still says incomplete.
+	dir := t.TempDir()
+	sc := testScenario(50)
+	canonical := sc.JSON()
+	id := ScenarioID(canonical)
+	_, body, err := OneShot(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sweep.OpenCheckpoint(filepath.Join(dir, "results.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(id, string(body)); err != nil {
+		t.Fatal(err)
+	}
+	rec := fmt.Sprintf(`{"op":"accept","id":%q,"scenario":%s}`+"\n", id, canonical)
+	if err := os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s, err := New(Config{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s)
+	got, err := s.Result(waitCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("recovered bytes differ from stored result")
+	}
+	if runs := reg.Counter("serve_runs_total").Value(); runs != 0 {
+		t.Fatalf("recovery re-ran a stored result (%d runs)", runs)
+	}
+	// The healed journal must not re-admit the job on the next restart.
+	mustDrain(t, s)
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustDrain(t, s2)
+	if got := s2.Recovered(); got != 0 {
+		t.Fatalf("healed journal still re-admits %d jobs", got)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	sc := testScenario(60)
+	canonical := sc.JSON()
+	id := ScenarioID(canonical)
+	full := fmt.Sprintf(`{"op":"accept","id":%q,"scenario":%s}`+"\n", id, canonical)
+	torn := full + `{"op":"accept","id":"deadbeef","scenario":{"trunc` // crash mid-append
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, pending, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.close()
+	if len(pending) != 1 || pending[0].id != id {
+		t.Fatalf("pending = %+v, want the one complete accept", pending)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != full {
+		t.Fatalf("torn tail not truncated: %q", data)
+	}
+	// The reopened journal appends cleanly after the truncation point.
+	if err := j.done(id, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, pending2, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending2) != 0 {
+		t.Fatalf("done record not applied after truncation: %+v", pending2)
+	}
+}
+
+func TestJournalReacceptAfterDone(t *testing.T) {
+	// accept A, done A, accept A again (failed first run, resubmitted,
+	// crashed): replay must report A pending.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.ndjson")
+	sc := testScenario(61)
+	canonical := sc.JSON()
+	id := ScenarioID(canonical)
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.accept(id, canonical); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.done(id, false, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.accept(id, canonical); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	_, pending, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].id != id {
+		t.Fatalf("pending = %+v, want re-accepted job", pending)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", finished{Result: []byte("A")})
+	c.add("b", finished{Result: []byte("B")})
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("c", finished{Result: []byte("C")})
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapCheckpointedCancelRace races context cancellation against
+// checkpoint writes: a parallel sweep is cancelled mid-flight, over many
+// rounds, and after every interruption the store on disk must still be a
+// single complete JSON object (never torn, never a leftover temp file),
+// and a resumed sweep must produce exactly what an uninterrupted one does.
+func TestMapCheckpointedCancelRace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "race.ckpt")
+	inputs := make([]int, 64)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	key := func(_ int, in int) string { return fmt.Sprintf("k%03d", in) }
+	fn := func(ctx context.Context, in int) (string, error) {
+		return fmt.Sprintf("v%03d", in*in), nil
+	}
+
+	// Reference: one uninterrupted run.
+	refCP, err := OpenCheckpoint(filepath.Join(dir, "ref.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MapCheckpointed(context.Background(), inputs, key, fn, refCP, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 20; round++ {
+		cp, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("round %d: reopen after interruption: %v", round, err)
+		}
+		// Cancel partway through: after a round-dependent number of task
+		// completions, so every round interrupts at a different point and
+		// some cancellations land inside persistLocked's write+rename.
+		ctx, cancel := context.WithCancel(context.Background())
+		var done atomic.Int64
+		cutoff := int64(1 + round*3%len(inputs))
+		gated := func(ctx context.Context, in int) (string, error) {
+			v, err := fn(ctx, in)
+			if done.Add(1) == cutoff {
+				cancel()
+			}
+			return v, err
+		}
+		_, err = MapCheckpointed(ctx, inputs, key, gated, cp, Options{Workers: 8})
+		cancel()
+		if err == nil && cp.Len() < len(inputs) {
+			t.Fatalf("round %d: no error but only %d/%d results", round, cp.Len(), len(inputs))
+		}
+
+		// The file on disk must be a complete, parseable store.
+		if data, rerr := os.ReadFile(path); rerr == nil {
+			var m map[string]json.RawMessage
+			if jerr := json.Unmarshal(data, &m); jerr != nil {
+				t.Fatalf("round %d: torn checkpoint on disk: %v\n%q", round, jerr, data)
+			}
+		} else if !os.IsNotExist(rerr) {
+			t.Fatal(rerr)
+		}
+		// Atomic-rename discipline: no orphaned temp files.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				t.Fatalf("round %d: leftover temp file %s", round, e.Name())
+			}
+		}
+	}
+
+	// Resume after all those interruptions: the final run must fill in the
+	// gaps and agree with the uninterrupted reference exactly.
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCheckpointed(context.Background(), inputs, key, fn, cp, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed result %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if cp.Len() != len(inputs) {
+		t.Fatalf("final store has %d/%d entries", cp.Len(), len(inputs))
+	}
+}

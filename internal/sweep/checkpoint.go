@@ -109,8 +109,13 @@ func (c *Checkpoint) persistLocked() error {
 		return fmt.Errorf("sweep: write checkpoint: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
+	// Sync before rename: without it a crash shortly after Save can leave
+	// the renamed file with zero-length or partial content on some
+	// filesystems, which OpenCheckpoint would then reject as corrupt.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
+		werr = errors.Join(werr, serr)
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: write checkpoint: %w", errors.Join(werr, cerr))
 	}

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -164,12 +165,49 @@ type runOutput struct {
 	trace *trace.Recorder        // flight recorder attached to the run
 }
 
+// RunScenario validates, expands, and runs one scenario on the exact
+// driver with the scenario's own worker count, returning the run result.
+// It is the serving layer's one-shot entry point: the result is a pure
+// function of the scenario bytes (the §9 determinism contract covers every
+// worker count), so two calls with the same scenario — on one machine or
+// across a crash/restart — produce identical results. A cancelled ctx
+// stops the run at the next tick boundary and returns ctx's error; no
+// partial result escapes.
+func RunScenario(ctx context.Context, sc Scenario) (*sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	a, err := build(&sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := runExactCtx(ctx, &sc, a, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out.res, nil
+}
+
 // runExact executes the scenario on the exact driver with the given worker
 // count. Each call builds a fresh fleet so observation state never leaks
 // between the byte-identity runs. Every run carries a flight recorder:
 // the byte-identity oracle compares trace bytes alongside run outputs,
 // and the tree oracles audit the recorded infection provenance.
 func runExact(sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
+	return runExactCtx(context.Background(), sc, a, workers)
+}
+
+// runExactCtx is runExact with cooperative cancellation: the run's OnTick
+// hook watches ctx and stops the tick loop once it is done. Observing ctx
+// never perturbs the run — OnTick draws no randomness — so a run that is
+// not cancelled is byte-identical to one executed without a context.
+func runExactCtx(ctx context.Context, sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
 	rec := trace.NewRecorder(0)
 	clk := &obs.SimClock{}
 	out := &runOutput{trace: rec}
@@ -188,6 +226,7 @@ func runExact(sc *Scenario, a *artifacts, workers int) (*runOutput, error) {
 		Trace:            rec,
 		Clock:            clk,
 	}
+	cfg.OnTick = func(sim.TickInfo) bool { return ctx.Err() == nil }
 	if a.sensorSet != nil {
 		fleet, err := detect.NewThresholdFleet(a.sensors, sc.SensorThreshold)
 		if err != nil {

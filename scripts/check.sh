@@ -43,6 +43,32 @@ go run ./cmd/hotspottrace summarize .trace/smoke.ndjson
 go run ./cmd/hotspottrace tree .trace/smoke.ndjson > /dev/null
 echo "trace smoke: recorded and summarized in $(( $(date +%s) - trace_start ))s"
 
+# hotspotd smoke: boot the server on an ephemeral port, drive it with the
+# deterministic load harness (duplicate submissions, malformed bodies,
+# client disconnects), then SIGTERM and require a clean drain — end-to-end
+# proof that admission control, coalescing, and graceful shutdown hold in a
+# real process, not just in httptest.
+echo "==> hotspotd smoke (hotspotload -quick against a live server)"
+serve_start=$(date +%s)
+mkdir -p .serve
+go build -o .serve/hotspotd ./cmd/hotspotd
+go build -o .serve/hotspotload ./cmd/hotspotload
+.serve/hotspotd -addr 127.0.0.1:0 -dir .serve/data -max-body 65536 > .serve/hotspotd.log 2>&1 &
+hotspotd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^hotspotd: listening on //p' .serve/hotspotd.log)
+  [ -n "$addr" ] && break
+  kill -0 "$hotspotd_pid" 2>/dev/null || { cat .serve/hotspotd.log; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "hotspotd: never reported its address"; cat .serve/hotspotd.log; exit 1; }
+.serve/hotspotload -quick -addr "$addr"
+kill -TERM "$hotspotd_pid"
+wait "$hotspotd_pid"
+grep -q 'hotspotd: drained' .serve/hotspotd.log || { echo "hotspotd: no clean drain"; cat .serve/hotspotd.log; exit 1; }
+echo "hotspotd smoke: served and drained cleanly in $(( $(date +%s) - serve_start ))s"
+
 # Non-blocking: surface benchmark regressions between the two most recent
 # committed snapshots without failing the gate (exit 2 = regression is
 # review information; refreshing the snapshot is a deliberate act).
