@@ -230,7 +230,7 @@ func BenchmarkFastDriverEpidemic(b *testing.B) {
 // and the *Trace variant attaches a flight recorder so benchsnap can gate
 // the recorder's overhead against the plain run.
 
-func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry, rec *trace.Recorder) {
+func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry, rec *trace.Recorder, workers int) {
 	b.Helper()
 	pop, err := population.Synthesize(population.DefaultCodeRedII(1))
 	if err != nil {
@@ -246,6 +246,7 @@ func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry, rec *trace.Recorder)
 			MaxSeconds:  2000,
 			SeedHosts:   25,
 			Seed:        uint64(i) + 1,
+			Workers:     workers,
 			Metrics:     reg,
 			Trace:       rec,
 			Clock:       &obs.SimClock{},
@@ -257,12 +258,68 @@ func benchRunFastCodeRedII(b *testing.B, reg *obs.Registry, rec *trace.Recorder)
 	}
 }
 
-func BenchmarkRunFastCodeRedII(b *testing.B) { benchRunFastCodeRedII(b, nil, nil) }
+func BenchmarkRunFastCodeRedII(b *testing.B) { benchRunFastCodeRedII(b, nil, nil, 1) }
 func BenchmarkRunFastCodeRedIIMetrics(b *testing.B) {
-	benchRunFastCodeRedII(b, obs.NewRegistry(), nil)
+	benchRunFastCodeRedII(b, obs.NewRegistry(), nil, 1)
 }
 func BenchmarkRunFastCodeRedIITrace(b *testing.B) {
-	benchRunFastCodeRedII(b, nil, trace.NewRecorder(0))
+	benchRunFastCodeRedII(b, nil, trace.NewRecorder(0), 1)
+}
+
+// BenchmarkRunFastCodeRedIIParallel runs the same workload through the fast
+// driver's two-phase tick at GOMAXPROCS workers. On a single-CPU host it
+// measures the draw/merge coordination overhead rather than a speedup; on
+// multi-core hosts it tracks the parallel fast driver's scaling. Results are
+// byte-identical to the serial benchmark's by the Workers contract
+// (DESIGN.md §14).
+func BenchmarkRunFastCodeRedIIParallel(b *testing.B) { benchRunFastCodeRedII(b, nil, nil, 0) }
+
+// benchRunFastInternetScale drives a CodeRedII outbreak over an
+// internet-scale synthetic population to half prevalence — the §14 scale
+// contract's headline workload. Population synthesis sits outside the
+// timed region; the measured run covers arena construction, the bitset
+// live index, and the event-driven tick loop. Skipped under -short (the
+// 10⁸-host population alone holds multiple GiB).
+func benchRunFastInternetScale(b *testing.B, size, stop int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("internet-scale workload skipped under -short")
+	}
+	pop, err := population.Synthesize(population.InternetScale(size, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFast(sim.FastConfig{
+			Pop:              pop,
+			Model:            sim.NewCodeRedIIModel(),
+			ScanRate:         200,
+			TickSeconds:      1,
+			MaxSeconds:       600,
+			SeedHosts:        25,
+			Seed:             uint64(i) + 1,
+			StopWhenInfected: stop,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Final.Infected < stop {
+			b.Fatalf("outbreak stalled at %d/%d infected", res.Final.Infected, stop)
+		}
+	}
+}
+
+// The 10⁷-host leg runs the epidemic to half prevalence (the full logistic
+// including its dense-/16 saturation tail); the 10⁸-host leg stops at ten
+// million infections, which pins per-infection cost at full address-space
+// scale while keeping snapshot turnaround bounded.
+func BenchmarkRunFastInternetScale10M(b *testing.B) {
+	benchRunFastInternetScale(b, 10_000_000, 5_000_000)
+}
+
+func BenchmarkRunFastInternetScale100M(b *testing.B) {
+	benchRunFastInternetScale(b, 100_000_000, 10_000_000)
 }
 
 func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry, workers int) {
@@ -275,6 +332,10 @@ func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Force the lazily built address index before timing starts: with a
+	// small b.N its one-time construction would otherwise dominate the
+	// per-op numbers.
+	pop.Lookup(pop.Host(0).Addr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.RunExact(sim.ExactConfig{
@@ -316,6 +377,8 @@ func BenchmarkExactDriverProbes(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Build the lazy address index outside the timed region.
+	pop.Lookup(pop.Host(0).Addr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.RunExact(sim.ExactConfig{

@@ -94,6 +94,33 @@ func TestCompareZeroBaselineAllocs(t *testing.T) {
 	}
 }
 
+// TestCompareHostParallelismCaveat: comparing snapshots taken on hosts with
+// different CPU counts or GOMAXPROCS must announce the mismatch, since
+// parallel-benchmark deltas then confound host and code changes. Matched
+// hosts get no caveat.
+func TestCompareHostParallelismCaveat(t *testing.T) {
+	dir := t.TempDir()
+	bench := []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000}}
+	oldPath := writeSnapshot(t, dir, "old.json", Snapshot{NumCPU: 1, GoMaxProcs: 1, Benchmarks: bench})
+	newPath := writeSnapshot(t, dir, "new.json", Snapshot{NumCPU: 8, GoMaxProcs: 8, Benchmarks: bench})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "caveat: host parallelism differs") {
+		t.Errorf("missing parallelism caveat:\n%s", out.String())
+	}
+
+	samePath := writeSnapshot(t, dir, "same.json", Snapshot{NumCPU: 1, GoMaxProcs: 1, Benchmarks: bench})
+	out.Reset()
+	if err := run([]string{"-compare", oldPath, samePath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "caveat") {
+		t.Errorf("caveat printed for matched hosts:\n%s", out.String())
+	}
+}
+
 func TestCompareArgValidation(t *testing.T) {
 	err := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &bytes.Buffer{})
 	if err == nil || errors.Is(err, errRegression) {

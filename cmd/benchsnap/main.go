@@ -200,6 +200,11 @@ func compareSnapshots(oldPath, newPath string, w io.Writer) error {
 		oldBy[b.Name] = b
 	}
 	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s)\n", oldPath, oldSnap.Date, newPath, newSnap.Date)
+	if oldSnap.NumCPU != newSnap.NumCPU || oldSnap.GoMaxProcs != newSnap.GoMaxProcs {
+		fmt.Fprintf(w,
+			"  caveat: host parallelism differs (num_cpu %d -> %d, gomaxprocs %d -> %d); deltas in parallel benchmarks reflect the host change as much as the code\n",
+			oldSnap.NumCPU, newSnap.NumCPU, oldSnap.GoMaxProcs, newSnap.GoMaxProcs)
+	}
 	var regressions []string
 	seen := make(map[string]bool, len(newSnap.Benchmarks))
 	for _, nb := range newSnap.Benchmarks {

@@ -101,7 +101,7 @@ func run(ctx context.Context, args []string) error {
 	var (
 		wormName    = fs.String("worm", "uniform", "uniform|hitlist|codered2")
 		driver      = fs.String("driver", "fast", "fast|exact: aggregated rate-mixture driver or probe-exact driver (slower; ground truth for stateful scanners)")
-		workers     = fs.Int("workers", 0, "exact-driver classification goroutines (0 = GOMAXPROCS, 1 = serial, negative rejected; every value gives byte-identical results; ignored by the fast driver)")
+		workers     = fs.Int("workers", 0, "simulation goroutines for either driver (0 = GOMAXPROCS, 1 = serial, negative rejected; every value gives byte-identical results)")
 		hitListSize = fs.Int("hitlist-size", 100, "number of /16s in the hit-list")
 		popSize     = fs.Int("pop", 134586, "vulnerable population size")
 		nat         = fs.Float64("nat", 0, "fraction of hosts NAT'd into 192.168/16")
@@ -294,6 +294,7 @@ func simulateRun(ctx context.Context, p simParams, sess *obsflags.Session) (runS
 		MaxSeconds:  p.maxSeconds,
 		SeedHosts:   p.seeds,
 		Seed:        p.seed,
+		Workers:     p.workers,
 		Metrics:     sess.Registry,
 		Clock:       clock,
 		Trace:       sess.Trace,

@@ -144,6 +144,26 @@ func TestCheckpointedRerunIsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunFastWorkersFlag: -workers drives the fast driver too — every
+// count prints identical output, and a negative count is rejected with the
+// same message contract as the exact driver.
+func TestRunFastWorkersFlag(t *testing.T) {
+	base := []string{"-worm", "codered2", "-pop", "5000", "-t", "100", "-rate", "200", "-seed", "3"}
+	serial := captureStdout(t, func() error {
+		return run(context.Background(), append([]string{"-workers", "1"}, base...))
+	})
+	parallel := captureStdout(t, func() error {
+		return run(context.Background(), append([]string{"-workers", "4"}, base...))
+	})
+	if serial != parallel {
+		t.Errorf("fast driver output depends on -workers:\n--- workers=1\n%s--- workers=4\n%s", serial, parallel)
+	}
+	err := run(context.Background(), append([]string{"-workers", "-2"}, base...))
+	if err == nil || !strings.Contains(err.Error(), "negative worker count") {
+		t.Errorf("negative -workers not rejected by the fast driver: %v", err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run(context.Background(), []string{"-worm", "nope"}); err == nil {
 		t.Error("unknown worm accepted")

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/ipv4"
 	"repro/internal/rng"
@@ -88,9 +89,20 @@ func DefaultCodeRedII(seed uint64) Config {
 
 // Population is a synthesized vulnerable population.
 type Population struct {
-	hosts  []Host
-	byAddr map[ipv4.Addr][]int // own-address → host ids (private addrs collide across sites)
-	sites  int
+	hosts []Host
+	idx   *addrIndex // swapped wholesale whenever hosts mutate
+	sites int
+}
+
+// addrIndex is the lazily built own-address → host-id map. At internet
+// scale the map costs gigabytes and most workloads (the fast driver in
+// particular) never call Lookup, so it is built on first use — under a
+// sync.Once, because the exact driver's phase-1 workers Lookup
+// concurrently. Mutation replaces the whole index rather than resetting
+// the Once.
+type addrIndex struct {
+	once sync.Once
+	m    map[ipv4.Addr][]int // private addrs collide across sites
 }
 
 // Synthesize builds a population per cfg.
@@ -110,26 +122,68 @@ func Synthesize(cfg Config) (*Population, error) {
 	r := rng.NewXoshiro(cfg.Seed)
 
 	sizes := slash16Sizes(cfg)
+	if sizes[0] > 1<<16 {
+		return nil, fmt.Errorf("population: densest /16 needs %d hosts, exceeding its %d addresses", sizes[0], 1<<16)
+	}
 	slash8s := chooseSlash8s(cfg, r)
 	slash16s := assignSlash16s(sizes, slash8s, r)
 
 	hosts := make([]Host, 0, cfg.Size)
-	seen := make(map[ipv4.Addr]struct{}, cfg.Size)
+	// Per-/16 dedup: each /16 is visited once and only the low 16 address
+	// bits are drawn, so collisions can never cross /16s — a 64-kbit
+	// bitset reset per network replaces the old population-sized map. Same
+	// draws, same rejections, same hosts, but transient allocation now
+	// scales with the /16 count instead of the host count.
+	var seen [1024]uint64
 	for i, net16 := range slash16s {
 		base := ipv4.Addr(net16) << 16
+		for w := range seen {
+			seen[w] = 0
+		}
 		for n := 0; n < sizes[i]; {
-			a := base | ipv4.Addr(r.Uint64n(1<<16))
-			if _, dup := seen[a]; dup {
+			low := r.Uint64n(1 << 16)
+			if seen[low>>6]&(1<<(low&63)) != 0 {
 				continue
 			}
-			seen[a] = struct{}{}
-			hosts = append(hosts, Host{Addr: a, Site: NoSite})
+			seen[low>>6] |= 1 << (low & 63)
+			hosts = append(hosts, Host{Addr: base | ipv4.Addr(low), Site: NoSite})
 			n++
 		}
 	}
 	p := &Population{hosts: hosts}
-	p.reindex()
+	p.recount()
 	return p, nil
+}
+
+// InternetScale returns a configuration for populations far beyond the
+// paper's 134,586-host measurement — 10⁷ to 10⁸ hosts — keeping its
+// qualitative shape (a dense head of /16s holding half the population, a
+// long sparse tail) while respecting each /16's 65,536-address capacity;
+// the paper's own anchor curve packs ~30 hosts per /16 and cannot stretch
+// two more orders of magnitude. The mean occupancy here stays near the
+// paper's ~2,170× /16 undersampling of the head.
+func InternetScale(size int, seed uint64) Config {
+	s16 := size / 2170
+	if s16 < 200 {
+		s16 = 200
+	}
+	if s16 > 200*256 {
+		s16 = 200 * 256
+	}
+	if s16 > size {
+		s16 = size
+	}
+	return Config{
+		Size:     size,
+		Slash8s:  200,
+		Slash16s: s16,
+		Anchors: []CoverageAnchor{
+			{K: s16 / 10, Share: 0.5},
+			{K: s16, Share: 1.0},
+		},
+		Include192Slash8: true,
+		Seed:             seed,
+	}
 }
 
 // slash16Sizes produces the per-/16 host counts (descending), interpolating
@@ -279,16 +333,17 @@ func assignSlash16s(sizes []int, slash8s []uint32, r *rng.Xoshiro) []uint32 {
 	return out
 }
 
-func (p *Population) reindex() {
-	p.byAddr = make(map[ipv4.Addr][]int, len(p.hosts))
+// recount refreshes the eager aggregates (site count) and discards the
+// lazy address index after any host mutation.
+func (p *Population) recount() {
 	maxSite := NoSite
-	for i, h := range p.hosts {
-		p.byAddr[h.Addr] = append(p.byAddr[h.Addr], i)
+	for _, h := range p.hosts {
 		if h.Site > maxSite {
 			maxSite = h.Site
 		}
 	}
 	p.sites = maxSite + 1
+	p.idx = &addrIndex{}
 }
 
 // Size returns the number of hosts.
@@ -318,8 +373,19 @@ func (p *Population) Addrs(publicOnly bool) []ipv4.Addr {
 }
 
 // Lookup returns the ids of hosts whose own-address equals addr. Multiple
-// ids occur only for private addresses reused across NAT sites.
-func (p *Population) Lookup(addr ipv4.Addr) []int { return p.byAddr[addr] }
+// ids occur only for private addresses reused across NAT sites. The
+// backing index is built on first call (safe under concurrent Lookups).
+func (p *Population) Lookup(addr ipv4.Addr) []int {
+	idx := p.idx
+	idx.once.Do(func() {
+		m := make(map[ipv4.Addr][]int, len(p.hosts))
+		for i, h := range p.hosts {
+			m[h.Addr] = append(m[h.Addr], i)
+		}
+		idx.m = m
+	})
+	return idx.m[addr]
+}
 
 // Sites returns the number of NAT sites.
 func (p *Population) Sites() int { return p.sites }
@@ -369,7 +435,7 @@ func (p *Population) AssignNAT(fraction float64, hostsPerSite int, seed uint64) 
 		p.hosts[id] = Host{Addr: a, Site: site}
 		inSite++
 	}
-	p.reindex()
+	p.recount()
 	return nil
 }
 

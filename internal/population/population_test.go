@@ -2,6 +2,7 @@ package population
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/ipv4"
@@ -263,5 +264,87 @@ func TestTopSlash8s(t *testing.T) {
 	// Asking for more than exist clamps.
 	if got := p.TopSlash8s(100); len(got) != 5 {
 		t.Errorf("TopSlash8s(100) = %d entries, want 5", len(got))
+	}
+}
+
+// TestSynthesizeAllocsProportionalToSlash16s pins the regression the
+// internet-scale work fixed: host-address dedup used to go through a
+// population-sized map, so transient allocation grew with the host count.
+// The per-/16 bitset makes it grow with the /16 count instead —
+// quadrupling the population at a fixed /16 count must not meaningfully
+// change the allocation count.
+func TestSynthesizeAllocsProportionalToSlash16s(t *testing.T) {
+	measure := func(size int) float64 {
+		cfg := Config{Size: size, Slash8s: 10, Slash16s: 400, Seed: 6}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Synthesize(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := measure(20000), measure(80000)
+	if big > small+32 {
+		t.Errorf("allocations grew with population size: %.0f at 20k hosts vs %.0f at 80k", small, big)
+	}
+}
+
+func TestSynthesizeSlash16Capacity(t *testing.T) {
+	// A /16 holds 65,536 addresses; a config that forces more hosts than
+	// that into the densest /16 must be rejected up front, not spin forever
+	// rejecting duplicate draws.
+	_, err := Synthesize(Config{Size: 70000, Slash8s: 1, Slash16s: 1, Seed: 1})
+	if err == nil {
+		t.Fatal("over-capacity /16 accepted")
+	}
+	if !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestInternetScale(t *testing.T) {
+	cfg := InternetScale(300000, 11)
+	p, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Size(); got != 300000 {
+		t.Fatalf("size = %d, want 300000", got)
+	}
+	if got := len(p.Slash16Histogram()); got != cfg.Slash16s {
+		t.Errorf("populated /16s = %d, want %d", got, cfg.Slash16s)
+	}
+	// Densest /16 must respect address capacity with lots of headroom.
+	h16 := p.Slash16Histogram()
+	if h16[0].Count > 1<<16 {
+		t.Errorf("densest /16 holds %d hosts", h16[0].Count)
+	}
+	// Head-heavy shape: the top tenth of /16s holds about half the hosts.
+	head := 0
+	for _, sc := range h16[:cfg.Slash16s/10] {
+		head += sc.Count
+	}
+	if share := float64(head) / 300000; share < 0.4 || share > 0.6 {
+		t.Errorf("top-decile /16 share = %.3f, want ≈0.5", share)
+	}
+	// 192/8 present for the CRII NAT experiments.
+	found := false
+	for _, sc := range p.Slash8Histogram() {
+		if sc.Network == 192 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("192/8 not populated")
+	}
+	// Deterministic.
+	q, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, qh := p.Hosts(), q.Hosts()
+	for i := range ph {
+		if ph[i] != qh[i] {
+			t.Fatal("same InternetScale config produced different populations")
+		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/ipv4"
@@ -29,6 +31,18 @@ type FastConfig struct {
 	SeedHosts int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers is the number of phase-1 draw goroutines per tick (0 means
+	// GOMAXPROCS, 1 runs the draws inline). Results are byte-identical for
+	// every worker count: each mixture group's draws come from its own
+	// per-(group, tick) RNG stream and merge in group-creation order
+	// (DESIGN.md §14).
+	Workers int
+	// DisableTickSkip forces every tick through the two-phase draw path,
+	// bypassing the serial quiescent-tick fast path. Output is
+	// byte-identical either way — the fast path consumes exactly the same
+	// per-group RNG draws — so the switch exists for tests and
+	// cross-checks, not for correctness.
+	DisableTickSkip bool
 	// LossRate is the environmental probe-loss probability.
 	LossRate float64
 	// BlockedDst is destination space hard-blocked upstream (probes there
@@ -111,6 +125,9 @@ func (c *FastConfig) validate() error {
 	if c.SeedHosts <= 0 || c.SeedHosts > c.Pop.Size() {
 		return fmt.Errorf("sim: seed hosts %d out of range", c.SeedHosts)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d (0 means GOMAXPROCS)", c.Workers)
+	}
 	if c.Sensors != nil && c.SensorSet == nil {
 		return errors.New("sim: Sensors set but SensorSet missing")
 	}
@@ -131,12 +148,25 @@ func (c *FastConfig) validate() error {
 	return nil
 }
 
-// fastComp is one precomputed mixture component of a group. The victim
-// pool lives in the shared compData and is compacted as hosts get
-// infected, so the per-draw infection rate is weightOverSet times the
-// *live* pool length — Poisson thinning of the full-pool rate, which is
-// distributionally equivalent to drawing at the full rate and rejecting
-// infected victims, without the late-epidemic rejection waste.
+// fastSkipLambda gates the quiescent-tick fast path: when the run's total
+// expected arrivals this tick fall at or below it, the per-group gate
+// draws run serially against the cached intensities instead of through the
+// two-phase worker machinery. The threshold only picks the execution path
+// — both paths consume identical RNG draws — so it affects speed, never
+// output (and keeps every per-group λ far below the λ≥30 normal-
+// approximation switch inside rng.Poisson).
+const fastSkipLambda = 1.0
+
+// slotSpan is a half-open arena slot range [lo, hi).
+type slotSpan struct{ lo, hi int32 }
+
+// fastComp is one precomputed mixture component of a group. Its victim
+// pool is an immutable union of arena slot spans; liveness is resolved
+// against the shared live index at draw time, so the per-tick arrival rate
+// is weightOverSet times the *live* pool size — Poisson thinning of the
+// full-pool rate, distributionally equivalent to drawing at the full rate
+// and rejecting infected victims, without the late-epidemic rejection
+// waste.
 type fastComp struct {
 	weightOverSet float64 // component weight divided by the set's address count
 	pSensor       float64 // per-probe probability of landing on monitored space
@@ -152,165 +182,145 @@ type fastGroup struct {
 	infected int
 }
 
-// fastState carries the driver's caches.
-type fastState struct {
-	cfg    FastConfig
-	pop    *population.Population
-	r      *rng.Xoshiro
-	groups map[uint64]*fastGroup
-	// groupList holds groups in creation order: per-tick processing must
-	// not follow map iteration order, or same-seed runs would diverge.
-	groupList []*fastGroup
-	// comps is the flattened component storage shared by every group.
-	// Groups address it by span, never by pointer: buildComps may grow
-	// (and reallocate) it while a tick's draws are in flight.
-	comps []fastComp
-
-	// publicAddrs/publicIDs are sorted by address for pool construction.
-	publicAddrs []ipv4.Addr
-	publicIDs   []int32
-	// sitePools maps a NAT site to its member ids.
-	sitePools map[int][]int32
-	// compCache memoizes per-(set,site) component data.
-	compCache map[compKey]*compData
-
-	// infected mirrors the driver's infection state; pools exclude
-	// infected hosts (newly built pools at construction, existing pools
-	// via end-of-tick compaction).
-	infected []bool
-	// memb is the pool-membership registry: memb[id] locates host id's
-	// slot in every victim pool that contains it, so compaction can
-	// swap-remove in O(memberships).
-	memb []hostPools
-	// membSpill holds the rare hosts belonging to more pools than the
-	// inline registry entries can hold.
-	membSpill map[int32][]poolRef
-	// newlyInf accumulates hosts infected during the current tick; pools
-	// compact between ticks so pool lengths stay stable mid-tick.
-	newlyInf []int32
-}
-
 type compKey struct {
 	set  *ipv4.Set
 	site int
 }
 
+// compData is the per-(set, site) pool geometry: the arena slot spans the
+// set covers plus the monitored-space intersection. The geometry fields are
+// immutable after construction; the live-geometry cache below is refreshed
+// serially by rebuildRates (stamp tells a rebuild pass "already done" —
+// many groups share one compData) and only read by phase-1 workers, so
+// neither needs synchronization.
 type compData struct {
-	pool        []int32 // live (uninfected) candidate victim host ids
+	spans       []slotSpan
 	sensorInter *ipv4.Set
 	sensorSize  uint64
 	setSize     uint64
+
+	// Live-geometry cache: per-span cumulative live counts and the global
+	// live rank at each span's start, valid for the live index as of the
+	// stamp'th rate rebuild. Victim selection reads these instead of
+	// querying the live index per span, leaving one Fenwick descent per
+	// draw.
+	stamp   uint64
+	liveCt  int64
+	cumLive []int64
+	rankLo  []int64
 }
 
-// poolRef locates one host's slot in one shared victim pool.
-type poolRef struct {
-	data *compData
-	pos  int32
+// fastEvent is one phase-1 arrival awaiting the serial merge: an infection
+// candidate (slot ≥ 0) or a sensor observation (slot -1). ci is the
+// component index within its group, kept for trace attribution.
+type fastEvent struct {
+	slot int32
+	ci   int32
+	dst  ipv4.Addr
 }
 
-// hostPools is one host's registry entry. The inline array covers the
-// common case — under the local-preference models a host belongs to at
-// most four components (full space plus its own /8, /16, /24); anything
-// beyond spills to fastState.membSpill.
-type hostPools struct {
-	n       uint8
-	entries [4]poolRef
+// fastWorker is one phase-1 draw shard's private state. The RNG is a
+// value, reseeded per (group, tick) — no worker ever shares randomness
+// with another, which is what makes the tick's result independent of
+// goroutine scheduling.
+type fastWorker struct {
+	r      rng.Xoshiro
+	events []fastEvent
 }
 
-// register records that pool d holds id at slot pos.
-func (st *fastState) register(id int32, d *compData, pos int32) {
-	hp := &st.memb[id]
-	if hp.n < uint8(len(hp.entries)) {
-		hp.entries[hp.n] = poolRef{data: d, pos: pos}
-		hp.n++
-		return
-	}
-	if st.membSpill == nil {
-		st.membSpill = make(map[int32][]poolRef)
-	}
-	st.membSpill[id] = append(st.membSpill[id], poolRef{data: d, pos: pos})
-}
+// fastState carries the driver's caches.
+type fastState struct {
+	cfg FastConfig
+	pop *population.Population
 
-// removeFromPools swap-removes a freshly infected host from every victim
-// pool it belongs to, patching the moved element's registry entry.
-func (st *fastState) removeFromPools(id int32) {
-	hp := &st.memb[id]
-	for i := uint8(0); i < hp.n; i++ {
-		st.removeAt(hp.entries[i].data, hp.entries[i].pos, id)
-	}
-	hp.n = 0
-	if st.membSpill != nil {
-		if extra, ok := st.membSpill[id]; ok {
-			for _, e := range extra {
-				st.removeAt(e.data, e.pos, id)
-			}
-			delete(st.membSpill, id)
-		}
-	}
-}
+	groups map[uint64]*fastGroup
+	// groupList holds groups in creation order: per-tick processing must
+	// not follow map iteration order, or same-seed runs would diverge. A
+	// group's index here is also its RNG stream id.
+	groupList []*fastGroup
+	// comps is the flattened component storage shared by every group.
+	// Groups address it by span, never by pointer: buildComps may grow
+	// (and reallocate) it when the merge phase creates a group.
+	comps []fastComp
+	// compCache memoizes per-(set, site) component data.
+	compCache map[compKey]*compData
 
-// removeAt deletes pool slot pos (holding id) by swapping in the last
-// element and shrinking the pool.
-func (st *fastState) removeAt(d *compData, pos, id int32) {
-	last := int32(len(d.pool) - 1)
-	moved := d.pool[last]
-	d.pool[pos] = moved
-	d.pool = d.pool[:last]
-	if moved != id {
-		st.updatePos(moved, d, pos)
-	}
-}
+	// Slot arena: public hosts sorted by address occupy [0, pubLen); each
+	// NAT site follows as its own region sorted by private address. Every
+	// victim pool is a span union over this layout, and a single live
+	// index carries all per-host infection state — no per-host pool
+	// registry, no pool mutation.
+	arenaAddrs []ipv4.Addr
+	arenaIDs   []int32
+	idSlot     []int32
+	pubLen     int32
+	siteSpan   map[int]slotSpan
+	live       *liveIndex
 
-// updatePos rewrites moved's registry entry for pool d to slot pos.
-func (st *fastState) updatePos(moved int32, d *compData, pos int32) {
-	hp := &st.memb[moved]
-	for i := uint8(0); i < hp.n; i++ {
-		if hp.entries[i].data == d {
-			hp.entries[i].pos = pos
-			return
-		}
-	}
-	refs := st.membSpill[moved]
-	for j := range refs {
-		if refs[j].data == d {
-			refs[j].pos = pos
-			return
-		}
-	}
+	// Per-group/per-component intensity cache, valid until an infection
+	// changes the live set or the tick's delivery probability moves.
+	// Quiescent stretches reuse it wholesale; both draw paths read these
+	// exact floats, which is what makes their outputs bit-identical.
+	lam           []float64 // per group: total arrival intensity λ
+	catRate       []float64 // per comp: infection-category intensity
+	catSens       []float64 // per comp: sensor-category intensity
+	catLive       []int64   // per comp: live pool size at cache build
+	lamTotal      float64
+	probesTotal   float64
+	cachedDeliver float64
+	rateValid     bool
+	rateStamp     uint64 // rebuild counter, matching fresh compData caches
+	// killsTick accumulates the slots killed since the last rate rebuild,
+	// feeding refreshCompLive's incremental branch.
+	killsTick    []int32
+	killBlockOff []int32 // per live-index block: kills below the block's first slot
 }
 
 // RunFast runs the aggregated simulation.
+//
+// Each tick executes in two phases. Phase 1 shards the mixture groups
+// across cfg.Workers goroutines; every group draws its tick's arrivals —
+// one Poisson gate draw, then a categorical component pick and a victim or
+// sensor selection per arrival — from its own per-(group, tick) RNG
+// stream, against the tick-start live index and the frozen intensity
+// cache. Phase 2 merges the buffered events serially in group order:
+// duplicate victims resolve first-group-wins, exactly as a serial pass
+// would. Results are byte-identical for every worker count and for the
+// quiescent-tick fast path (DESIGN.md §14).
 func RunFast(cfg FastConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SensorSet != nil {
+		// ipv4.Set builds its indexes lazily on first read. Freeze it now so
+		// the phase-1 workers' concurrent reads are pure.
+		cfg.SensorSet.Freeze()
+	}
 	st := &fastState{
 		cfg:       cfg,
 		pop:       cfg.Pop,
-		r:         rng.NewXoshiro(cfg.Seed),
 		groups:    make(map[uint64]*fastGroup),
-		sitePools: make(map[int][]int32),
 		compCache: make(map[compKey]*compData),
 	}
 	st.indexHosts()
 
 	n := cfg.Pop.Size()
-	st.infected = make([]bool, n)
-	st.memb = make([]hostPools, n)
-	infected := st.infected
 	infTime := make([]float64, n)
 	for i := range infTime {
 		infTime[i] = -1
 	}
 	total := 0
-	infect := func(id int32, t float64) {
-		if infected[id] {
-			return
-		}
-		infected[id] = true
+	// infectSlot records an infection. Callers guarantee the slot is live.
+	infectSlot := func(slot int32, t float64) {
+		st.live.kill(int(slot))
+		st.killsTick = append(st.killsTick, slot)
+		id := st.arenaIDs[slot]
 		infTime[id] = t
 		total++
-		st.newlyInf = append(st.newlyInf, id)
 		h := st.pop.Host(int(id))
 		key := cfg.Model.GroupKey(h)
 		g, ok := st.groups[key]
@@ -321,23 +331,15 @@ func RunFast(cfg FastConfig) (*Result, error) {
 			st.groupList = append(st.groupList, g)
 		}
 		g.infected++
-	}
-	// compact drains the freshly infected into the pool registry: called
-	// between ticks (and after seeding) so pool lengths never move while
-	// a tick's draws are in flight.
-	compact := func() {
-		for _, id := range st.newlyInf {
-			st.removeFromPools(id)
-		}
-		st.newlyInf = st.newlyInf[:0]
+		st.rateValid = false
 	}
 	rec := cfg.Trace
 	rec.Append(trace.Event{Tick: 0, T: 0, Kind: trace.KindPhase, Agent: -1, Victim: -1, Vector: "start", Detail: "fast"})
-	for _, id := range st.r.SampleWithoutReplacement(n, cfg.SeedHosts) {
-		infect(int32(id), 0)
+	seedR := rng.NewXoshiro(cfg.Seed)
+	for _, id := range seedR.SampleWithoutReplacement(n, cfg.SeedHosts) {
+		infectSlot(st.idSlot[id], 0)
 		rec.AppendInfection(0, 0, -1, id, uint32(st.pop.Host(id).Addr), "seed")
 	}
-	compact()
 	// compVec caches the per-component attribution labels ("c0", "c1", …)
 	// so traced runs do not re-render them per infection.
 	var compVec []string
@@ -369,15 +371,7 @@ func RunFast(cfg FastConfig) (*Result, error) {
 
 	baseDeliver := 1 - cfg.LossRate
 	deliver := baseDeliver
-	// groupSnap buffers per-tick group intensities so infections during a
-	// tick do not feed back into the same tick (matching the exact driver,
-	// where new agents start probing on the next tick). The buffer is
-	// preallocated once and reused across ticks.
-	type snap struct {
-		g *fastGroup
-		p float64 // expected probes this tick
-	}
-	snaps := make([]snap, 0, 64)
+	ws := make([]fastWorker, workers)
 	var faultCursor faults.TraceCursor
 	for step := 1; step <= steps; step++ {
 		t := float64(step) * cfg.TickSeconds
@@ -391,60 +385,88 @@ func RunFast(cfg FastConfig) (*Result, error) {
 		// as the exact driver's per-probe Bernoulli would on average.
 		burstLoss := cfg.Faults.BurstLoss(t)
 		tickDeliver := deliver * (1 - burstLoss)
-		snaps = snaps[:0]
-		var probes float64
-		for _, g := range st.groupList {
-			if g.infected == 0 {
-				continue
-			}
-			p := float64(g.infected) * cfg.ScanRate * cfg.TickSeconds
-			probes += p
-			snaps = append(snaps, snap{g: g, p: p})
+		//lint:ignore float-eq exact cache key: the cached rates were computed from this exact float, so == detects precisely the ticks that can reuse them
+		if !st.rateValid || tickDeliver != st.cachedDeliver {
+			st.rebuildRates(tickDeliver)
 		}
+
 		var newInf int
 		var sensorDraws, sensorDown uint64
-		for _, s := range snaps {
-			g := s.g
-			for ci := int32(0); ci < g.n; ci++ {
-				// Copy the component by value: infections during these
-				// draws can create new groups, growing (and possibly
-				// reallocating) st.comps mid-loop. Pool lengths are stable
-				// within a tick — compaction runs between ticks — so the
-				// live length read here prices the whole tick's draws.
-				comp := st.comps[g.off+ci]
-				if pool := comp.data.pool; len(pool) > 0 && comp.weightOverSet > 0 {
-					hits := st.r.Poisson(s.p * comp.weightOverSet * float64(len(pool)) * tickDeliver)
-					for i := uint64(0); i < hits; i++ {
-						victim := pool[st.r.Intn(len(pool))]
-						// Hosts infected earlier this tick stay in the
-						// pool until the tick-end compaction; rejecting
-						// them here keeps the no-same-tick-feedback rule.
-						if !infected[victim] {
-							infect(victim, t)
-							newInf++
-							rec.AppendInfection(step, t, -1, int(victim),
-								uint32(st.pop.Host(int(victim)).Addr), vecName(ci))
-						}
+		// apply replays one buffer of phase-1 events in draw order. The
+		// live index advances as infections land, so duplicate victims
+		// within the tick resolve first-event-wins (hosts infected this
+		// tick never probe before the next tick — same feedback rule as
+		// the exact driver).
+		apply := func(evs []fastEvent) {
+			for _, ev := range evs {
+				if ev.slot >= 0 {
+					if !st.live.test(int(ev.slot)) {
+						continue // claimed earlier this tick
 					}
+					id := st.arenaIDs[ev.slot]
+					infectSlot(ev.slot, t)
+					newInf++
+					rec.AppendInfection(step, t, -1, int(id), uint32(st.arenaAddrs[ev.slot]), vecName(ev.ci))
+					continue
 				}
-				if cfg.Sensors != nil && comp.pSensor > 0 {
-					hits := st.r.Poisson(s.p * comp.pSensor * tickDeliver)
-					for i := uint64(0); i < hits; i++ {
-						dst := comp.sensors.Select(st.r.Uint64n(comp.sensors.Size()))
-						if cfg.Faults.SensorDown(dst, t) {
-							// Delivered to withdrawn monitored space: the
-							// wire carried it but no sensor was listening.
-							sensorDown++
-							continue
-						}
-						sensorDraws++
-						recordHit(dst)
-					}
+				if cfg.Faults.SensorDown(ev.dst, t) {
+					// Delivered to withdrawn monitored space: the wire
+					// carried it but no sensor was listening.
+					sensorDown++
+					continue
 				}
+				sensorDraws++
+				recordHit(ev.dst)
 			}
 		}
-		compact()
-		probesEmitted, outcomes := closeFastTickOutcomes(probes, newInf, sensorDraws, sensorDown, deliver, burstLoss)
+
+		nGroups := len(st.groupList)
+		nShards := workers
+		if nShards > nGroups {
+			nShards = nGroups
+		}
+		if nShards <= 1 || (!cfg.DisableTickSkip && st.lamTotal <= fastSkipLambda) {
+			// Quiescent/serial fast path: one gate draw per group decides
+			// whether it fires at all — the Poisson squeeze generalized to
+			// the whole group-tick — with no worker dispatch and, in the
+			// common all-zero case, no event machinery at all.
+			w := &ws[0]
+			w.events = reserveEvents(w.events, st.lamTotal)
+			for gi := 0; gi < nGroups; gi++ {
+				w.events = st.drawGroup(&w.r, gi, step, w.events)
+			}
+			apply(w.events)
+		} else {
+			// Phase 1: draw this tick's arrivals against the tick-start
+			// live index. Infections land in phase 2, so the workers'
+			// shared reads are race-free.
+			var wg sync.WaitGroup
+			for wi := 0; wi < nShards; wi++ {
+				lo := wi * nGroups / nShards
+				hi := (wi + 1) * nGroups / nShards
+				wg.Add(1)
+				go func(w *fastWorker, lo, hi, step int) {
+					defer wg.Done()
+					var lamShard float64
+					for gi := lo; gi < hi; gi++ {
+						lamShard += st.lam[gi]
+					}
+					w.events = reserveEvents(w.events, lamShard)
+					for gi := lo; gi < hi; gi++ {
+						w.events = st.drawGroup(&w.r, gi, step, w.events)
+					}
+				}(&ws[wi], lo, hi, step)
+			}
+			wg.Wait()
+			// Phase 2: serial merge in worker order. Shards are contiguous
+			// group ranges, so visiting workers in index order replays
+			// events exactly as a serial pass over the group list would.
+			for wi := 0; wi < nShards; wi++ {
+				apply(ws[wi].events)
+			}
+		}
+
+		probesEmitted, outcomes := closeFastTickOutcomes(st.probesTotal, newInf, sensorDraws, sensorDown, deliver, burstLoss)
 		info := TickInfo{Time: t, Infected: total, NewInfections: newInf, Probes: probesEmitted, Outcomes: outcomes}
 		res.Series = append(res.Series, info)
 		res.Final = info
@@ -475,6 +497,274 @@ func RunFast(cfg FastConfig) (*Result, error) {
 	rec.Append(trace.Event{Tick: len(res.Series), T: res.Final.Time, Kind: trace.KindPhase,
 		Agent: -1, Victim: -1, Vector: "end", Detail: "fast", N: uint64(res.Final.Infected)})
 	return res, nil
+}
+
+// reserveEvents returns buf emptied, with capacity for lam expected
+// arrivals plus six standard deviations of Poisson slack. Late-epidemic
+// ticks at internet scale draw tens of millions of arrivals; sizing the
+// buffer from the expectation turns a doubling cascade of multi-hundred-
+// megabyte reallocations into one allocation per high-water mark.
+// Capacity is invisible to the draw streams, so outputs are unchanged.
+func reserveEvents(buf []fastEvent, lam float64) []fastEvent {
+	need := int(lam+6*math.Sqrt(lam)) + 32
+	if cap(buf) >= need {
+		return buf[:0]
+	}
+	return make([]fastEvent, 0, need)
+}
+
+// drawGroup consumes group gi's tick RNG stream and appends its arrival
+// events. The stream is seeded from (seed, gi, step) alone, so the draws
+// are independent of which worker — or which execution path — runs them.
+// Draw discipline, in order: one gate sequence decides how many arrivals
+// the group-tick has (for λ < 30, Knuth inversion against the cached
+// p₀ = e^{-λ}, consuming draws exactly as rng.Poisson would; λ ≥ 30
+// delegates to rng.Poisson's normal approximation); then per arrival one
+// categorical draw picks the component — categories in fixed order,
+// infection then sensor per component — and one selection draw resolves
+// the victim slot or sensor address.
+func (st *fastState) drawGroup(r *rng.Xoshiro, gi, step int, out []fastEvent) []fastEvent {
+	lam := st.lam[gi]
+	if lam <= 0 {
+		return out
+	}
+	r.SeedStream(st.cfg.Seed, uint64(gi), uint64(step))
+	var k uint64
+	if lam < 30 {
+		// Knuth inversion with a squeeze: 1−λ ≤ e^{−λ}, so a first
+		// uniform at or under 1−λ settles k = 0 without ever computing
+		// the exponential — which keeps e^{−λ} off the per-(group, tick)
+		// fixed cost and prices it only into group-ticks that might
+		// fire. Draw consumption is identical either way.
+		prod := r.Float64()
+		if prod > 1-lam {
+			p0 := math.Exp(-lam)
+			for prod > p0 {
+				k++
+				prod *= r.Float64()
+			}
+		}
+	} else {
+		k = r.Poisson(lam)
+	}
+	g := st.groupList[gi]
+	for ; k > 0; k-- {
+		u := r.Float64() * lam
+		pick := int32(-1)
+		sensor := false
+		c := 0.0
+		for ci := int32(0); ci < g.n; ci++ {
+			ai := g.off + ci
+			if rr := st.catRate[ai]; rr > 0 {
+				c += rr
+				pick, sensor = ci, false
+				if u <= c {
+					break
+				}
+			}
+			if rs := st.catSens[ai]; rs > 0 {
+				c += rs
+				pick, sensor = ci, true
+				if u <= c {
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			continue // unreachable: λ > 0 implies a positive category
+		}
+		ai := g.off + pick
+		comp := &st.comps[ai]
+		if !sensor {
+			j := r.Uint64n(uint64(st.catLive[ai]))
+			out = append(out, fastEvent{slot: int32(st.selectVictim(comp.data, int64(j))), ci: pick})
+		} else {
+			dst := comp.sensors.Select(r.Uint64n(comp.sensors.Size()))
+			out = append(out, fastEvent{slot: -1, ci: pick, dst: dst})
+		}
+	}
+	return out
+}
+
+// selectVictim resolves the j-th live slot of a span-union pool using the
+// pool's cached live geometry: a scan of the cumulative counts picks the
+// span, and the cached start rank turns the within-span index into a
+// single global Fenwick select. The caller guarantees j is below the
+// cached live pool size the arrival was priced with.
+func (st *fastState) selectVictim(d *compData, j int64) int {
+	for i, c := range d.cumLive {
+		if j < c {
+			if i > 0 {
+				j -= d.cumLive[i-1]
+			}
+			return st.live.selectGlobal(int(d.rankLo[i] + j))
+		}
+	}
+	panic("sim: victim index out of pool range")
+}
+
+// refreshCompLive advances one pool's live-geometry cache to the current
+// live index. A pool that was refreshed at the previous rebuild needs only
+// the kills applied since: rank(lo) drops by the kills below lo, and each
+// span's live count by the kills inside it — integer identities on the
+// rank function, so the result matches a from-scratch recompute exactly,
+// with each kill count answered from the per-block kill table instead of
+// a Fenwick rank. Pools built mid-run (stamp 0) or otherwise out of
+// sequence take the full recompute.
+func (st *fastState) refreshCompLive(d *compData) {
+	if d.stamp+1 == st.rateStamp && cap(d.cumLive) >= len(d.spans) {
+		kills := st.killsTick
+		n := len(d.spans)
+		if n == 0 || len(kills) == 0 || kills[0] >= d.spans[n-1].hi {
+			d.stamp = st.rateStamp
+			return
+		}
+		var inside int64
+		for i, sp := range d.spans {
+			kl := st.killsBelow(sp.lo)
+			kh := st.killsBelow(sp.hi)
+			d.rankLo[i] -= int64(kl)
+			inside += int64(kh - kl)
+			d.cumLive[i] -= inside
+		}
+		d.liveCt -= inside
+		d.stamp = st.rateStamp
+		return
+	}
+	if cap(d.cumLive) < len(d.spans) {
+		d.cumLive = make([]int64, len(d.spans))
+		d.rankLo = make([]int64, len(d.spans))
+	}
+	d.cumLive = d.cumLive[:len(d.spans)]
+	d.rankLo = d.rankLo[:len(d.spans)]
+	var c int64
+	for i, sp := range d.spans {
+		rlo := int64(st.live.rank(int(sp.lo)))
+		d.rankLo[i] = rlo
+		c += int64(st.live.rank(int(sp.hi))) - rlo
+		d.cumLive[i] = c
+	}
+	d.liveCt = c
+	d.stamp = st.rateStamp
+}
+
+// indexKills sorts the tick's kill list and fills killBlockOff so that
+// killBlockOff[b] counts the kills below slot b·liveBlockSlots. One pass
+// here turns every killsBelow query during the rebuild into a table load
+// plus a scan of one (typically near-empty) block bucket — the queries run
+// once per span per pool per tick, so they must not each binary-search.
+func (st *fastState) indexKills() {
+	sortInt32s(st.killsTick)
+	nb := st.live.blocks + 1
+	if cap(st.killBlockOff) < nb {
+		st.killBlockOff = make([]int32, nb)
+	}
+	st.killBlockOff = st.killBlockOff[:nb]
+	c := 0
+	for b := 0; b < nb; b++ {
+		for c < len(st.killsTick) && int(st.killsTick[c]) < b*liveBlockSlots {
+			c++
+		}
+		st.killBlockOff[b] = int32(c)
+	}
+}
+
+// killsBelow returns how many of this tick's kill slots are below pos.
+// pos may equal the slot count.
+func (st *fastState) killsBelow(pos int32) int {
+	kills := st.killsTick
+	b := int(pos) / liveBlockSlots
+	if b >= len(st.killBlockOff) {
+		return len(kills)
+	}
+	c := int(st.killBlockOff[b])
+	for c < len(kills) && kills[c] < pos {
+		c++
+	}
+	return c
+}
+
+// rebuildRates recomputes every group's arrival intensity against the
+// current live index and delivery probability. λ is summed here once, in
+// fixed category order (infection then sensor, per component, in component
+// order) — the categorical scan in drawGroup accumulates the same terms in
+// the same order, so the two agree bit-for-bit.
+func (st *fastState) rebuildRates(tickDeliver float64) {
+	st.lam = growFloats(st.lam, len(st.groupList))
+	st.catRate = growFloats(st.catRate, len(st.comps))
+	st.catSens = growFloats(st.catSens, len(st.comps))
+	st.catLive = growInts(st.catLive, len(st.comps))
+	st.lamTotal = 0
+	st.probesTotal = 0
+	st.rateStamp++
+	// The kills recorded since the previous rebuild, sorted, drive the
+	// incremental branch of refreshCompLive. Every reachable compData is
+	// visited on every rebuild, so "one rebuild behind" is the only
+	// incremental distance that ever occurs.
+	st.indexKills()
+	perHost := st.cfg.ScanRate * st.cfg.TickSeconds
+	for gi, g := range st.groupList {
+		p := float64(g.infected) * perHost
+		st.probesTotal += p
+		lam := 0.0
+		for ci := int32(0); ci < g.n; ci++ {
+			ai := g.off + ci
+			comp := &st.comps[ai]
+			if comp.data.stamp != st.rateStamp {
+				st.refreshCompLive(comp.data)
+			}
+			liveCt := comp.data.liveCt
+			st.catLive[ai] = liveCt
+			rr := 0.0
+			if comp.weightOverSet > 0 && liveCt > 0 {
+				rr = p * comp.weightOverSet * float64(liveCt) * tickDeliver
+			}
+			st.catRate[ai] = rr
+			lam += rr
+			rs := 0.0
+			if comp.pSensor > 0 {
+				rs = p * comp.pSensor * tickDeliver
+			}
+			st.catSens[ai] = rs
+			lam += rs
+		}
+		st.lam[gi] = lam
+		st.lamTotal += lam
+	}
+	st.killsTick = st.killsTick[:0]
+	st.cachedDeliver = tickDeliver
+	st.rateValid = true
+}
+
+// sortInt32s sorts s ascending in place — an allocation-free insertion/
+// shell hybrid is overkill here; slot kill lists are short except in the
+// hottest internet-scale ticks, where sort.Slice's closure overhead is
+// noise against the draws.
+func sortInt32s(s []int32) {
+	if len(s) > 1 {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+}
+
+// growFloats and growInts extend a per-group/per-comp cache array,
+// preserving existing entries: unchanged groups skip recomputation in
+// rebuildRates and keep reading their prior values in place.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]float64, n, n+n/2+8)
+	copy(ns, s)
+	return ns
+}
+
+func growInts(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]int64, n, n+n/2+8)
+	copy(ns, s)
+	return ns
 }
 
 // closeFastTickOutcomes closes one fast-driver tick's probe accounting.
@@ -511,28 +801,86 @@ func closeFastTickOutcomes(probes float64, newInf int, sensorDraws, sensorDown u
 	return probesEmitted, outcomes
 }
 
-// indexHosts builds the sorted public-address index and per-site pools.
+// indexHosts lays out the slot arena: public hosts sorted by address, then
+// each NAT site as its own region sorted by private address. Public
+// ordering uses a two-pass LSD radix sort — O(n) against the comparison
+// sort's n·log n, which matters at 10⁸ hosts.
 func (st *fastState) indexHosts() {
 	n := st.pop.Size()
-	type entry struct {
-		addr ipv4.Addr
-		id   int32
-	}
-	entries := make([]entry, 0, n)
+	st.idSlot = make([]int32, n)
+	st.arenaAddrs = make([]ipv4.Addr, n)
+	st.arenaIDs = make([]int32, n)
+	siteMembers := make(map[int][]int32)
+	pub := make([]uint64, 0, n)
 	for i := 0; i < n; i++ {
 		h := st.pop.Host(i)
 		if h.IsNATed() {
-			st.sitePools[h.Site] = append(st.sitePools[h.Site], int32(i))
+			siteMembers[h.Site] = append(siteMembers[h.Site], int32(i))
 			continue
 		}
-		entries = append(entries, entry{addr: h.Addr, id: int32(i)})
+		pub = append(pub, uint64(h.Addr)<<32|uint64(uint32(i)))
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].addr < entries[j].addr })
-	st.publicAddrs = make([]ipv4.Addr, len(entries))
-	st.publicIDs = make([]int32, len(entries))
-	for i, e := range entries {
-		st.publicAddrs[i] = e.addr
-		st.publicIDs[i] = e.id
+	radixSortByAddr(pub)
+	for s, v := range pub {
+		addr, id := ipv4.Addr(v>>32), int32(uint32(v))
+		st.arenaAddrs[s] = addr
+		st.arenaIDs[s] = id
+		st.idSlot[id] = int32(s)
+	}
+	st.pubLen = int32(len(pub))
+	sites := make([]int, 0, len(siteMembers))
+	for site := range siteMembers {
+		sites = append(sites, site)
+	}
+	sort.Ints(sites)
+	st.siteSpan = make(map[int]slotSpan, len(sites))
+	next := st.pubLen
+	for _, site := range sites {
+		members := siteMembers[site]
+		sort.Slice(members, func(i, j int) bool {
+			return st.pop.Host(int(members[i])).Addr < st.pop.Host(int(members[j])).Addr
+		})
+		lo := next
+		for _, id := range members {
+			st.arenaAddrs[next] = st.pop.Host(int(id)).Addr
+			st.arenaIDs[next] = id
+			st.idSlot[id] = next
+			next++
+		}
+		st.siteSpan[site] = slotSpan{lo: lo, hi: next}
+	}
+	st.live = newLiveIndex(n)
+}
+
+// radixSortByAddr sorts packed (addr<<32 | id) entries by address (ties by
+// id) with a two-pass LSD counting sort over the address halves. Small
+// inputs fall back to a comparison sort.
+func radixSortByAddr(v []uint64) {
+	if len(v) < 1<<12 {
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		return
+	}
+	tmp := make([]uint64, len(v))
+	counts := make([]int, 1<<16)
+	for pass := 0; pass < 2; pass++ {
+		shift := uint(32 + 16*pass)
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, x := range v {
+			counts[(x>>shift)&0xffff]++
+		}
+		sum := 0
+		for i, c := range counts {
+			counts[i] = sum
+			sum += c
+		}
+		for _, x := range v {
+			b := (x >> shift) & 0xffff
+			tmp[counts[b]] = x
+			counts[b]++
+		}
+		copy(v, tmp)
 	}
 }
 
@@ -546,7 +894,7 @@ func (st *fastState) buildComps(h population.Host) (off, n int32) {
 		if c.Private {
 			site = h.Site
 		}
-		data := st.compData(c.Set, site)
+		data := st.compDataFor(c.Set, site)
 		setSize := float64(data.setSize)
 		fc := fastComp{data: data}
 		if setSize > 0 {
@@ -561,51 +909,41 @@ func (st *fastState) buildComps(h population.Host) (off, n int32) {
 	return off, int32(len(st.comps)) - off
 }
 
-// compData computes (and caches) the victim pool and sensor intersection
-// for a component set, optionally restricted to one NAT site. Pools built
-// mid-run exclude hosts that are already infected — equivalent to
-// building the full pool and compacting it on the spot — and every pool
-// slot is recorded in the membership registry for later compaction.
-func (st *fastState) compData(set *ipv4.Set, site int) *compData {
+// compDataFor computes (and caches) the pool spans and sensor intersection
+// for a component set, optionally restricted to one NAT site. Spans cover
+// every host in the set regardless of infection state — liveness lives in
+// the shared index — so the result is immutable.
+func (st *fastState) compDataFor(set *ipv4.Set, site int) *compData {
 	key := compKey{set: set, site: site}
 	if d, ok := st.compCache[key]; ok {
 		return d
 	}
 	d := &compData{setSize: set.Size()}
-	add := func(id int32) {
-		d.pool = append(d.pool, id)
-		st.register(id, d, int32(len(d.pool)-1))
-	}
+	region := slotSpan{lo: 0, hi: st.pubLen}
+	eff := set
 	if site != population.NoSite {
-		// Private component: pool is the site's members whose private
-		// address falls in the set; every pool address is reachable.
-		for _, id := range st.sitePools[site] {
-			if !st.infected[id] && set.Contains(st.pop.Host(int(id)).Addr) {
-				add(id)
-			}
-		}
-		st.compCache[key] = d
-		return d
+		// Private component: the site's own arena region; every address in
+		// it is reachable (hard blocks apply to Internet paths only).
+		region = st.siteSpan[site]
+	} else if st.cfg.BlockedDst != nil {
+		eff = set.Subtract(st.cfg.BlockedDst)
 	}
-	// Public component: binary-search the sorted address index per
-	// interval, excluding hard-blocked destinations.
-	for _, iv := range set.Intervals() {
-		lo := sort.Search(len(st.publicAddrs), func(i int) bool { return st.publicAddrs[i] >= iv.Lo })
-		for i := lo; i < len(st.publicAddrs) && st.publicAddrs[i] <= iv.Hi; i++ {
-			if st.infected[st.publicIDs[i]] {
-				continue
-			}
-			if st.cfg.BlockedDst != nil && st.cfg.BlockedDst.Contains(st.publicAddrs[i]) {
-				continue
-			}
-			add(st.publicIDs[i])
+	addrs := st.arenaAddrs[region.lo:region.hi]
+	for _, iv := range eff.Intervals() {
+		lo := sort.Search(len(addrs), func(i int) bool { return addrs[i] >= iv.Lo })
+		hi := sort.Search(len(addrs), func(i int) bool { return addrs[i] > iv.Hi })
+		if lo < hi {
+			d.spans = append(d.spans, slotSpan{lo: region.lo + int32(lo), hi: region.lo + int32(hi)})
 		}
 	}
-	if st.cfg.Sensors != nil && st.cfg.SensorSet != nil {
+	if site == population.NoSite && st.cfg.Sensors != nil && st.cfg.SensorSet != nil {
 		inter := st.cfg.SensorSet.Intersect(set)
 		if st.cfg.BlockedDst != nil {
 			inter = inter.Subtract(st.cfg.BlockedDst)
 		}
+		// Phase-1 workers Select from this set concurrently; freeze its
+		// lazy indexes now, while construction is still serial.
+		inter.Freeze()
 		d.sensorInter = inter
 		d.sensorSize = inter.Size()
 	}

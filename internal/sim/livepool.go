@@ -1,0 +1,168 @@
+package sim
+
+import "math/bits"
+
+// liveIndex tracks which arena slots are still susceptible ("live") at
+// internet scale: a dense bitset (one bit per slot) plus a Fenwick tree of
+// per-block live counts. The block size is chosen so the Fenwick array for
+// 10⁸ slots is a few hundred kilobytes — small enough to stay cache-resident
+// while the bitset itself streams from memory.
+//
+// The index supports the three queries the fast driver's victim pools need:
+//
+//	liveIn(lo, hi)  — how many live slots in [lo, hi)          O(log n)
+//	selectIn(lo, j) — the j-th live slot at position ≥ lo      O(log n)
+//	kill(pos)       — mark a slot infected                     O(log n)
+//
+// All read queries are safe to run concurrently as long as no kill is in
+// flight; the driver's two-phase tick (parallel read-only draws, serial
+// merge) guarantees that.
+const (
+	liveBlockWords = 16                  // 64-bit words per Fenwick block
+	liveBlockSlots = liveBlockWords * 64 // 1024 slots per block
+)
+
+type liveIndex struct {
+	n      int
+	blocks int
+	words  []uint64 // bit set ⇒ slot live
+	fen    []int32  // 1-based Fenwick tree over per-block live counts
+}
+
+// newLiveIndex returns an index with all n slots live.
+func newLiveIndex(n int) *liveIndex {
+	nw := (n + 63) / 64
+	li := &liveIndex{n: n, words: make([]uint64, nw)}
+	for i := range li.words {
+		li.words[i] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		li.words[nw-1] = (uint64(1) << r) - 1
+	}
+	li.blocks = (nw + liveBlockWords - 1) / liveBlockWords
+	li.fen = make([]int32, li.blocks+1)
+	for b := 0; b < li.blocks; b++ {
+		var c int32
+		end := (b + 1) * liveBlockWords
+		if end > nw {
+			end = nw
+		}
+		for w := b * liveBlockWords; w < end; w++ {
+			c += int32(bits.OnesCount64(li.words[w]))
+		}
+		li.fen[b+1] += c
+	}
+	// O(blocks) Fenwick construction: push each prefix into its parent.
+	for i := 1; i <= li.blocks; i++ {
+		if j := i + i&(-i); j <= li.blocks {
+			li.fen[j] += li.fen[i]
+		}
+	}
+	return li
+}
+
+// test reports whether slot pos is live.
+func (li *liveIndex) test(pos int) bool {
+	return li.words[pos>>6]>>(uint(pos)&63)&1 == 1
+}
+
+// kill marks slot pos infected. Killing a dead slot is a no-op.
+func (li *liveIndex) kill(pos int) {
+	w, bit := pos>>6, uint64(1)<<(uint(pos)&63)
+	if li.words[w]&bit == 0 {
+		return
+	}
+	li.words[w] &^= bit
+	for i := pos/liveBlockSlots + 1; i <= li.blocks; i += i & (-i) {
+		li.fen[i]--
+	}
+}
+
+// fenSum returns the live count of blocks [0, b).
+func (li *liveIndex) fenSum(b int) int {
+	var s int32
+	for ; b > 0; b -= b & (-b) {
+		s += li.fen[b]
+	}
+	return int(s)
+}
+
+// rank returns the number of live slots in [0, pos). pos may equal n.
+func (li *liveIndex) rank(pos int) int {
+	b := pos / liveBlockSlots
+	s := li.fenSum(b)
+	wEnd := pos >> 6
+	for w := b * liveBlockWords; w < wEnd; w++ {
+		s += bits.OnesCount64(li.words[w])
+	}
+	if r := uint(pos) & 63; r != 0 {
+		s += bits.OnesCount64(li.words[wEnd] & ((uint64(1) << r) - 1))
+	}
+	return s
+}
+
+// liveIn returns the number of live slots in [lo, hi).
+func (li *liveIndex) liveIn(lo, hi int) int {
+	return li.rank(hi) - li.rank(lo)
+}
+
+// selectIn returns the j-th (0-based) live slot at position ≥ lo. The
+// caller guarantees j < liveIn(lo, n).
+func (li *liveIndex) selectIn(lo, j int) int {
+	return li.selectGlobal(li.rank(lo) + j)
+}
+
+// selectGlobal returns the k-th (0-based) live slot: a Fenwick descent to
+// the containing block, a popcount walk to the word, then an in-word select.
+func (li *liveIndex) selectGlobal(k int) int {
+	rem := int32(k)
+	pos := 0
+	step := 1
+	for step<<1 <= li.blocks {
+		step <<= 1
+	}
+	for ; step > 0; step >>= 1 {
+		if next := pos + step; next <= li.blocks && li.fen[next] <= rem {
+			pos = next
+			rem -= li.fen[next]
+		}
+	}
+	w := pos * liveBlockWords
+	for {
+		c := int32(bits.OnesCount64(li.words[w]))
+		if rem < c {
+			break
+		}
+		rem -= c
+		w++
+	}
+	return w<<6 + selectInWord(li.words[w], uint(rem))
+}
+
+// selectInWord returns the bit position of the (r+1)-th set bit of x. The
+// caller guarantees x has more than r set bits. A binary descent over
+// half-width popcounts narrows the search to one byte, so the final
+// clear-lowest-bit scan runs at most 7 times instead of 63.
+func selectInWord(x uint64, r uint) int {
+	pos := 0
+	if c := uint(bits.OnesCount32(uint32(x))); r >= c {
+		r -= c
+		x >>= 32
+		pos = 32
+	}
+	if c := uint(bits.OnesCount16(uint16(x))); r >= c {
+		r -= c
+		x >>= 16
+		pos += 16
+	}
+	if c := uint(bits.OnesCount8(uint8(x))); r >= c {
+		r -= c
+		x >>= 8
+		pos += 8
+	}
+	// The r+1 lowest set bits of x now all sit in its low byte.
+	for ; r > 0; r-- {
+		x &= x - 1
+	}
+	return pos + bits.TrailingZeros64(x)
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// naiveLive is the reference implementation: a plain bool slice.
+type naiveLive []bool
+
+func newNaiveLive(n int) naiveLive {
+	l := make(naiveLive, n)
+	for i := range l {
+		l[i] = true
+	}
+	return l
+}
+
+func (l naiveLive) kill(pos int) { l[pos] = false }
+
+func (l naiveLive) liveIn(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		if l[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func (l naiveLive) selectIn(lo, j int) int {
+	for i := lo; i < len(l); i++ {
+		if l[i] {
+			if j == 0 {
+				return i
+			}
+			j--
+		}
+	}
+	return -1
+}
+
+func TestLiveIndexMatchesNaive(t *testing.T) {
+	// Sizes straddle the word and Fenwick-block boundaries.
+	for _, n := range []int{1, 63, 64, 65, 1023, 1024, 1025, 4096, 5000} {
+		li := newLiveIndex(n)
+		ref := newNaiveLive(n)
+		r := rng.NewXoshiro(uint64(n)*7 + 1)
+		if got := li.rank(n); got != n {
+			t.Fatalf("n=%d: initial rank(n) = %d", n, got)
+		}
+		// Kill a random half, checking queries as the index empties.
+		for round := 0; round < 4; round++ {
+			for k := 0; k < n/8+1; k++ {
+				pos := int(r.Uint64n(uint64(n)))
+				li.kill(pos)
+				ref.kill(pos)
+			}
+			for q := 0; q < 20; q++ {
+				lo := int(r.Uint64n(uint64(n)))
+				hi := lo + int(r.Uint64n(uint64(n-lo)+1))
+				if got, want := li.liveIn(lo, hi), ref.liveIn(lo, hi); got != want {
+					t.Fatalf("n=%d: liveIn(%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+				if avail := ref.liveIn(lo, n); avail > 0 {
+					j := int(r.Uint64n(uint64(avail)))
+					if got, want := li.selectIn(lo, j), ref.selectIn(lo, j); got != want {
+						t.Fatalf("n=%d: selectIn(%d,%d) = %d, want %d", n, lo, j, got, want)
+					}
+				}
+			}
+			if got, want := li.rank(n), ref.liveIn(0, n); got != want {
+				t.Fatalf("n=%d: total rank = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestLiveIndexKillIdempotent(t *testing.T) {
+	li := newLiveIndex(200)
+	li.kill(100)
+	li.kill(100)
+	if got := li.rank(200); got != 199 {
+		t.Fatalf("double kill changed count twice: rank = %d, want 199", got)
+	}
+	if li.test(100) {
+		t.Fatal("killed slot still live")
+	}
+	if !li.test(99) {
+		t.Fatal("untouched slot not live")
+	}
+}
+
+func TestLiveIndexSelectExhaustive(t *testing.T) {
+	// Every live slot must be selectable by its in-range index.
+	n := 2500
+	li := newLiveIndex(n)
+	ref := newNaiveLive(n)
+	r := rng.NewXoshiro(99)
+	for k := 0; k < 2*n; k++ { // kill most slots, duplicates fine
+		pos := int(r.Uint64n(uint64(n)))
+		li.kill(pos)
+		ref.kill(pos)
+	}
+	lo := 700
+	avail := ref.liveIn(lo, n)
+	if avail == 0 {
+		t.Skip("degenerate: nothing live past lo")
+	}
+	for j := 0; j < avail; j++ {
+		got, want := li.selectIn(lo, j), ref.selectIn(lo, j)
+		if got != want {
+			t.Fatalf("selectIn(%d,%d) = %d, want %d", lo, j, got, want)
+		}
+		if !li.test(got) {
+			t.Fatalf("selected dead slot %d", got)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 // reproduction to the oracle that originally fired.
 const (
 	OracleByteIdentity = "byte-identity" // Workers=1 vs Workers=N + JSON round-trip
+	OracleFastIdentity = "fast-identity" // fast driver: Workers=1 vs N, tick-skip on vs off
 	OracleInvariant    = "invariant"     // conservation, monotonicity, consistency
 	OracleFleet        = "fleet"         // sensor accounting vs outcome counts
 	OracleDifferential = "differential"  // exact vs fast trajectories
@@ -130,7 +131,7 @@ func CheckScenario(sc Scenario) (*Report, error) {
 		fasts := make([]*runOutput, 0, fastReplicas)
 		for i := 0; i < fastReplicas; i++ {
 			seed := fastReplicaSeed(sc.SimSeed, i)
-			fr, err := runFast(&sc, a, seed)
+			fr, err := runFast(&sc, a, seed, 1, false)
 			if err != nil {
 				return nil, err
 			}
@@ -139,6 +140,9 @@ func CheckScenario(sc Scenario) (*Report, error) {
 			checkTree(rep, fmt.Sprintf("fast[%d]", i), fr)
 			rep.keepTrace(fmt.Sprintf("fast%d", i), "fast", seed, 0, fr.trace)
 			fasts = append(fasts, fr)
+		}
+		if err := checkFastIdentity(rep, &sc, a, fasts[0]); err != nil {
+			return nil, err
 		}
 		checkDifferential(rep, &sc, ref, fasts)
 		rep.Differential = true
@@ -149,6 +153,39 @@ func CheckScenario(sc Scenario) (*Report, error) {
 		rep.Analytic = true
 	}
 	return rep, nil
+}
+
+// checkFastIdentity audits the fast driver's own determinism contract: its
+// Workers count and quiescent-tick fast path are throughput knobs, so
+// re-running the first replica with parallel workers, and again with the
+// fast path disabled, must reproduce its serialized output byte for byte.
+func checkFastIdentity(rep *Report, sc *Scenario, a *artifacts, serial *runOutput) error {
+	fw := sc.FastWorkers
+	if fw < 2 {
+		fw = 2 // pre-field corpus seeds still get a parallel check
+	}
+	want := serializeRun(serial)
+	seed := fastReplicaSeed(sc.SimSeed, 0)
+	variants := []struct {
+		label   string
+		workers int
+		noskip  bool
+	}{
+		{fmt.Sprintf("Workers=%d", fw), fw, false},
+		{"DisableTickSkip", 1, true},
+	}
+	for _, v := range variants {
+		again, err := runFast(sc, a, seed, v.workers, v.noskip)
+		if err != nil {
+			return err
+		}
+		if got := serializeRun(again); got != want {
+			rep.addf(OracleFastIdentity,
+				"fast run with %s diverged from the serial fast run: %s",
+				v.label, firstDiff(want, got))
+		}
+	}
+	return nil
 }
 
 // checkInvariants audits the unconditional per-run properties.

@@ -249,8 +249,11 @@ func runExactCtx(ctx context.Context, sc *Scenario, a *artifacts, workers int) (
 }
 
 // runFast executes the scenario on the fast driver with the given seed
-// (differential replicas run under distinct derived seeds).
-func runFast(sc *Scenario, a *artifacts, seed uint64) (*runOutput, error) {
+// (differential replicas run under distinct derived seeds), worker count,
+// and tick-skip setting. The latter two are throughput knobs the driver
+// guarantees are output-invariant; the parallel-fast identity oracle
+// re-runs one replica with them varied.
+func runFast(sc *Scenario, a *artifacts, seed uint64, workers int, noskip bool) (*runOutput, error) {
 	rec := trace.NewRecorder(0)
 	clk := &obs.SimClock{}
 	out := &runOutput{trace: rec}
@@ -262,6 +265,8 @@ func runFast(sc *Scenario, a *artifacts, seed uint64) (*runOutput, error) {
 		MaxSeconds:       sc.MaxSeconds,
 		SeedHosts:        sc.SeedHosts,
 		Seed:             seed,
+		Workers:          workers,
+		DisableTickSkip:  noskip,
 		LossRate:         sc.LossRate,
 		Faults:           a.plan,
 		StopWhenInfected: sc.StopWhenInfect,
@@ -283,7 +288,7 @@ func runFast(sc *Scenario, a *artifacts, seed uint64) (*runOutput, error) {
 		return nil, fmt.Errorf("xcheck: fast driver: %w", err)
 	}
 	if testMutateResult != nil {
-		testMutateResult("fast", 0, res)
+		testMutateResult("fast", workers, res)
 	}
 	out.res = res
 	return out, nil

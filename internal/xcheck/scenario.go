@@ -17,7 +17,8 @@
 //     independent implementations of the same process; their epidemic
 //     trajectories and sensor-hit rates must agree within sampling
 //     tolerance. The exact driver must also be byte-identical across
-//     worker counts and across a JSON round-trip of the scenario.
+//     worker counts and across a JSON round-trip of the scenario, and the
+//     fast driver across its own worker counts and tick-skip settings.
 //   - Invariant: properties every run must satisfy unconditionally —
 //     probe-outcome conservation, monotone cumulative infections,
 //     infection-time/series consistency, and sensor-fleet accounting
@@ -113,6 +114,11 @@ type Scenario struct {
 	// byte-identity oracle (the first always runs Workers=1).
 	Workers int `json:"workers"`
 
+	// FastWorkers is the fast driver's worker count for the parallel-fast
+	// identity oracle (the reference replica always runs Workers=1). Zero
+	// means "pick a parallel count" — older corpus seeds predate the field.
+	FastWorkers int `json:"fast_workers,omitempty"`
+
 	// Sensor fleet: Sensors random /24 darknet blocks (0 = no fleet)
 	// placed with SensorSeed, alerting at SensorThreshold hits.
 	Sensors         int    `json:"sensors,omitempty"`
@@ -195,6 +201,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Workers < 1 || s.Workers > maxWorkers {
 		return fmt.Errorf("xcheck: workers %d outside [1,%d]", s.Workers, maxWorkers)
+	}
+	if s.FastWorkers < 0 || s.FastWorkers > maxWorkers {
+		return fmt.Errorf("xcheck: fast workers %d outside [0,%d]", s.FastWorkers, maxWorkers)
 	}
 	if s.Sensors < 0 || s.Sensors > maxSensors {
 		return fmt.Errorf("xcheck: %d sensors outside [0,%d]", s.Sensors, maxSensors)
@@ -400,6 +409,9 @@ func Generate(id uint64) Scenario {
 			sc.Faults = fc
 		}
 	}
+	// Drawn last so the field's introduction left every earlier field of
+	// every existing seed's expansion unchanged.
+	sc.FastWorkers = 2 + int(r.Uint64n(7))
 	return sc
 }
 

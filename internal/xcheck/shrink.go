@@ -141,6 +141,14 @@ var reductions = []func(Scenario) (Scenario, bool){
 		s.Workers = 2
 		return s, true
 	},
+	// Likewise for the fast driver's worker count.
+	func(s Scenario) (Scenario, bool) {
+		if s.FastWorkers <= 2 {
+			return s, false
+		}
+		s.FastWorkers = 2
+		return s, true
+	},
 	// Halve the scan rate.
 	func(s Scenario) (Scenario, bool) {
 		if s.ScanRate*s.TickSeconds < 4 {

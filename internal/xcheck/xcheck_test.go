@@ -106,21 +106,23 @@ func TestParseScenarioStrict(t *testing.T) {
 // space: each mutation must fail validation, never panic or pass.
 func TestValidateRejects(t *testing.T) {
 	mutations := map[string]func(*Scenario){
-		"unknown worm":   func(s *Scenario) { s.Worm = "flash" },
-		"zero pop":       func(s *Scenario) { s.PopSize = 0 },
-		"huge pop":       func(s *Scenario) { s.PopSize = maxPopSize + 1 },
-		"nan rate":       func(s *Scenario) { s.ScanRate = nan() },
-		"zero tick":      func(s *Scenario) { s.TickSeconds = 0 },
-		"inf horizon":    func(s *Scenario) { s.MaxSeconds = inf() },
-		"excess ppt":     func(s *Scenario) { s.ScanRate = 2 * maxScenarioPPT },
-		"excess ticks":   func(s *Scenario) { s.MaxSeconds = 2 * maxTicksPerRun * s.TickSeconds },
-		"zero workers":   func(s *Scenario) { s.Workers = 0 },
-		"excess workers": func(s *Scenario) { s.Workers = maxWorkers + 1 },
-		"zero seeds":     func(s *Scenario) { s.SeedHosts = 0 },
-		"nan loss":       func(s *Scenario) { s.LossRate = nan() },
-		"total loss":     func(s *Scenario) { s.LossRate = 1 },
-		"oversized list": func(s *Scenario) { s.HitListSlash16s = s.Slash16s + 1 },
-		"orphan outage":  func(s *Scenario) { s.SensorOutages = []OutageWindow{{Start: 0, End: 5}} },
+		"unknown worm":          func(s *Scenario) { s.Worm = "flash" },
+		"zero pop":              func(s *Scenario) { s.PopSize = 0 },
+		"huge pop":              func(s *Scenario) { s.PopSize = maxPopSize + 1 },
+		"nan rate":              func(s *Scenario) { s.ScanRate = nan() },
+		"zero tick":             func(s *Scenario) { s.TickSeconds = 0 },
+		"inf horizon":           func(s *Scenario) { s.MaxSeconds = inf() },
+		"excess ppt":            func(s *Scenario) { s.ScanRate = 2 * maxScenarioPPT },
+		"excess ticks":          func(s *Scenario) { s.MaxSeconds = 2 * maxTicksPerRun * s.TickSeconds },
+		"zero workers":          func(s *Scenario) { s.Workers = 0 },
+		"excess workers":        func(s *Scenario) { s.Workers = maxWorkers + 1 },
+		"negative fast workers": func(s *Scenario) { s.FastWorkers = -1 },
+		"excess fast workers":   func(s *Scenario) { s.FastWorkers = maxWorkers + 1 },
+		"zero seeds":            func(s *Scenario) { s.SeedHosts = 0 },
+		"nan loss":              func(s *Scenario) { s.LossRate = nan() },
+		"total loss":            func(s *Scenario) { s.LossRate = 1 },
+		"oversized list":        func(s *Scenario) { s.HitListSlash16s = s.Slash16s + 1 },
+		"orphan outage":         func(s *Scenario) { s.SensorOutages = []OutageWindow{{Start: 0, End: 5}} },
 		"inverted window": func(s *Scenario) {
 			s.Sensors, s.SensorThreshold = 4, 1
 			s.SensorOutages = []OutageWindow{{Start: 5, End: 5}}
@@ -197,6 +199,41 @@ func TestHarnessCatchesInjectedCorruption(t *testing.T) {
 
 func work(s Scenario) float64 {
 	return float64(s.PopSize) * s.ScanRate * s.MaxSeconds
+}
+
+// TestHarnessCatchesFastParallelCorruption is the acceptance check for the
+// parallel-fast identity oracle: corrupt only the fast driver's parallel
+// runs through the test hook — the moral equivalent of a merge-order bug
+// in the two-phase tick — and the fast-identity oracle must fire while
+// the serial replicas stay clean.
+func TestHarnessCatchesFastParallelCorruption(t *testing.T) {
+	testMutateResult = func(driver string, workers int, res *sim.Result) {
+		if driver == "fast" && workers > 1 {
+			res.Outcomes[sim.OutcomeDelivered]++
+		}
+	}
+	defer func() { testMutateResult = nil }()
+
+	sc := analyticScenario() // hit-list: differential-eligible
+	sc.FastWorkers = 4
+	rep, err := CheckScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Differential {
+		t.Fatal("scenario did not exercise the differential path")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Oracle == OracleFastIdentity {
+			found = true
+		} else {
+			t.Errorf("unexpected violation [%s]: %s", v.Oracle, v.Detail)
+		}
+	}
+	if !found {
+		t.Fatalf("corrupted parallel fast run not flagged; violations: %+v", rep.Violations)
+	}
 }
 
 // TestHarnessCatchesBrokenFitBeta reverts the FitBeta bugfix in effigy: a
