@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/topo/proxgraph"
 	"repro/internal/trace"
 	"repro/internal/worm"
 )
@@ -320,6 +321,42 @@ func BenchmarkRunFastInternetScale10M(b *testing.B) {
 
 func BenchmarkRunFastInternetScale100M(b *testing.B) {
 	benchRunFastInternetScale(b, 100_000_000, 10_000_000)
+}
+
+// BenchmarkRunFastProxGraph drives a neighbor-graph outbreak over a
+// 100k-node mutual-kNN world to half prevalence. World construction sits
+// outside the timed region; the measured run is the graph fast driver's
+// thinned per-agent Poisson loop, which shares nothing with the IPv4
+// arena path. It rides in the millisecond-scale snapshot leg so
+// benchsnap -compare gates it alongside the CodeRedII legs — the pair
+// proves the topology seam added a graph path without taxing the IPv4
+// one.
+func BenchmarkRunFastProxGraph(b *testing.B) {
+	world, err := proxgraph.New(proxgraph.Config{
+		Nodes: 100_000, Degree: 8, Sensors: 1000, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stop = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFast(sim.FastConfig{
+			Topology:         world,
+			ScanRate:         2,
+			TickSeconds:      1,
+			MaxSeconds:       600,
+			SeedHosts:        25,
+			Seed:             uint64(i) + 1,
+			StopWhenInfected: stop,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Final.Infected < stop {
+			b.Fatalf("outbreak stalled at %d/%d infected", res.Final.Infected, stop)
+		}
+	}
 }
 
 func benchRunExactCodeRedII(b *testing.B, reg *obs.Registry, workers int) {

@@ -11,6 +11,7 @@
 //	hotspotsim -worm codered2 -placement 192sweep -outage 0.3 -burst 0.6
 //	hotspotsim -worm codered2 -checkpoint run.ckpt   # rerun replays the cache
 //	hotspotsim -worm codered2 -driver exact -pop 2000 -rate 2000 -t 300 -workers 4
+//	hotspotsim -topology proxgraph -graph-nodes 50000 -graph-degree 8 -rate 2 -t 300
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/textplot"
+	"repro/internal/topo/proxgraph"
 	"repro/internal/worm"
 )
 
@@ -121,6 +123,13 @@ func run(ctx context.Context, args []string) error {
 		faultsFile  = fs.String("faults", "", "JSON fault-plan config file (see internal/faults)")
 		checkpoint  = fs.String("checkpoint", "", "cache the completed run in this JSON file; a rerun with identical parameters replays it without re-simulating")
 		plot        = fs.Bool("plot", false, "render ASCII chart")
+
+		topology     = fs.String("topology", "ipv4", "ipv4|proxgraph: uniform address-scan world or proximity-graph world (see -graph-* flags)")
+		graphNodes   = fs.Int("graph-nodes", 50000, "proxgraph: node count")
+		graphDegree  = fs.Int("graph-degree", 8, "proxgraph: mutual-kNN degree bound per node")
+		graphRadius  = fs.Float64("graph-radius", 0, "proxgraph: candidate radius in the unit square (0 = package default)")
+		graphSensors = fs.Int("graph-sensors", 0, "proxgraph: sensor node count, sampled from the world seed")
+		graphSeed    = fs.Uint64("graph-seed", 0, "proxgraph: world seed (0 = reuse -seed)")
 	)
 	obsFlags := obsflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +137,28 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *driver != "fast" && *driver != "exact" {
 		return fmt.Errorf("unknown driver %q (fast|exact)", *driver)
+	}
+	// The two worlds have disjoint knobs; an explicitly set flag from the
+	// wrong world is a configuration error, mirroring the sim package's
+	// typed topology-conflict rejections.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *topology {
+	case "ipv4":
+		for _, name := range []string{"graph-nodes", "graph-degree", "graph-radius", "graph-sensors", "graph-seed"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s requires -topology proxgraph", name)
+			}
+		}
+	case "proxgraph":
+		for _, name := range []string{"worm", "hitlist-size", "pop", "nat", "sensors", "placement",
+			"threshold", "contain-at", "contain-drop", "outage", "burst", "burst-good", "burst-bad", "faults"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s has no defined semantics on -topology proxgraph", name)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown topology %q (ipv4|proxgraph)", *topology)
 	}
 	if *driver == "exact" && *containAt > 0 {
 		return fmt.Errorf("-contain-at requires the fast driver (the exact driver has no containment hook)")
@@ -188,6 +219,13 @@ func run(ctx context.Context, args []string) error {
 			containDrop: *containDrop,
 			outage:      *outage,
 			faults:      fcfg,
+
+			topology:     *topology,
+			graphNodes:   *graphNodes,
+			graphDegree:  *graphDegree,
+			graphRadius:  *graphRadius,
+			graphSensors: *graphSensors,
+			graphSeed:    *graphSeed,
 		}, sess)
 	}
 
@@ -204,6 +242,12 @@ func run(ctx context.Context, args []string) error {
 		key := fmt.Sprintf("hotspotsim|worm=%s|driver=%s|workers=%d|hl=%d|pop=%d|nat=%g|rate=%g|seeds=%d|t=%g|seed=%d|sensors=%d|placement=%s|thr=%d|contain=%g/%g|outage=%g|faults=%s",
 			*wormName, *driver, *workers, *hitListSize, *popSize, *nat, *scanRate, *seeds, *maxSeconds,
 			*seed, *sensors, *placement, *threshold, *containAt, *containDrop, *outage, fjson)
+		// Appended only off the default world, so pre-topology checkpoint
+		// files keep replaying under their original keys.
+		if *topology != "ipv4" {
+			key += fmt.Sprintf("|topo=%s|gnodes=%d|gdeg=%d|grad=%g|gsens=%d|gseed=%d",
+				*topology, *graphNodes, *graphDegree, *graphRadius, *graphSensors, *graphSeed)
+		}
 		vals, err := sweep.MapCheckpointed(ctx, []int{0},
 			func(int, int) string { return key },
 			func(context.Context, int) (runSummary, error) { return simulate() },
@@ -240,12 +284,22 @@ type simParams struct {
 	containDrop float64
 	outage      float64
 	faults      faults.Config
+
+	topology     string
+	graphNodes   int
+	graphDegree  int
+	graphRadius  float64
+	graphSensors int
+	graphSeed    uint64
 }
 
 // simulateRun runs one simulation, stopping at the next tick boundary if
 // ctx is cancelled; an interrupted run returns ctx's error so its partial
 // summary never reaches a checkpoint.
 func simulateRun(ctx context.Context, p simParams, sess *obsflags.Session) (runSummary, error) {
+	if p.topology == "proxgraph" {
+		return simulateGraphRun(ctx, p, sess)
+	}
 	var summary runSummary
 	popCfg := population.DefaultCodeRedII(p.seed)
 	if p.popSize != popCfg.Size {
@@ -453,6 +507,90 @@ func simulateRun(ctx context.Context, p simParams, sess *obsflags.Session) (runS
 			Drop:    p.containDrop,
 		}
 	}
+	return summary, nil
+}
+
+// simulateGraphRun runs one outbreak over a proximity-graph world. The
+// worm here scans neighbor lists instead of drawing addresses, so none
+// of the IPv4 machinery — populations, NAT, address sensors, network
+// environments — participates; sensor nodes live inside the world.
+func simulateGraphRun(ctx context.Context, p simParams, sess *obsflags.Session) (runSummary, error) {
+	var summary runSummary
+	gseed := p.graphSeed
+	if gseed == 0 {
+		gseed = p.seed
+	}
+	world, err := proxgraph.New(proxgraph.Config{
+		Nodes:   p.graphNodes,
+		Degree:  p.graphDegree,
+		Radius:  p.graphRadius,
+		Sensors: p.graphSensors,
+		Seed:    gseed,
+	})
+	if err != nil {
+		return summary, err
+	}
+	summary.Notes = append(summary.Notes, fmt.Sprintf(
+		"proxgraph: %d nodes, %d edges, radius %.4f, %d sensor nodes",
+		world.Nodes(), world.Edges(), world.Radius(), world.SensorCount()))
+
+	clock := &obs.SimClock{}
+	sess.DescribeRun(p.driver, p.seed, p.workers, fmt.Sprintf(
+		"topology=proxgraph nodes=%d degree=%d rate=%g t=%g",
+		world.Nodes(), p.graphDegree, p.scanRate, p.maxSeconds))
+	tickProgress := sess.TickProgress(p.maxSeconds / 10)
+	onTick := func(ti sim.TickInfo) bool {
+		summary.InfectedCurve.X = append(summary.InfectedCurve.X, ti.Time)
+		summary.InfectedCurve.Y = append(summary.InfectedCurve.Y, 100*float64(ti.Infected)/float64(world.Nodes()))
+		if tickProgress != nil {
+			tickProgress(ti.Time, ti.Infected)
+		}
+		return ctx.Err() == nil
+	}
+
+	var result *sim.Result
+	if p.driver == "exact" {
+		result, err = sim.RunExact(sim.ExactConfig{
+			Topology:    world,
+			ScanRate:    p.scanRate,
+			TickSeconds: 1,
+			MaxSeconds:  p.maxSeconds,
+			SeedHosts:   p.seeds,
+			Seed:        p.seed,
+			Workers:     p.workers,
+			OnTick:      onTick,
+			Metrics:     sess.Registry,
+			Clock:       clock,
+			Trace:       sess.Trace,
+		})
+	} else {
+		result, err = sim.RunFast(sim.FastConfig{
+			Topology:    world,
+			ScanRate:    p.scanRate,
+			TickSeconds: 1,
+			MaxSeconds:  p.maxSeconds,
+			SeedHosts:   p.seeds,
+			Seed:        p.seed,
+			Workers:     p.workers,
+			OnTick:      onTick,
+			Metrics:     sess.Registry,
+			Clock:       clock,
+			Trace:       sess.Trace,
+		})
+	}
+	if err != nil {
+		return summary, err
+	}
+	if err := ctx.Err(); err != nil {
+		return summary, err // interrupted: the truncated result is not a run
+	}
+	summary.Worm = "neighbor-" + world.Name()
+	summary.Pop = world.Nodes()
+	summary.Infected = result.Final.Infected
+	summary.FinalTime = result.Final.Time
+	summary.Probes = result.Outcomes.Total()
+	summary.Outcomes = result.Outcomes.String()
+	summary.T50, summary.HasT50 = result.TimeToFraction(0.5)
 	return summary, nil
 }
 

@@ -126,6 +126,13 @@ func Synthesize(cfg Config) (*Population, error) {
 		return nil, fmt.Errorf("population: densest /16 needs %d hosts, exceeding its %d addresses", sizes[0], 1<<16)
 	}
 	slash8s := chooseSlash8s(cfg, r)
+	capacity := 0
+	for _, o := range slash8s {
+		capacity += publicSlash16s(o)
+	}
+	if cfg.Slash16s > capacity {
+		return nil, fmt.Errorf("population: %d /16s exceed the %d public /16s of the chosen /8s", cfg.Slash16s, capacity)
+	}
 	slash16s := assignSlash16s(sizes, slash8s, r)
 
 	hosts := make([]Host, 0, cfg.Size)
@@ -271,6 +278,18 @@ func chooseSlash8s(cfg Config, r *rng.Xoshiro) []uint32 {
 	return out
 }
 
+// publicSlash16s counts the /16s of /8 o outside RFC 1918 private space
+// (chooseSlash8s already excludes 10/8 wholesale).
+func publicSlash16s(o uint32) int {
+	switch o {
+	case 172:
+		return 256 - 16 // 172.16.0.0/12
+	case 192:
+		return 255 // 192.168.0.0/16
+	}
+	return 256
+}
+
 // assignSlash16s maps each ranked /16 slot to a concrete /16 network. The
 // densest /16s are dealt round-robin across a "core" subset of the /8s so
 // that a top-20 subset of /8s carries the bulk of the population, as in the
@@ -293,7 +312,10 @@ func assignSlash16s(sizes []int, slash8s []uint32, r *rng.Xoshiro) []uint32 {
 			second := perms[o][next[o]]
 			next[o]++
 			net := o<<8 | uint32(second)
-			if !used[net] {
+			// RFC 1918 /16s (172.16–31, 192.168) are not routable host
+			// space: the exact driver drops probes to private destinations,
+			// and 192.168/16 is the NAT sites' own address pool.
+			if !used[net] && !ipv4.Addr(net<<16).IsPrivate() {
 				used[net] = true
 				return net, true
 			}

@@ -301,6 +301,38 @@ func TestSynthesizeSlash16Capacity(t *testing.T) {
 	}
 }
 
+func TestSynthesizeAvoidsPrivateSlash16s(t *testing.T) {
+	// Non-NAT hosts must all be routable: the exact driver drops probes to
+	// RFC 1918 destinations, so a "public" host at 172.30.x.y or 192.168.x.y
+	// is structurally unreachable there while the fast driver's rate models
+	// still count it (xcheck seed 1783 caught exactly this divergence).
+	// Sweeping every /16 of every /8 across several seeds forces the
+	// assignment walk through the private blocks.
+	for seed := uint64(1); seed <= 5; seed++ {
+		p, err := Synthesize(Config{
+			Size:             3 * 256,
+			Slash8s:          3,
+			Slash16s:         3 * 240,
+			Include192Slash8: true,
+			Seed:             seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range p.Addrs(false) {
+			if a.IsPrivate() {
+				t.Fatalf("seed %d: synthesized host %v is in private space", seed, a)
+			}
+		}
+	}
+	// The capacity check must account for the excluded private /16s instead
+	// of letting the assignment walk panic: 256 /16s never fit in 172/8 or
+	// 192/8 alone, whatever the other /8s absorb.
+	if _, err := Synthesize(Config{Size: 3 * 256, Slash8s: 3, Slash16s: 3 * 256, Include192Slash8: true, Seed: 1}); err == nil {
+		t.Error("config exceeding public /16 capacity accepted")
+	}
+}
+
 func TestInternetScale(t *testing.T) {
 	cfg := InternetScale(300000, 11)
 	p, err := Synthesize(cfg)

@@ -13,11 +13,21 @@ import (
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
 // FastConfig configures the aggregated driver.
 type FastConfig struct {
+	// Topology selects the world the epidemic spreads over. nil and
+	// topo.IPv4 both mean the reference IPv4 world — the paper's flat
+	// address space, driven by Pop/Model below. A topo.Graph runs the
+	// neighbor-graph driver instead, in which case the IPv4-only fields
+	// (Pop, Model, BlockedDst, Sensors, SensorSet, LossRate,
+	// Containment, Faults) must be unset — they have no graph semantics
+	// and are rejected with a *TopologyConflictError rather than
+	// silently ignored.
+	Topology topo.Topology
 	// Pop is the vulnerable population.
 	Pop *population.Population
 	// Model decomposes the scanner into mixture components.
@@ -157,8 +167,16 @@ func (c *FastConfig) validate() error {
 // approximation switch inside rng.Poisson).
 const fastSkipLambda = 1.0
 
-// slotSpan is a half-open arena slot range [lo, hi).
-type slotSpan struct{ lo, hi int32 }
+// slotSpan is a half-open arena slot range [Lo, Hi) — topo.Span, which
+// the IPv4 reference topology constructs; the driver keeps the local
+// alias because span geometry is arena layout, not set algebra.
+type slotSpan = topo.Span
+
+// ipv4World is the reference topology whose pure helpers (victim-span
+// construction, sensor embedding) the driver routes pool building
+// through. It is stateless; a package-level value keeps call sites
+// terse.
+var ipv4World topo.IPv4
 
 // fastComp is one precomputed mixture component of a group. Its victim
 // pool is an immutable union of arena slot spans; liveness is resolved
@@ -288,6 +306,11 @@ type fastState struct {
 // would. Results are byte-identical for every worker count and for the
 // quiescent-tick fast path (DESIGN.md §14).
 func RunFast(cfg FastConfig) (*Result, error) {
+	if g, err := graphTopology(cfg.Topology); err != nil {
+		return nil, err
+	} else if g != nil {
+		return runFastGraph(cfg, g)
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -615,14 +638,14 @@ func (st *fastState) refreshCompLive(d *compData) {
 	if d.stamp+1 == st.rateStamp && cap(d.cumLive) >= len(d.spans) {
 		kills := st.killsTick
 		n := len(d.spans)
-		if n == 0 || len(kills) == 0 || kills[0] >= d.spans[n-1].hi {
+		if n == 0 || len(kills) == 0 || kills[0] >= d.spans[n-1].Hi {
 			d.stamp = st.rateStamp
 			return
 		}
 		var inside int64
 		for i, sp := range d.spans {
-			kl := st.killsBelow(sp.lo)
-			kh := st.killsBelow(sp.hi)
+			kl := st.killsBelow(sp.Lo)
+			kh := st.killsBelow(sp.Hi)
 			d.rankLo[i] -= int64(kl)
 			inside += int64(kh - kl)
 			d.cumLive[i] -= inside
@@ -639,9 +662,9 @@ func (st *fastState) refreshCompLive(d *compData) {
 	d.rankLo = d.rankLo[:len(d.spans)]
 	var c int64
 	for i, sp := range d.spans {
-		rlo := int64(st.live.rank(int(sp.lo)))
+		rlo := int64(st.live.rank(int(sp.Lo)))
 		d.rankLo[i] = rlo
-		c += int64(st.live.rank(int(sp.hi))) - rlo
+		c += int64(st.live.rank(int(sp.Hi))) - rlo
 		d.cumLive[i] = c
 	}
 	d.liveCt = c
@@ -847,7 +870,7 @@ func (st *fastState) indexHosts() {
 			st.idSlot[id] = next
 			next++
 		}
-		st.siteSpan[site] = slotSpan{lo: lo, hi: next}
+		st.siteSpan[site] = slotSpan{Lo: lo, Hi: next}
 	}
 	st.live = newLiveIndex(n)
 }
@@ -919,7 +942,7 @@ func (st *fastState) compDataFor(set *ipv4.Set, site int) *compData {
 		return d
 	}
 	d := &compData{setSize: set.Size()}
-	region := slotSpan{lo: 0, hi: st.pubLen}
+	region := slotSpan{Lo: 0, Hi: st.pubLen}
 	eff := set
 	if site != population.NoSite {
 		// Private component: the site's own arena region; every address in
@@ -928,22 +951,12 @@ func (st *fastState) compDataFor(set *ipv4.Set, site int) *compData {
 	} else if st.cfg.BlockedDst != nil {
 		eff = set.Subtract(st.cfg.BlockedDst)
 	}
-	addrs := st.arenaAddrs[region.lo:region.hi]
-	for _, iv := range eff.Intervals() {
-		lo := sort.Search(len(addrs), func(i int) bool { return addrs[i] >= iv.Lo })
-		hi := sort.Search(len(addrs), func(i int) bool { return addrs[i] > iv.Hi })
-		if lo < hi {
-			d.spans = append(d.spans, slotSpan{lo: region.lo + int32(lo), hi: region.lo + int32(hi)})
-		}
-	}
+	d.spans = ipv4World.VictimSpans(st.arenaAddrs[region.Lo:region.Hi], region.Lo, eff, d.spans)
 	if site == population.NoSite && st.cfg.Sensors != nil && st.cfg.SensorSet != nil {
-		inter := st.cfg.SensorSet.Intersect(set)
-		if st.cfg.BlockedDst != nil {
-			inter = inter.Subtract(st.cfg.BlockedDst)
-		}
-		// Phase-1 workers Select from this set concurrently; freeze its
-		// lazy indexes now, while construction is still serial.
-		inter.Freeze()
+		// Phase-1 workers Select from the embedded set concurrently;
+		// EmbedSensors freezes its lazy indexes while construction is
+		// still serial.
+		inter := ipv4World.EmbedSensors(st.cfg.SensorSet, set, st.cfg.BlockedDst)
 		d.sensorInter = inter
 		d.sensorSize = inter.Size()
 	}

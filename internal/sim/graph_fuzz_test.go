@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/netenv"
+	"repro/internal/topo"
+	"repro/internal/topo/proxgraph"
+	"repro/internal/worm"
+)
+
+// FuzzGraphConfigValidation throws hostile values at the graph-topology
+// validation surface: world construction, the typed topology-conflict
+// checks, and the shared timing/seed bounds. Any input may be rejected
+// with an error; nothing may panic, every accepted IPv4-field combo
+// must come back as a TopologyConflictError naming the field, and any
+// config both layers accept must run with conserved outcomes.
+func FuzzGraphConfigValidation(f *testing.F) {
+	// Hostile-value corpus: each seed aims at one validator.
+	f.Add(100, 4, 0.0, 10, 3, 2.0, 1.0, 20.0, uint8(0))        // clean baseline
+	f.Add(0, 4, 0.0, 0, 1, 2.0, 1.0, 10.0, uint8(0))           // zero nodes
+	f.Add(-50, 4, 0.0, 0, 1, 2.0, 1.0, 10.0, uint8(0))         // negative nodes
+	f.Add(2, 0, 0.0, 0, 1, 2.0, 1.0, 10.0, uint8(0))           // zero degree
+	f.Add(100, 4, -0.5, 0, 1, 2.0, 1.0, 10.0, uint8(0))        // negative radius
+	f.Add(100, 4, math.Inf(1), 0, 1, 2.0, 1.0, 10.0, uint8(0)) // infinite radius
+	f.Add(100, 4, 0.0, 100, 1, 2.0, 1.0, 10.0, uint8(0))       // all-sensor world
+	f.Add(100, 4, 0.0, 40, 61, 2.0, 1.0, 10.0, uint8(0))       // seeds past susceptible
+	f.Add(100, 4, 0.0, 0, 0, 2.0, 1.0, 10.0, uint8(0))         // zero seeds
+	f.Add(100, 4, 0.0, 0, 1, 0.3, 1.0, 10.0, uint8(0))         // fractional exact ppt
+	f.Add(100, 4, 0.0, 0, 1, 2.0, 0.0, 10.0, uint8(0))         // zero tick
+	f.Add(100, 4, 0.0, 0, 1, 2.0, 1.0, math.Inf(1), uint8(0))  // infinite horizon
+	f.Add(100, 4, 0.0, 0, 1, 1e12, 1.0, 10.0, uint8(0))        // ppt cap
+	f.Add(100, 4, 1.5, 0, 1, 2.0, 1.0, 10.0, uint8(1))         // conflict: Factory/Model
+	f.Add(100, 4, 0.0, 5, 2, 2.0, 1.0, 10.0, uint8(2))         // conflict: Env/BlockedDst
+	f.Add(100, 4, 0.0, 5, 2, 2.0, 1.0, 10.0, uint8(3))         // conflict: SensorSet
+	f.Add(100, 4, 0.0, 5, 2, 2.0, 1.0, 10.0, uint8(4))         // conflict: OnProbe/LossRate
+	f.Fuzz(func(t *testing.T, nodes, degree int, radius float64,
+		sensors, seedHosts int, scanRate, tick, horizon float64, conflict uint8) {
+		// Bound construction cost, not validity: hostile shapes under the
+		// caps still reach every validator.
+		if nodes > 3000 || degree > 64 || sensors > 3000 || sensors < math.MinInt32 {
+			return
+		}
+		w, err := proxgraph.New(proxgraph.Config{
+			Nodes: nodes, Degree: degree, Radius: radius, Sensors: sensors, Seed: 1,
+		})
+		if err != nil {
+			return // construction rejected the shape; that is the contract
+		}
+		if err := topo.ValidateGraph(w); err != nil {
+			t.Fatalf("accepted world violates the graph contract: %v", err)
+		}
+
+		ecfg := ExactConfig{Topology: w, ScanRate: scanRate, TickSeconds: tick,
+			MaxSeconds: horizon, SeedHosts: seedHosts, Seed: 1, Workers: 2}
+		fcfg := FastConfig{Topology: w, ScanRate: scanRate, TickSeconds: tick,
+			MaxSeconds: horizon, SeedHosts: seedHosts, Seed: 1, Workers: 2}
+
+		// An injected IPv4-world field must always come back as a typed
+		// conflict, whatever the rest of the config looks like.
+		if conflict%8 != 0 {
+			switch conflict % 8 {
+			case 1:
+				ecfg.Factory = worm.UniformFactory{}
+				fcfg.Model = NewUniformModel()
+			case 2:
+				fcfg.BlockedDst = ipv4.NewSet(ipv4.Interval{Lo: 1, Hi: 9})
+				ecfg.SensorSet = ipv4.NewSet(ipv4.Interval{Lo: 1, Hi: 9})
+			case 3:
+				ecfg.SensorSet = ipv4.NewSet(ipv4.Interval{Lo: 1, Hi: 9})
+				fcfg.SensorSet = ipv4.NewSet(ipv4.Interval{Lo: 1, Hi: 9})
+			case 4:
+				ecfg.OnProbe = func(_, _ ipv4.Addr) {}
+				fcfg.LossRate = 0.25
+			case 5:
+				ecfg.Env = &netenv.Environment{}
+				fcfg.Containment = &Containment{Trigger: func() bool { return false }}
+			case 6:
+				ecfg.Factory = worm.UniformFactory{}
+				fcfg.LossRate = math.SmallestNonzeroFloat64
+			default:
+				ecfg.OnProbe = func(_, _ ipv4.Addr) {}
+				fcfg.Model = NewUniformModel()
+			}
+			var ce *TopologyConflictError
+			if err := ecfg.validateGraph(w); !errors.As(err, &ce) {
+				t.Fatalf("exact config with IPv4 field not rejected with a typed conflict: %v", err)
+			}
+			if err := fcfg.validateGraph(w); !errors.As(err, &ce) {
+				t.Fatalf("fast config with IPv4 field not rejected with a typed conflict: %v", err)
+			}
+			return
+		}
+
+		// Clean configs: validation decides without running; runs happen
+		// only under a small work product the fuzz budget can afford.
+		eOK := ecfg.validateGraph(w) == nil
+		fOK := fcfg.validateGraph(w) == nil
+		ppt := scanRate * tick
+		steps := horizon / tick
+		if math.IsNaN(ppt) || ppt > 64 || math.IsNaN(steps) || steps > 64 {
+			return
+		}
+		if eOK {
+			res, err := RunExact(ecfg)
+			if err != nil {
+				t.Fatalf("validated exact graph config refused to run: %v", err)
+			}
+			checkFuzzGraphResult(t, "exact", res, w)
+		}
+		if fOK {
+			res, err := RunFast(fcfg)
+			if err != nil {
+				t.Fatalf("validated fast graph config refused to run: %v", err)
+			}
+			checkFuzzGraphResult(t, "fast", res, w)
+		}
+	})
+}
+
+func checkFuzzGraphResult(t *testing.T, driver string, res *Result, w *proxgraph.World) {
+	t.Helper()
+	for i, ti := range res.Series {
+		if ti.Outcomes.Total() != ti.Probes {
+			t.Fatalf("%s tick %d: outcomes %d != probes %d", driver, i, ti.Outcomes.Total(), ti.Probes)
+		}
+	}
+	if res.Final.Infected > w.Nodes() {
+		t.Fatalf("%s: infected %d > %d nodes", driver, res.Final.Infected, w.Nodes())
+	}
+	for id, it := range res.InfectionTime {
+		if it >= 0 && w.IsSensor(id) {
+			t.Fatalf("%s: sensor node %d infected at t=%v", driver, id, it)
+		}
+	}
+}

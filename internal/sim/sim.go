@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/rng"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/worm"
 )
@@ -103,6 +104,18 @@ func (r *Result) TimeToFraction(f float64) (float64, bool) {
 
 // ExactConfig configures the probe-exact driver.
 type ExactConfig struct {
+	// Topology selects the world the epidemic spreads over. nil and
+	// topo.IPv4 both mean the reference IPv4 world — the paper's flat
+	// address space, driven by Pop/Factory/Env below. A topo.Graph runs
+	// the neighbor-graph driver instead, in which case the IPv4-only
+	// fields (Pop, Factory, Env, SensorSet, OnProbe, Faults) must be nil
+	// — they have no graph semantics and are rejected with a
+	// *TopologyConflictError rather than silently ignored.
+	Topology topo.Topology
+	// Neighbor picks which neighbor a graph-world scanner probes next;
+	// nil means worm.UniformNeighbor. Only meaningful with a graph
+	// Topology; setting it on the IPv4 world is a conflict.
+	Neighbor worm.NeighborPicker
 	// Pop is the vulnerable population.
 	Pop *population.Population
 	// Factory builds each infected host's target generator.
@@ -173,6 +186,10 @@ type ExactConfig struct {
 }
 
 func (c *ExactConfig) validate() error {
+	if c.Neighbor != nil {
+		return &TopologyConflictError{Topology: "ipv4", Field: "Neighbor",
+			Reason: "IPv4 scanners draw addresses from Factory generators; neighbor pickers need a graph topology"}
+	}
 	if c.Pop == nil || c.Pop.Size() == 0 {
 		return errors.New("sim: empty population")
 	}
@@ -299,6 +316,11 @@ func (w *exactWorker) reset() {
 // resolve first-agent-wins, and OnProbe callbacks replay in a fixed
 // order. Results are byte-identical for every worker count.
 func RunExact(cfg ExactConfig) (*Result, error) {
+	if g, err := graphTopology(cfg.Topology); err != nil {
+		return nil, err
+	} else if g != nil {
+		return runExactGraph(cfg, g)
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

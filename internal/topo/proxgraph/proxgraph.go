@@ -1,0 +1,292 @@
+// Package proxgraph builds deterministic proximity-graph worlds for the
+// topology-aware sim drivers, after the WiFi-epidemiology setting of Hu
+// et al.: nodes are routers scattered in the unit square, and a worm on
+// one router can only probe the routers physically near it. The graph
+// is a mutual-k-nearest-neighbor geometric graph — an undirected edge
+// exists iff each endpoint ranks the other within its Degree nearest
+// candidates inside the candidate Radius, ranked by (distance², id).
+// The mutual rule gives a hard degree bound (≤ Degree) without the
+// pruning order mattering, which keeps construction deterministic.
+//
+// Everything here is a pure function of Config: node placement and
+// sensor choice come from seeded rng streams, the spatial grid uses
+// counting-sort CSR layouts instead of maps, and adjacency is stored as
+// one CSR slice whose per-node lists are ascending by construction —
+// so the package holds the detrace/maporder determinism contract with
+// no sorting of map keys anywhere on the build path.
+package proxgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// proxStream namespaces this package's rng streams; the id is drawn
+// from "proxgrap" so world construction can never collide with the
+// drivers' per-(agent,tick) streams on the same seed.
+const proxStream = 0x70726f7867726170
+
+// Config describes a proximity-graph world. The zero Radius asks for
+// the default candidate radius, sized so a node expects to see a few
+// times Degree candidates: sqrt(4·Degree / (π·Nodes)), clamped to the
+// unit square's diameter.
+type Config struct {
+	Nodes   int     // router count; node ids are 0..Nodes-1
+	Degree  int     // k in mutual-kNN: hard per-node degree bound
+	Radius  float64 // candidate radius in the unit square; 0 = default
+	Sensors int     // sensor nodes, sampled without replacement
+	Seed    uint64  // world seed; same Config ⇒ same world, always
+}
+
+// World is an immutable proximity-graph topology. It implements
+// topo.Graph; a single World is safe for concurrent readers.
+type World struct {
+	cfg      Config
+	radius   float64
+	xs, ys   []float64
+	nbrOff   []int32 // CSR offsets, len Nodes+1
+	nbrs     []int32 // CSR adjacency, ascending within each node
+	sensor   []bool
+	nSensors int
+}
+
+// DefaultRadius returns the candidate radius used when Config.Radius is
+// zero: the expected candidate count under uniform placement is
+// nodes·π·r², so this targets about 4·degree candidates per node.
+func DefaultRadius(nodes, degree int) float64 {
+	r := math.Sqrt(4 * float64(degree) / (math.Pi * float64(nodes)))
+	if r > math.Sqrt2 {
+		r = math.Sqrt2
+	}
+	return r
+}
+
+// New builds the world for cfg. Construction is O(nodes·c·log c) where
+// c is the per-node candidate count — sized by Radius, not by Nodes —
+// so million-node worlds build in seconds.
+func New(cfg Config) (*World, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("proxgraph: Nodes %d, need at least 2", cfg.Nodes)
+	}
+	if cfg.Degree < 1 {
+		return nil, fmt.Errorf("proxgraph: Degree %d, need at least 1", cfg.Degree)
+	}
+	if cfg.Sensors < 0 || cfg.Sensors >= cfg.Nodes {
+		return nil, fmt.Errorf("proxgraph: Sensors %d outside [0, Nodes)", cfg.Sensors)
+	}
+	if math.IsNaN(cfg.Radius) || math.IsInf(cfg.Radius, 0) || cfg.Radius < 0 {
+		return nil, fmt.Errorf("proxgraph: Radius %v is not a finite non-negative number", cfg.Radius)
+	}
+	w := &World{cfg: cfg, radius: cfg.Radius}
+	if w.radius == 0 {
+		w.radius = DefaultRadius(cfg.Nodes, cfg.Degree)
+	}
+	w.place()
+	w.link()
+	w.markSensors()
+	return w, nil
+}
+
+// place scatters the nodes over the unit square from one seeded stream,
+// two draws per node in id order.
+func (w *World) place() {
+	n := w.cfg.Nodes
+	w.xs = make([]float64, n)
+	w.ys = make([]float64, n)
+	r := rng.NewXoshiroStream(w.cfg.Seed, proxStream, 0)
+	for i := 0; i < n; i++ {
+		w.xs[i] = r.Float64()
+		w.ys[i] = r.Float64()
+	}
+}
+
+// cand is one candidate neighbor during preference ranking.
+type cand struct {
+	d2 float64
+	id int32
+}
+
+// link builds the mutual-kNN adjacency. Stage 1 buckets nodes into a
+// radius-sized grid with a counting-sort CSR (stable, so each cell's
+// nodes stay in ascending id order). Stage 2 ranks each node's in-radius
+// candidates by (distance², id) — ids are unique, so the order is total
+// and the unstable sort is still deterministic — and keeps the Degree
+// nearest as the node's preference list, re-sorted to ascending id.
+// Stage 3 keeps an edge iff it appears in both endpoints' preference
+// lists; preference lists are ascending, so the final CSR is too.
+func (w *World) link() {
+	n := w.cfg.Nodes
+	gw := int(1/w.radius) + 1
+	if gw > 4096 {
+		gw = 4096
+	}
+	cell := func(i int) int {
+		cx := int(w.xs[i] * float64(gw))
+		cy := int(w.ys[i] * float64(gw))
+		if cx >= gw {
+			cx = gw - 1
+		}
+		if cy >= gw {
+			cy = gw - 1
+		}
+		return cy*gw + cx
+	}
+	nc := gw * gw
+	cellOff := make([]int32, nc+1)
+	for i := 0; i < n; i++ {
+		cellOff[cell(i)+1]++
+	}
+	for c := 0; c < nc; c++ {
+		cellOff[c+1] += cellOff[c]
+	}
+	cellNodes := make([]int32, n)
+	fill := make([]int32, nc)
+	for i := 0; i < n; i++ {
+		c := cell(i)
+		cellNodes[cellOff[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+
+	k := w.cfg.Degree
+	prefOff := make([]int32, n+1)
+	pref := make([]int32, 0, n*k)
+	r2 := w.radius * w.radius
+	// A candidate can be at most radius away, i.e. at most
+	// ceil(radius·gw) grid cells away on either axis; +1 absorbs the
+	// floor truncation, over-covering by at most one cell ring.
+	span := int(w.radius*float64(gw)) + 1
+	scratch := make([]cand, 0, 64)
+	for i := 0; i < n; i++ {
+		scratch = scratch[:0]
+		cx := int(w.xs[i] * float64(gw))
+		cy := int(w.ys[i] * float64(gw))
+		if cx >= gw {
+			cx = gw - 1
+		}
+		if cy >= gw {
+			cy = gw - 1
+		}
+		for dy := -span; dy <= span; dy++ {
+			y := cy + dy
+			if y < 0 || y >= gw {
+				continue
+			}
+			for dx := -span; dx <= span; dx++ {
+				x := cx + dx
+				if x < 0 || x >= gw {
+					continue
+				}
+				c := y*gw + x
+				for _, j := range cellNodes[cellOff[c]:cellOff[c+1]] {
+					if int(j) == i {
+						continue
+					}
+					ddx := w.xs[j] - w.xs[i]
+					ddy := w.ys[j] - w.ys[i]
+					d2 := ddx*ddx + ddy*ddy
+					if d2 <= r2 {
+						scratch = append(scratch, cand{d2: d2, id: j})
+					}
+				}
+			}
+		}
+		sort.Slice(scratch, func(a, b int) bool {
+			if scratch[a].d2 != scratch[b].d2 {
+				return scratch[a].d2 < scratch[b].d2
+			}
+			return scratch[a].id < scratch[b].id
+		})
+		keep := scratch
+		if len(keep) > k {
+			keep = keep[:k]
+		}
+		lo := len(pref)
+		for _, c := range keep {
+			pref = append(pref, c.id)
+		}
+		sortInt32s(pref[lo:])
+		prefOff[i+1] = int32(len(pref))
+	}
+
+	w.nbrOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		deg := int32(0)
+		for _, j := range pref[prefOff[i]:prefOff[i+1]] {
+			if prefHas(pref[prefOff[j]:prefOff[j+1]], int32(i)) {
+				deg++
+			}
+		}
+		w.nbrOff[i+1] = w.nbrOff[i] + deg
+	}
+	w.nbrs = make([]int32, w.nbrOff[n])
+	for i := 0; i < n; i++ {
+		at := w.nbrOff[i]
+		for _, j := range pref[prefOff[i]:prefOff[i+1]] {
+			if prefHas(pref[prefOff[j]:prefOff[j+1]], int32(i)) {
+				w.nbrs[at] = j
+				at++
+			}
+		}
+	}
+}
+
+// prefHas reports whether the ascending preference list holds id.
+func prefHas(list []int32, id int32) bool {
+	p := sort.Search(len(list), func(x int) bool { return list[x] >= id })
+	return p < len(list) && list[p] == id
+}
+
+// sortInt32s sorts the slice ascending.
+func sortInt32s(v []int32) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+// markSensors samples the sensor nodes without replacement on the
+// world seed's second stream, independent of placement draws.
+func (w *World) markSensors() {
+	w.sensor = make([]bool, w.cfg.Nodes)
+	if w.cfg.Sensors == 0 {
+		return
+	}
+	r := rng.NewXoshiroStream(w.cfg.Seed, proxStream, 1)
+	for _, id := range r.SampleWithoutReplacement(w.cfg.Nodes, w.cfg.Sensors) {
+		w.sensor[id] = true
+	}
+	w.nSensors = w.cfg.Sensors
+}
+
+// Name implements topo.Topology.
+func (w *World) Name() string { return "proxgraph" }
+
+// Nodes implements topo.Graph.
+func (w *World) Nodes() int { return w.cfg.Nodes }
+
+// Degree implements topo.Graph.
+func (w *World) Degree(node int) int {
+	return int(w.nbrOff[node+1] - w.nbrOff[node])
+}
+
+// Neighbors implements topo.Graph. The returned slice aliases the
+// world's CSR storage and must not be modified.
+func (w *World) Neighbors(node int) []int32 {
+	return w.nbrs[w.nbrOff[node]:w.nbrOff[node+1]]
+}
+
+// IsSensor implements topo.Graph.
+func (w *World) IsSensor(node int) bool { return w.sensor[node] }
+
+// SensorCount implements topo.Graph.
+func (w *World) SensorCount() int { return w.nSensors }
+
+// Radius returns the candidate radius the world was built with (the
+// default if Config.Radius was zero).
+func (w *World) Radius() float64 { return w.radius }
+
+// Edges returns the undirected edge count.
+func (w *World) Edges() int { return len(w.nbrs) / 2 }
+
+// Pos returns node's position in the unit square.
+func (w *World) Pos(node int) (x, y float64) { return w.xs[node], w.ys[node] }

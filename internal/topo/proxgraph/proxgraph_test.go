@@ -1,0 +1,135 @@
+package proxgraph
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func mustWorld(t *testing.T, cfg Config) *World {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorldMeetsGraphContract(t *testing.T) {
+	// Also proves *World satisfies topo.Graph at compile time.
+	var g topo.Graph = mustWorld(t, Config{Nodes: 500, Degree: 6, Sensors: 20, Seed: 42})
+	if err := topo.ValidateGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "proxgraph" {
+		t.Fatalf("Name() = %q", g.Name())
+	}
+	if g.SensorCount() != 20 {
+		t.Fatalf("SensorCount() = %d, want 20", g.SensorCount())
+	}
+}
+
+func TestDegreeBoundIsHard(t *testing.T) {
+	w := mustWorld(t, Config{Nodes: 800, Degree: 4, Seed: 7})
+	for i := 0; i < w.Nodes(); i++ {
+		if d := w.Degree(i); d > 4 {
+			t.Fatalf("node %d has degree %d > bound 4", i, d)
+		}
+	}
+	if w.Edges() == 0 {
+		t.Fatal("default-radius world built with zero edges")
+	}
+}
+
+func TestSameConfigSameWorld(t *testing.T) {
+	cfg := Config{Nodes: 600, Degree: 8, Sensors: 30, Seed: 123}
+	a, b := mustWorld(t, cfg), mustWorld(t, cfg)
+	if a.Edges() != b.Edges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.Edges(), b.Edges())
+	}
+	for i := 0; i < a.Nodes(); i++ {
+		if a.IsSensor(i) != b.IsSensor(i) {
+			t.Fatalf("sensor choice differs at node %d", i)
+		}
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d degree differs: %d vs %d", i, len(na), len(nb))
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				t.Fatalf("node %d adjacency differs at position %d", i, k)
+			}
+		}
+	}
+}
+
+func TestSeedChangesWorld(t *testing.T) {
+	a := mustWorld(t, Config{Nodes: 400, Degree: 6, Seed: 1})
+	b := mustWorld(t, Config{Nodes: 400, Degree: 6, Seed: 2})
+	same := true
+	for i := 0; same && i < a.Nodes(); i++ {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			same = false
+			break
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical adjacency")
+	}
+}
+
+func TestExplicitRadius(t *testing.T) {
+	w := mustWorld(t, Config{Nodes: 300, Degree: 5, Radius: 0.25, Seed: 9})
+	if w.Radius() != 0.25 {
+		t.Fatalf("Radius() = %v, want 0.25", w.Radius())
+	}
+	if err := topo.ValidateGraph(w); err != nil {
+		t.Fatal(err)
+	}
+	// A generous radius with a small node count must still respect the
+	// degree bound via the mutual-kNN rule.
+	dense := mustWorld(t, Config{Nodes: 100, Degree: 3, Radius: 1.5, Seed: 9})
+	for i := 0; i < dense.Nodes(); i++ {
+		if d := dense.Degree(i); d > 3 {
+			t.Fatalf("dense node %d degree %d > 3", i, d)
+		}
+	}
+	if err := topo.ValidateGraph(dense); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigRejection(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, Degree: 3},
+		{Nodes: 0, Degree: 3},
+		{Nodes: -5, Degree: 3},
+		{Nodes: 100, Degree: 0},
+		{Nodes: 100, Degree: -1},
+		{Nodes: 100, Degree: 3, Sensors: -1},
+		{Nodes: 100, Degree: 3, Sensors: 100},
+		{Nodes: 100, Degree: 3, Radius: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestPositionsInUnitSquare(t *testing.T) {
+	w := mustWorld(t, Config{Nodes: 256, Degree: 4, Seed: 55})
+	for i := 0; i < w.Nodes(); i++ {
+		x, y := w.Pos(i)
+		if x < 0 || x >= 1 || y < 0 || y >= 1 {
+			t.Fatalf("node %d at (%v, %v) outside unit square", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package worm
+
+import "repro/internal/rng"
+
+// NeighborPicker is the graph-world counterpart of TargetGenerator: on a
+// neighbor-structured topology a scanner does not draw 32-bit addresses,
+// it picks which of its current node's neighbors to probe next. The
+// picker sees only the degree — victim identity stays with the driver —
+// and must consume a deterministic number of draws from r for a given
+// degree, so that simulation output is independent of worker scheduling
+// (the driver reseeds r per (agent, tick)).
+//
+// This is the seam for structured scanning strategies (preferential,
+// sweep-ordered, reinfection-avoiding neighbor lists); the uniform
+// picker below reproduces the memoryless scanning the paper's worms do
+// over IPv4.
+type NeighborPicker interface {
+	// PickNeighbor returns the index of the neighbor to probe, in
+	// [0, degree). degree is always ≥ 1.
+	PickNeighbor(degree int, r *rng.Xoshiro) int
+}
+
+// UniformNeighbor probes a uniformly random neighbor per scan,
+// consuming exactly one draw. It is the default picker for graph
+// worlds.
+type UniformNeighbor struct{}
+
+// PickNeighbor implements NeighborPicker.
+func (UniformNeighbor) PickNeighbor(degree int, r *rng.Xoshiro) int {
+	return int(r.Uint64n(uint64(degree)))
+}

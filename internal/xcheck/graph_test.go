@@ -1,0 +1,220 @@
+package xcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// graphScenarioFixed is a hand-built proximity-graph case, sized so one
+// CheckScenario (two exact runs + three fast runs) stays cheap.
+func graphScenarioFixed() Scenario {
+	return Scenario{
+		Topology:     TopoProxGraph,
+		GraphNodes:   400,
+		GraphDegree:  6,
+		GraphSensors: 20,
+		GraphSeed:    31,
+		SimSeed:      13,
+		ScanRate:     2,
+		TickSeconds:  1,
+		MaxSeconds:   40,
+		SeedHosts:    4,
+		Workers:      4,
+		FastWorkers:  3,
+	}
+}
+
+// TestGraphScenarioCheckClean: the hand-built graph scenario must pass
+// every applicable oracle, skip the trajectory differential (replica
+// seeds pick different outbreak origins on a spatial world), and
+// actually spread past its seeds so the tree oracles see real edges.
+func TestGraphScenarioCheckClean(t *testing.T) {
+	sc := graphScenarioFixed()
+	rep, err := CheckScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("[%s] %s", v.Oracle, v.Detail)
+	}
+	if rep.Differential || rep.Analytic {
+		t.Fatalf("graph scenario ran IPv4-only oracles: differential=%v analytic=%v",
+			rep.Differential, rep.Analytic)
+	}
+	if rep.FinalInfected <= sc.SeedHosts {
+		t.Fatalf("outbreak never spread past the %d seeds; adjust the scenario", sc.SeedHosts)
+	}
+}
+
+// TestGeneratorEmitsGraphScenarios: the topology dimension must actually
+// appear in generator output at a useful rate, and generated graph
+// scenarios must run clean end to end.
+func TestGeneratorEmitsGraphScenarios(t *testing.T) {
+	var graphIDs []uint64
+	for id := uint64(1); id <= 200; id++ {
+		if Generate(id).Topology == TopoProxGraph {
+			graphIDs = append(graphIDs, id)
+		}
+	}
+	// 1-in-8 gate over 200 seeds: anything under 10 means the gate broke.
+	if len(graphIDs) < 10 {
+		t.Fatalf("only %d of 200 generated scenarios are graph worlds", len(graphIDs))
+	}
+	n := 3
+	if testing.Short() {
+		n = 1
+	}
+	for _, id := range graphIDs[:n] {
+		sc := Generate(id)
+		rep, err := CheckScenario(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", id, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d [%s]: %s", id, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestGraphValidateRejects spot-checks the graph corner of the scenario
+// space: IPv4 dimensions on a graph world, graph dimensions on the IPv4
+// world, and hostile graph shapes must all fail validation.
+func TestGraphValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Scenario){
+		"worm on graph":       func(s *Scenario) { s.Worm = WormUniform },
+		"pop on graph":        func(s *Scenario) { s.PopSize = 100 },
+		"nat on graph":        func(s *Scenario) { s.NATFraction = 0.2 },
+		"loss on graph":       func(s *Scenario) { s.LossRate = 0.1 },
+		"sensors on graph":    func(s *Scenario) { s.Sensors = 4; s.SensorThreshold = 1 },
+		"hit list on graph":   func(s *Scenario) { s.HitListSlash16s = 2 },
+		"tiny graph":          func(s *Scenario) { s.GraphNodes = 10 },
+		"huge graph":          func(s *Scenario) { s.GraphNodes = maxPopSize + 1 },
+		"zero degree":         func(s *Scenario) { s.GraphDegree = 0 },
+		"excess degree":       func(s *Scenario) { s.GraphDegree = 17 },
+		"nan radius":          func(s *Scenario) { s.GraphRadius = nan() },
+		"negative radius":     func(s *Scenario) { s.GraphRadius = -0.1 },
+		"oversized radius":    func(s *Scenario) { s.GraphRadius = 2 },
+		"sensor majority":     func(s *Scenario) { s.GraphSensors = s.GraphNodes/2 + 1 },
+		"seeds past sensors":  func(s *Scenario) { s.SeedHosts = s.GraphNodes - s.GraphSensors + 1 },
+		"stop past universe":  func(s *Scenario) { s.StopWhenInfect = s.GraphNodes + 1 },
+		"fractional-ppt rate": func(s *Scenario) { s.ScanRate = 0.3 },
+	}
+	for name, mutate := range mutations {
+		sc := graphScenarioFixed()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	// The reverse boundary: graph dimensions on the (default) IPv4 world.
+	sc := analyticScenario()
+	sc.GraphNodes = 100
+	if err := sc.Validate(); err == nil {
+		t.Error("graph_nodes on the IPv4 topology validated")
+	}
+	sc = analyticScenario()
+	sc.Topology = "hypercube"
+	if err := sc.Validate(); err == nil {
+		t.Error("unknown topology validated")
+	}
+}
+
+// TestTreeAdjacencyOracleCatchesCorruption feeds the tree-adjacency
+// oracle hand-corrupted provenance: an infection edge between two
+// non-adjacent nodes, an unattributed infector, and an infected sensor.
+// Each must fire the oracle; the run's genuine trace must not.
+func TestTreeAdjacencyOracleCatchesCorruption(t *testing.T) {
+	sc := graphScenarioFixed()
+	a, err := build(&sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.graph
+
+	// A susceptible non-adjacent pair and a sensor with a neighbor, found
+	// by scan: the world is deterministic, so these exist or the test
+	// fails loudly.
+	nonAdj := [2]int{-1, -1}
+	sensorVictim, sensorSrc := -1, -1
+	for u := 0; u < g.Nodes() && (nonAdj[0] < 0 || sensorVictim < 0); u++ {
+		if g.IsSensor(u) {
+			if nbrs := g.Neighbors(u); sensorVictim < 0 && len(nbrs) > 0 && !g.IsSensor(int(nbrs[0])) {
+				sensorVictim, sensorSrc = u, int(nbrs[0])
+			}
+			continue
+		}
+		for v := u + 1; nonAdj[0] < 0 && v < g.Nodes(); v++ {
+			if !g.IsSensor(v) && !graphAdjacent(g, u, v) {
+				nonAdj = [2]int{u, v}
+			}
+		}
+	}
+	if nonAdj[0] < 0 || sensorVictim < 0 {
+		t.Fatal("world has no non-adjacent pair or no connected sensor; enlarge it")
+	}
+
+	cases := []struct {
+		name   string
+		record func(rec *trace.Recorder)
+		expect string
+	}{
+		{"non-adjacent edge", func(rec *trace.Recorder) {
+			rec.AppendInfection(0, 0, -1, nonAdj[0], uint32(nonAdj[0]), "seed")
+			rec.AppendInfection(1, 1, nonAdj[0], nonAdj[1], uint32(nonAdj[1]), "edge")
+		}, "not an adjacency"},
+		{"unattributed infector", func(rec *trace.Recorder) {
+			rec.AppendInfection(0, 0, -1, nonAdj[0], uint32(nonAdj[0]), "seed")
+			rec.AppendInfection(1, 1, -1, nonAdj[1], uint32(nonAdj[1]), "edge")
+		}, "no attributed infector"},
+		{"infected sensor", func(rec *trace.Recorder) {
+			rec.AppendInfection(0, 0, -1, sensorSrc, uint32(sensorSrc), "seed")
+			rec.AppendInfection(1, 1, sensorSrc, sensorVictim, uint32(sensorVictim), "edge")
+		}, "sensor node"},
+	}
+	for _, tc := range cases {
+		rec := trace.NewRecorder(0)
+		tc.record(rec)
+		rep := &Report{}
+		checkTreeAdjacency(rep, "test", a, &runOutput{trace: rec})
+		found := false
+		for _, v := range rep.Violations {
+			if v.Oracle == OracleTreeEdge && strings.Contains(v.Detail, tc.expect) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: not flagged; violations: %+v", tc.name, rep.Violations)
+		}
+	}
+
+	// And a genuine run stays clean under the same oracle.
+	ref, err := runExact(&sc, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{}
+	checkTreeAdjacency(rep, "exact", a, ref)
+	if len(rep.Violations) != 0 {
+		t.Fatalf("genuine run flagged: %+v", rep.Violations)
+	}
+}
+
+// TestGraphShrinkReduces: the shrinker's graph moves must make progress
+// on a graph scenario while preserving the violation, exercised through
+// the injected-corruption hook as the IPv4 acceptance test does.
+func TestGraphShrinkReduces(t *testing.T) {
+	shrunk := shrinkWith(graphScenarioFixed(), func(c Scenario) bool {
+		return true // every candidate "reproduces": pure reduction power test
+	})
+	if shrunk.GraphNodes >= graphScenarioFixed().GraphNodes {
+		t.Fatalf("graph shrink made no progress: %d nodes", shrunk.GraphNodes)
+	}
+	if shrunk.Validate() != nil {
+		t.Fatalf("shrunken graph scenario invalid: %+v", shrunk)
+	}
+	if shrunk.Topology != TopoProxGraph {
+		t.Fatal("shrinker changed the topology")
+	}
+}

@@ -2,23 +2,26 @@ package xcheck
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/epidemic"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
 // Oracle names, used to label violations and to let the shrinker hold a
 // reproduction to the oracle that originally fired.
 const (
-	OracleByteIdentity = "byte-identity" // Workers=1 vs Workers=N + JSON round-trip
-	OracleFastIdentity = "fast-identity" // fast driver: Workers=1 vs N, tick-skip on vs off
-	OracleInvariant    = "invariant"     // conservation, monotonicity, consistency
-	OracleFleet        = "fleet"         // sensor accounting vs outcome counts
-	OracleDifferential = "differential"  // exact vs fast trajectories
-	OracleAnalytic     = "analytic"      // SI model tracking + FitBeta recovery
-	OracleTreeSize     = "tree-size"     // trace reconstructs a tree covering every infection
-	OracleTreeTime     = "tree-time"     // edge times match and respect infection order
+	OracleByteIdentity = "byte-identity"  // Workers=1 vs Workers=N + JSON round-trip
+	OracleFastIdentity = "fast-identity"  // fast driver: Workers=1 vs N, tick-skip on vs off
+	OracleInvariant    = "invariant"      // conservation, monotonicity, consistency
+	OracleFleet        = "fleet"          // sensor accounting vs outcome counts
+	OracleDifferential = "differential"   // exact vs fast trajectories
+	OracleAnalytic     = "analytic"       // SI model tracking + FitBeta recovery
+	OracleTreeSize     = "tree-size"      // trace reconstructs a tree covering every infection
+	OracleTreeTime     = "tree-time"      // edge times match and respect infection order
+	OracleTreeEdge     = "tree-adjacency" // graph worlds: every edge is a world adjacency, sensors stay clean
 )
 
 // Violation is one oracle failure.
@@ -122,10 +125,33 @@ func CheckScenario(sc Scenario) (*Report, error) {
 		}
 	}
 
-	checkInvariants(rep, "exact", ref.res, a.pop.Size())
+	checkInvariants(rep, "exact", ref.res, a.size())
 	checkFleet(rep, "exact", &sc, ref)
 	checkTree(rep, "exact", ref)
+	checkTreeAdjacency(rep, "exact", a, ref)
 	rep.keepTrace("exact", "exact", sc.SimSeed, 1, ref.trace)
+
+	if a.graph != nil {
+		// Graph worlds get the fast driver's full self-contract audit —
+		// invariants, provenance trees over true infectors, and identity
+		// across worker counts and tick skipping — but no trajectory
+		// differential: replica seeds choose different seed nodes, and on
+		// a spatial world different outbreak origins legitimately produce
+		// different curves, so an envelope over replicas has no meaning.
+		seed := fastReplicaSeed(sc.SimSeed, 0)
+		fr, err := runFast(&sc, a, seed, 1, false)
+		if err != nil {
+			return nil, err
+		}
+		checkInvariants(rep, "fast", fr.res, a.size())
+		checkTree(rep, "fast", fr)
+		checkTreeAdjacency(rep, "fast", a, fr)
+		rep.keepTrace("fast0", "fast", seed, 0, fr.trace)
+		if err := checkFastIdentity(rep, &sc, a, fr); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
 
 	if sc.Differential() && a.model != nil {
 		fasts := make([]*runOutput, 0, fastReplicas)
@@ -135,7 +161,7 @@ func CheckScenario(sc Scenario) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			checkInvariants(rep, fmt.Sprintf("fast[%d]", i), fr.res, a.pop.Size())
+			checkInvariants(rep, fmt.Sprintf("fast[%d]", i), fr.res, a.size())
 			checkFleet(rep, fmt.Sprintf("fast[%d]", i), &sc, fr)
 			checkTree(rep, fmt.Sprintf("fast[%d]", i), fr)
 			rep.keepTrace(fmt.Sprintf("fast%d", i), "fast", seed, 0, fr.trace)
@@ -279,6 +305,55 @@ func checkTree(rep *Report, label string, out *runOutput) {
 			}
 		}
 	}
+}
+
+// checkTreeAdjacency audits graph-world provenance (tree-adjacency
+// family): on a neighbor graph both drivers record true infectors, so
+// every non-seed edge must carry an attributed infector and connect two
+// adjacent nodes of the world, and no sensor node may appear anywhere
+// in the tree — not as a victim, and not as a seed. One violation per
+// run localizes the bug.
+func checkTreeAdjacency(rep *Report, label string, a *artifacts, out *runOutput) {
+	if a.graph == nil || out.trace == nil {
+		return
+	}
+	tree, err := trace.BuildTree(out.trace.Events())
+	if err != nil {
+		return // the tree-size family already reported this
+	}
+	g := a.graph
+	for _, id := range tree.Seeds {
+		if id >= 0 && id < g.Nodes() && g.IsSensor(id) {
+			rep.addf(OracleTreeEdge, "%s: sensor node %d seeded the outbreak", label, id)
+			return
+		}
+	}
+	for _, e := range tree.Edges {
+		if e.Infector < 0 {
+			rep.addf(OracleTreeEdge,
+				"%s: graph infection of %d has no attributed infector", label, e.Victim)
+			return
+		}
+		if e.Victim >= 0 && e.Victim < g.Nodes() && g.IsSensor(e.Victim) {
+			rep.addf(OracleTreeEdge, "%s: sensor node %d was infected", label, e.Victim)
+			return
+		}
+		if !graphAdjacent(g, e.Infector, e.Victim) {
+			rep.addf(OracleTreeEdge,
+				"%s: infection edge %d→%d is not an adjacency of the world", label, e.Infector, e.Victim)
+			return
+		}
+	}
+}
+
+// graphAdjacent reports whether v appears in u's sorted neighbor list.
+func graphAdjacent(g topo.Graph, u, v int) bool {
+	if u < 0 || u >= g.Nodes() || v < 0 || v >= g.Nodes() {
+		return false
+	}
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return int(nbrs[i]) >= v })
+	return i < len(nbrs) && int(nbrs[i]) == v
 }
 
 // checkFleet audits sensor accounting: the fleet's recorded hits must

@@ -14,6 +14,8 @@ import (
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/topo/proxgraph"
 	"repro/internal/trace"
 	"repro/internal/worm"
 )
@@ -47,11 +49,39 @@ type artifacts struct {
 	sensorSet *ipv4.Set
 	hitList   *ipv4.Set
 	hitCover  float64
+	graph     topo.Graph // non-nil for graph-topology scenarios; the rest stay zero
+}
+
+// size is the scenario's host-universe size: population hosts on IPv4,
+// node count on a graph world. Oracles index InfectionTime with it.
+func (a *artifacts) size() int {
+	if a.graph != nil {
+		return a.graph.Nodes()
+	}
+	return a.pop.Size()
 }
 
 // build expands a validated scenario into its artifacts. Construction is
 // deterministic: every random choice flows from the scenario's seeds.
 func build(sc *Scenario) (*artifacts, error) {
+	if sc.Topology == TopoProxGraph {
+		w, err := proxgraph.New(proxgraph.Config{
+			Nodes:   sc.GraphNodes,
+			Degree:  sc.GraphDegree,
+			Radius:  sc.GraphRadius,
+			Sensors: sc.GraphSensors,
+			Seed:    sc.GraphSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xcheck: graph world: %w", err)
+		}
+		// The drivers trust the world's adjacency contract; audit it here
+		// once per scenario rather than once per replica run.
+		if err := topo.ValidateGraph(w); err != nil {
+			return nil, fmt.Errorf("xcheck: graph world: %w", err)
+		}
+		return &artifacts{graph: w}, nil
+	}
 	pop, err := population.Synthesize(population.Config{
 		Size:             sc.PopSize,
 		Slash8s:          sc.Slash8s,
@@ -212,19 +242,22 @@ func runExactCtx(ctx context.Context, sc *Scenario, a *artifacts, workers int) (
 	clk := &obs.SimClock{}
 	out := &runOutput{trace: rec}
 	cfg := sim.ExactConfig{
-		Pop:              a.pop,
-		Factory:          a.factory,
-		Env:              a.env,
+		Topology:         a.graph, // nil for IPv4 scenarios: the reference world
 		ScanRate:         sc.ScanRate,
 		TickSeconds:      sc.TickSeconds,
 		MaxSeconds:       sc.MaxSeconds,
 		SeedHosts:        sc.SeedHosts,
 		Seed:             sc.SimSeed,
 		Workers:          workers,
-		Faults:           a.plan,
 		StopWhenInfected: sc.StopWhenInfect,
 		Trace:            rec,
 		Clock:            clk,
+	}
+	if a.graph == nil {
+		cfg.Pop = a.pop
+		cfg.Factory = a.factory
+		cfg.Env = a.env
+		cfg.Faults = a.plan
 	}
 	cfg.OnTick = func(sim.TickInfo) bool { return ctx.Err() == nil }
 	if a.sensorSet != nil {
@@ -258,8 +291,7 @@ func runFast(sc *Scenario, a *artifacts, seed uint64, workers int, noskip bool) 
 	clk := &obs.SimClock{}
 	out := &runOutput{trace: rec}
 	cfg := sim.FastConfig{
-		Pop:              a.pop,
-		Model:            a.model,
+		Topology:         a.graph, // nil for IPv4 scenarios: the reference world
 		ScanRate:         sc.ScanRate,
 		TickSeconds:      sc.TickSeconds,
 		MaxSeconds:       sc.MaxSeconds,
@@ -267,11 +299,15 @@ func runFast(sc *Scenario, a *artifacts, seed uint64, workers int, noskip bool) 
 		Seed:             seed,
 		Workers:          workers,
 		DisableTickSkip:  noskip,
-		LossRate:         sc.LossRate,
-		Faults:           a.plan,
 		StopWhenInfected: sc.StopWhenInfect,
 		Trace:            rec,
 		Clock:            clk,
+	}
+	if a.graph == nil {
+		cfg.Pop = a.pop
+		cfg.Model = a.model
+		cfg.LossRate = sc.LossRate
+		cfg.Faults = a.plan
 	}
 	if a.sensorSet != nil {
 		fleet, err := detect.NewThresholdFleet(a.sensors, sc.SensorThreshold)

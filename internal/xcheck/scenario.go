@@ -52,6 +52,16 @@ const (
 	WormWitty     = "witty"
 )
 
+// Topologies a scenario can run on. The empty string and TopoIPv4 both
+// mean the reference IPv4 world; TopoProxGraph runs both drivers over a
+// seeded proximity graph (mutual-kNN geometric neighbor world) where
+// the IPv4 dimensions — population shape, NAT, environment, darknet
+// sensors, faults — do not exist and must be zero.
+const (
+	TopoIPv4      = "ipv4"
+	TopoProxGraph = "proxgraph"
+)
+
 // OutageWindow schedules a scheduled outage for one sensor block. The
 // block itself is resolved at artifact-build time (sensor placement is
 // derived from the scenario, not stored in it), so the window names the
@@ -133,6 +143,22 @@ type Scenario struct {
 	Faults         *faults.Config `json:"faults,omitempty"`
 	SensorOutages  []OutageWindow `json:"sensor_outages,omitempty"`
 	StopWhenInfect int            `json:"stop_when_infected,omitempty"`
+
+	// Topology selects the world (one of the Topo* constants; empty
+	// means TopoIPv4). Graph scenarios use the Graph* dimensions below
+	// instead of the population/NAT/environment/sensor fields above,
+	// and Worm must be empty — graph worms scan neighbor lists, not
+	// address space.
+	Topology string `json:"topology,omitempty"`
+	// Proximity-graph shape (TopoProxGraph only): GraphNodes routers,
+	// mutual-kNN degree bound GraphDegree, candidate radius GraphRadius
+	// (0 = the package default), GraphSensors sensor nodes, all built
+	// from GraphSeed.
+	GraphNodes   int     `json:"graph_nodes,omitempty"`
+	GraphDegree  int     `json:"graph_degree,omitempty"`
+	GraphRadius  float64 `json:"graph_radius,omitempty"`
+	GraphSensors int     `json:"graph_sensors,omitempty"`
+	GraphSeed    uint64  `json:"graph_seed,omitempty"`
 }
 
 // Scenario-space caps. They bound the work any scenario — generated,
@@ -151,6 +177,17 @@ const (
 // before any artifact construction, so a hostile JSON scenario costs
 // nothing but this check.
 func (s *Scenario) Validate() error {
+	switch s.Topology {
+	case "", TopoIPv4:
+		if s.GraphNodes != 0 || s.GraphDegree != 0 || s.GraphRadius != 0 ||
+			s.GraphSensors != 0 || s.GraphSeed != 0 {
+			return fmt.Errorf("xcheck: graph dimensions set on topology %q", TopoIPv4)
+		}
+	case TopoProxGraph:
+		return s.validateGraph()
+	default:
+		return fmt.Errorf("xcheck: unknown topology %q", s.Topology)
+	}
 	switch s.Worm {
 	case WormUniform, WormHitList, WormCodeRedII, WormBlaster, WormSlammer, WormWitty:
 	default:
@@ -235,6 +272,72 @@ func (s *Scenario) Validate() error {
 		if err := s.Faults.Validate(); err != nil {
 			return fmt.Errorf("xcheck: %w", err)
 		}
+	}
+	return nil
+}
+
+// validateGraph bounds the proximity-graph scenario space. The IPv4
+// dimensions must be zero — the sim drivers reject them with typed
+// conflict errors, and the harness enforces the same boundary before
+// any world construction.
+func (s *Scenario) validateGraph() error {
+	if s.Worm != "" || s.SlammerVariant != 0 {
+		return fmt.Errorf("xcheck: worm %q set on a graph topology (graph worms scan neighbor lists)", s.Worm)
+	}
+	if s.PopSize != 0 || s.Slash8s != 0 || s.Slash16s != 0 || s.Include192 || s.PopSeed != 0 {
+		return fmt.Errorf("xcheck: IPv4 population dimensions set on topology %q", s.Topology)
+	}
+	if s.NATFraction != 0 || s.NATHostsPerSite != 0 || s.NATSeed != 0 {
+		return fmt.Errorf("xcheck: NAT dimensions set on topology %q", s.Topology)
+	}
+	if s.HitListSlash16s != 0 || s.LossRate != 0 || s.EgressDrop != 0 {
+		return fmt.Errorf("xcheck: environment dimensions set on topology %q", s.Topology)
+	}
+	if s.Sensors != 0 || s.SensorThreshold != 0 || s.SensorSeed != 0 || len(s.SensorOutages) != 0 {
+		return fmt.Errorf("xcheck: darknet sensor dimensions set on topology %q (use graph_sensors)", s.Topology)
+	}
+	if s.Faults != nil {
+		return fmt.Errorf("xcheck: fault plans set on topology %q", s.Topology)
+	}
+	if s.GraphNodes < 20 || s.GraphNodes > maxPopSize {
+		return fmt.Errorf("xcheck: graph nodes %d outside [20,%d]", s.GraphNodes, maxPopSize)
+	}
+	if s.GraphDegree < 1 || s.GraphDegree > 16 {
+		return fmt.Errorf("xcheck: graph degree %d outside [1,16]", s.GraphDegree)
+	}
+	if math.IsNaN(s.GraphRadius) || s.GraphRadius < 0 || s.GraphRadius > 1.5 {
+		return fmt.Errorf("xcheck: graph radius %v outside [0,1.5]", s.GraphRadius)
+	}
+	if s.GraphSensors < 0 || s.GraphSensors > s.GraphNodes/2 {
+		return fmt.Errorf("xcheck: graph sensors %d outside [0,%d]", s.GraphSensors, s.GraphNodes/2)
+	}
+	for _, v := range [...]float64{s.ScanRate, s.TickSeconds, s.MaxSeconds} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("xcheck: rate/timing %v must be positive and finite", v)
+		}
+	}
+	ppt := s.ScanRate * s.TickSeconds
+	if ppt < 1 || ppt > maxScenarioPPT {
+		return fmt.Errorf("xcheck: %v probes per host per tick outside [1,%d]", ppt, maxScenarioPPT)
+	}
+	ticks := s.MaxSeconds / s.TickSeconds
+	if ticks < 1 || ticks > maxTicksPerRun {
+		return fmt.Errorf("xcheck: %v ticks outside [1,%d]", ticks, maxTicksPerRun)
+	}
+	if work := float64(s.GraphNodes) * ppt * ticks; work > maxWorkProduct {
+		return fmt.Errorf("xcheck: work product %.3g exceeds %.3g", work, maxWorkProduct)
+	}
+	if sus := s.GraphNodes - s.GraphSensors; s.SeedHosts < 1 || s.SeedHosts > sus {
+		return fmt.Errorf("xcheck: seed hosts %d outside [1,%d]", s.SeedHosts, sus)
+	}
+	if s.Workers < 1 || s.Workers > maxWorkers {
+		return fmt.Errorf("xcheck: workers %d outside [1,%d]", s.Workers, maxWorkers)
+	}
+	if s.FastWorkers < 0 || s.FastWorkers > maxWorkers {
+		return fmt.Errorf("xcheck: fast workers %d outside [0,%d]", s.FastWorkers, maxWorkers)
+	}
+	if s.StopWhenInfect < 0 || s.StopWhenInfect > s.GraphNodes {
+		return fmt.Errorf("xcheck: stop-when-infected %d outside [0,%d]", s.StopWhenInfect, s.GraphNodes)
 	}
 	return nil
 }
@@ -412,6 +515,50 @@ func Generate(id uint64) Scenario {
 	// Drawn last so the field's introduction left every earlier field of
 	// every existing seed's expansion unchanged.
 	sc.FastWorkers = 2 + int(r.Uint64n(7))
+	// Topology gate, drawn after everything else for the same reason:
+	// seeds that stay IPv4 (7 in 8) expand exactly as they did before
+	// the dimension existed. Graph seeds rebuild the scenario over the
+	// proximity-graph dimensions, discarding the IPv4 draws above.
+	if r.Uint64n(8) == 0 {
+		sc = graphScenario(sc, r)
+	}
+	return sc
+}
+
+// graphScenario re-expands a drawn scenario as a proximity-graph world,
+// keeping the identity, sim seed, timing grid, and worker counts from
+// the base draw and replacing the IPv4 dimensions with graph shape.
+func graphScenario(base Scenario, r *rng.Xoshiro) Scenario {
+	sc := Scenario{
+		ID:          base.ID,
+		Topology:    TopoProxGraph,
+		SimSeed:     base.SimSeed,
+		Workers:     base.Workers,
+		FastWorkers: base.FastWorkers,
+		TickSeconds: base.TickSeconds,
+	}
+	sc.GraphNodes = 100 + int(r.Uint64n(600))
+	sc.GraphDegree = 3 + int(r.Uint64n(8))
+	sc.GraphSeed = r.Uint64()
+	// Mostly the package-default radius; sometimes an explicit generous
+	// one, which stresses the mutual-kNN pruning instead of the radius
+	// cutoff.
+	if r.Uint64n(4) == 0 {
+		sc.GraphRadius = 0.05 + 0.3*r.Float64()
+	}
+	if r.Uint64n(10) < 6 {
+		sc.GraphSensors = 1 + int(r.Uint64n(uint64(sc.GraphNodes/10)))
+	}
+	sc.SeedHosts = 2 + int(r.Uint64n(6))
+	ticks := 30 + int(r.Uint64n(50))
+	sc.MaxSeconds = float64(ticks) * sc.TickSeconds
+	// Neighbor scanning saturates local neighborhoods quickly, so modest
+	// per-host rates keep the epidemic curve informative over the
+	// horizon.
+	sc.ScanRate = clampRate(0.5+4*r.Float64(), sc.TickSeconds)
+	if r.Uint64n(6) == 0 {
+		sc.StopWhenInfect = sc.SeedHosts + int(r.Uint64n(uint64(sc.GraphNodes/4)))
+	}
 	return sc
 }
 

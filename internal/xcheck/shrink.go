@@ -171,6 +171,32 @@ var reductions = []func(Scenario) (Scenario, bool){
 		}
 		return s, true
 	},
+	// Halve the graph world (graph scenarios only; IPv4 scenarios have
+	// GraphNodes 0 and never take this move).
+	func(s Scenario) (Scenario, bool) {
+		if s.Topology != TopoProxGraph || s.GraphNodes < 40 {
+			return s, false
+		}
+		s.GraphNodes /= 2
+		if s.GraphSensors > s.GraphNodes/2 {
+			s.GraphSensors = s.GraphNodes / 2
+		}
+		if sus := s.GraphNodes - s.GraphSensors; s.SeedHosts > sus {
+			s.SeedHosts = sus
+		}
+		if s.StopWhenInfect > s.GraphNodes {
+			s.StopWhenInfect = s.GraphNodes
+		}
+		return s, true
+	},
+	// Drop the graph's sensor nodes.
+	func(s Scenario) (Scenario, bool) {
+		if s.Topology != TopoProxGraph || s.GraphSensors == 0 {
+			return s, false
+		}
+		s.GraphSensors = 0
+		return s, true
+	},
 }
 
 // WriteCorpusSeed stores the scenario as a Go fuzz corpus seed for
@@ -182,7 +208,16 @@ func WriteCorpusSeed(dir string, sc Scenario) (string, error) {
 		return "", fmt.Errorf("xcheck: %w", err)
 	}
 	body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(sc.JSON())) + ")\n"
-	name := fmt.Sprintf("xcheck-%016x-%s", sc.ID, sc.Worm)
+	// Graph scenarios have no worm name; tag them by topology instead so
+	// corpus filenames stay informative.
+	tag := string(sc.Worm)
+	if tag == "" {
+		tag = sc.Topology
+		if tag == "" {
+			tag = TopoIPv4
+		}
+	}
+	name := fmt.Sprintf("xcheck-%016x-%s", sc.ID, tag)
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		return "", fmt.Errorf("xcheck: %w", err)

@@ -284,6 +284,12 @@ func FuzzScenarioJSON(f *testing.F) {
 	small := exactOnlyScenario()
 	small.PopSize, small.MaxSeconds = 60, 15
 	f.Add(small.JSON())
+	graph := graphScenarioFixed()
+	graph.GraphNodes, graph.MaxSeconds = 60, 15
+	graph.GraphSensors = 5
+	f.Add(graph.JSON())
+	f.Add([]byte(`{"topology":"proxgraph","graph_nodes":-1}`))
+	f.Add([]byte(`{"topology":"proxgraph","graph_nodes":400,"graph_degree":6,"graph_radius":1e308,"sim_seed":1,"scan_rate":2,"tick_seconds":1,"max_seconds":10,"seed_hosts":2,"workers":2}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := ParseScenario(data)
 		if err != nil || sc.Validate() != nil {

@@ -31,7 +31,7 @@ else
   # single-shot — one 10⁸-host outbreak is minutes of signal on its own.
   {
     go test -run '^$' -benchmem -count "${COUNT:-1}" . \
-      -bench 'BenchmarkRun(Exact|Fast)CodeRedII|BenchmarkFleetObserve|BenchmarkSweepResume' \
+      -bench 'BenchmarkRun(Exact|Fast)CodeRedII|BenchmarkFleetObserve|BenchmarkSweepResume|BenchmarkRunFastProxGraph' \
       -benchtime "${BENCHTIME:-3x}"
     go test -run '^$' -benchmem -count 1 . \
       -bench 'BenchmarkRunFastInternetScale' -benchtime 1x
